@@ -1,0 +1,132 @@
+package logitdyn_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"logitdyn/internal/bench"
+	"logitdyn/internal/core"
+	"logitdyn/internal/game"
+	"logitdyn/internal/graph"
+	"logitdyn/internal/logit"
+	"logitdyn/internal/spectral"
+)
+
+// One benchmark per reproduced table/figure: each runs the registered
+// experiment in quick mode, so `go test -bench=.` regenerates every result
+// end to end and reports the cost of doing so.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := bench.Config{Seed: 1, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Format(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1EigenvaluesNonnegative(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2RelaxationBetaZero(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3GlobalUpperBound(b *testing.B)       { benchExperiment(b, "E3") }
+func BenchmarkE4LowerBoundDoubleWell(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkE5SmallBeta(b *testing.B)              { benchExperiment(b, "E5") }
+func BenchmarkE6ZetaBounds(b *testing.B)             { benchExperiment(b, "E6") }
+func BenchmarkE7DominantPlateau(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8DominantScaling(b *testing.B)        { benchExperiment(b, "E8") }
+func BenchmarkE9CutwidthBound(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10Clique(b *testing.B)                { benchExperiment(b, "E10") }
+func BenchmarkE11Ring(b *testing.B)                  { benchExperiment(b, "E11") }
+func BenchmarkE12RiskDominant(b *testing.B)          { benchExperiment(b, "E12") }
+
+// Extensions beyond the paper (marked as such in their titles).
+
+func BenchmarkE13LanczosLargeRing(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkE14CrossValidation(b *testing.B)  { benchExperiment(b, "E14") }
+func BenchmarkE15WelfareTradeoff(b *testing.B)  { benchExperiment(b, "E15") }
+
+// Micro-benchmarks for the pipeline stages underlying the experiments.
+
+func BenchmarkPipelineTransitionMatrix(b *testing.B) {
+	base, _ := game.NewCoordination2x2(2, 2, 0, 0)
+	g, _ := game.NewGraphical(graph.Ring(10), base)
+	d, _ := logit.New(g, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.TransitionSparse()
+	}
+}
+
+func BenchmarkPipelineSpectralDecompose(b *testing.B) {
+	base, _ := game.NewCoordination2x2(2, 2, 0, 0)
+	g, _ := game.NewGraphical(graph.Ring(8), base)
+	d, _ := logit.New(g, 1)
+	pi, _ := d.Gibbs()
+	p := d.TransitionDense()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.Decompose(p, pi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineMixingTimeQuery(b *testing.B) {
+	base, _ := game.NewCoordination2x2(2, 2, 0, 0)
+	g, _ := game.NewGraphical(graph.Ring(8), base)
+	d, _ := logit.New(g, 1.5)
+	pi, _ := d.Gibbs()
+	dec, err := spectral.Decompose(d.TransitionDense(), pi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.MixingTime(0.25, 1<<62); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineFullAnalyze(b *testing.B) {
+	dw, _ := game.NewDoubleWell(8, 3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, err := core.NewAnalyzer(dw, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Analyze(core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example-style smoke test: the registry formats all quick tables without
+// error (kept as a test so plain `go test ./...` at the root exercises the
+// harness end to end).
+func TestRegenerateAllQuickTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take seconds")
+	}
+	for _, e := range bench.All() {
+		tab, err := e.Run(bench.Config{Seed: 1, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if err := tab.Format(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fmt.Println("regenerated all 12 quick tables")
+}

@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper-reproduction tables (E1–E12 in
+// DESIGN.md). Each experiment prints measured mixing times alongside the
+// closed-form bounds its theorem predicts.
+//
+// Usage:
+//
+//	experiments [-id E4,E11 | -id all] [-quick] [-seed 1] [-eps 0.25] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"logitdyn/internal/bench"
+)
+
+func main() {
+	var (
+		ids   = flag.String("id", "all", "comma-separated experiment IDs (E1..E15) or 'all'")
+		list  = flag.Bool("list", false, "list registered experiments and exit")
+		quick = flag.Bool("quick", false, "small grids for a fast run")
+		seed  = flag.Uint64("seed", 1, "base RNG seed")
+		eps   = flag.Float64("eps", 0.25, "total-variation target ε")
+		csv   = flag.String("csv", "", "optional directory for per-experiment CSV output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{Seed: *seed, Quick: *quick, Eps: *eps}
+	var selected []bench.Experiment
+	if *ids == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try E1..E12)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		tab, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := tab.Format(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv != "" {
+			if err := os.MkdirAll(*csv, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*csv, e.ID+".csv"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := tab.CSV(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}

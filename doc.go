@@ -1,0 +1,26 @@
+// Package logitdyn reproduces "Convergence to Equilibrium of Logit Dynamics
+// for Strategic Games" (Auletta, Ferraioli, Pasquale, Penna, Persiano —
+// SPAA 2011; full version arXiv:1212.1884).
+//
+// The library implements the logit dynamics Markov chain Mβ(G) for finite
+// strategic games, exact spectral mixing-time measurement, the potential
+// statistics (ΔΦ, δΦ, ζ) and cutwidth machinery the paper's bounds are
+// stated in, coupling-based simulation tools (maximal coupling, path
+// coupling, CFTP), and an experiment harness that regenerates every
+// theorem-level result (E1–E12 in DESIGN.md).
+//
+// Entry points:
+//
+//   - internal/core      — the Analyzer facade (mixing time, spectrum, bounds)
+//   - internal/game      — game families: coordination, graphical, double
+//     wells, dominant-strategy, congestion
+//   - internal/logit     — the dynamics itself (Eq. 2–4 of the paper)
+//   - internal/bench     — the E1–E12 experiment registry
+//   - cmd/experiments    — regenerate the EXPERIMENTS.md tables
+//   - cmd/mixtime        — analyze one game at one β
+//   - cmd/logitsim       — trajectory simulation
+//   - cmd/cutwidth       — graph cutwidth computation
+//
+// The root-level benchmarks (bench_test.go) run each experiment in quick
+// mode under testing.B, one benchmark per table/figure.
+package logitdyn

@@ -1,0 +1,64 @@
+// Annealing: the paper's conclusions propose logit dynamics "in which the
+// value of β is not fixed, but varies according to some learning process".
+// This example compares fixed-β runs against linear and logarithmic
+// schedules on a double-well potential: annealing escapes the wrong well
+// early (high noise) and then locks into the global potential minimum (low
+// noise), beating both constant extremes at equal step budgets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logitdyn/internal/game"
+	"logitdyn/internal/logit"
+	"logitdyn/internal/rng"
+)
+
+func main() {
+	// Asymmetric double well on 10 players: the deep well (all-0) is the
+	// global minimum; the shallow well (all-1) is a trap. Start in the trap.
+	n, c := 10, 3
+	g, err := game.NewAsymmetricDoubleWell(n, c, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := logit.New(g, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := d.Space()
+	deep := make([]int, n) // all zeros
+	start := make([]int, n)
+	for i := range start {
+		start[i] = 1
+	}
+	deepIdx := sp.Encode(deep)
+
+	const steps = 60000
+	const trials = 40
+	run := func(name string, sched logit.Schedule) {
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			r := rng.New(uint64(trial) + 7)
+			x := append([]int(nil), start...)
+			for s := 0; s < steps; s++ {
+				if err := d.AnnealedStep(x, s, sched, r); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if sp.Encode(x) == deepIdx {
+				hits++
+			}
+		}
+		fmt.Printf("%-22s P(end in global minimum) = %.2f\n", name, float64(hits)/trials)
+	}
+
+	run("fixed β = 0.5 (hot)", func(int) float64 { return 0.5 })
+	run("fixed β = 12 (cold)", func(int) float64 { return 12 })
+	run("linear 0 → 12", logit.LinearSchedule(0, 12, steps))
+	run("log 0.5·log(1+t)", logit.LogSchedule(0.5))
+
+	fmt.Println("\nhot chains never settle; cold chains freeze in the trap they started in;")
+	fmt.Println("annealed chains cross the barrier early and then lock into the deep well")
+}

@@ -1,0 +1,53 @@
+// Dominant strategies: Section 4's counterpoint to the potential-game
+// blow-up. The mixing time of a game with a dominant profile saturates as
+// β → ∞ — noise-free agents still coordinate quickly — while a potential
+// game of the same size blows up exponentially.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logitdyn/internal/core"
+	"logitdyn/internal/game"
+	"logitdyn/internal/mixing"
+)
+
+func main() {
+	n, m := 3, 2
+	dom, err := game.NewDominantDiagonal(n, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Same-size double well for contrast.
+	dw, err := game.NewDoubleWell(n, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bound := mixing.Theorem42Upper(n, m)
+	lower := mixing.Theorem43Lower(n, m)
+	fmt.Printf("dominant-strategy game (n=%d, m=%d): Thm 4.2 upper %.4g, Thm 4.3 lower %.4g\n\n",
+		n, m, bound, lower)
+	fmt.Printf("%-8s %-22s %-22s\n", "beta", "t_mix dominant (Thm4.2)", "t_mix double-well")
+	for _, beta := range []float64{0, 2, 4, 8, 16, 32} {
+		ad, err := core.NewAnalyzer(dom, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tmDom, err := ad.MixingTime(0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aw, err := core.NewAnalyzer(dw, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tmWell, err := aw.MixingTime(0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8g %-22d %-22d\n", beta, tmDom, tmWell)
+	}
+	fmt.Println("\nthe dominant game plateaus (β-independent, Thm 4.2); the double well grows like e^{βΔΦ} (Thm 3.5)")
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	// E1–E12 reproduce the paper; E13+ are extensions.
+	if len(all) < 13 {
+		t.Fatalf("registry has %d experiments, want >= 13", len(all))
+	}
+	for i, e := range all {
+		wantID := "E" + itoa(i+1)
+		if e.ID != wantID {
+			t.Errorf("position %d: ID %s, want %s", i, e.ID, wantID)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("E1"); !ok {
+		t.Error("E1 must be registered")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Error("E99 must not exist")
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment in quick mode and asserts
+// the shape checks in the notes all pass. This is the repository's
+// end-to-end reproduction test.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take seconds")
+	}
+	cfg := Config{Seed: 1, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tab, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s: ragged row %v", e.ID, row)
+				}
+				for _, cell := range row {
+					if cell == "false" {
+						t.Errorf("%s: failed shape check in row %v", e.ID, row)
+					}
+				}
+			}
+			for _, n := range tab.Notes {
+				if strings.Contains(n, ": false") {
+					t.Errorf("%s: failed note check: %s", e.ID, n)
+				}
+			}
+		})
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x,y", 1e9)
+	tab.Note("note %d", 7)
+	var buf bytes.Buffer
+	if err := tab.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## X — demo", "a", "2.5", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.Contains(csv, "a,b") {
+		t.Error("CSV missing header")
+	}
+	if strings.Contains(strings.Split(csv, "\n")[2], "x,y") {
+		t.Error("CSV cell commas must be sanitized")
+	}
+	if !strings.Contains(csv, "x;y") {
+		t.Error("CSV sanitation must keep content")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		2.5:    "2.5",
+		1e9:    "1.000e+09",
+		0.0001: "1.000e-04",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	register(Experiment{ID: "E1", Title: "dup", Run: nil})
+}

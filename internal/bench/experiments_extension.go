@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"math"
+
+	"logitdyn/internal/game"
+	"logitdyn/internal/graph"
+	"logitdyn/internal/logit"
+	"logitdyn/internal/mixing"
+	"logitdyn/internal/rng"
+	"logitdyn/internal/spectral"
+)
+
+func init() {
+	register(Experiment{ID: "E13", Title: "extension — large-ring relaxation time via sparse Lanczos", Run: runE13})
+}
+
+// runE13 extends the E11 ring study beyond the dense-decomposition limit:
+// the sparse Lanczos route measures t_rel for rings up to 2^16 states and
+// checks the Theorem 5.6-implied scaling t_rel = O(e^{2δβ}·n) — the
+// relaxation time per player stays bounded as n grows at fixed β.
+func runE13(cfg Config) (*Table, error) {
+	t := &Table{ID: "E13", Title: "large-ring relaxation (Lanczos extension)",
+		Columns: []string{"n", "states", "beta", "trel_lanczos", "trel/n", "spectral_lower<=thm56", "lanczos_iters"}}
+	delta, beta := 1.0, 0.5
+	ns := []int{8, 10, 12, 14, 16}
+	if cfg.Quick {
+		ns = []int{8, 10, 12}
+	}
+	eps := cfg.eps()
+	allConsistent := true
+	ratios := make([]float64, 0, len(ns))
+	for _, n := range ns {
+		g, err := game.NewIsing(graph.Ring(n), delta)
+		if err != nil {
+			return nil, err
+		}
+		d, err := logit.New(g, beta)
+		if err != nil {
+			return nil, err
+		}
+		pi, err := d.Stationary()
+		if err != nil {
+			return nil, err
+		}
+		op, err := spectral.NewSparseOperator(d.TransitionSparse(), pi)
+		if err != nil {
+			return nil, err
+		}
+		res, err := spectral.Lanczos(op, 400, 1e-12, rng.New(cfg.Seed+uint64(n)))
+		if err != nil {
+			return nil, err
+		}
+		trel := res.RelaxationTime()
+		// Theorem 2.3: (t_rel−1)·log(1/2ε) <= t_mix <= Thm 5.6 upper, so the
+		// spectral lower bound must sit under the Theorem 5.6 bound.
+		lower := (trel - 1) * logInv(2*eps)
+		upper := mixing.Theorem56Upper(n, beta, delta, eps)
+		consistent := lower <= upper
+		allConsistent = allConsistent && consistent
+		ratio := trel / float64(n)
+		ratios = append(ratios, ratio)
+		t.AddRow(n, 1<<uint(n), beta, trel, ratio, consistent, res.Iterations)
+	}
+	t.Note("spectral lower bound under the Theorem 5.6 envelope at every n: %v", allConsistent)
+	t.Note("t_rel/n spans [%.3f, %.3f] across n — bounded per-player relaxation, the Θ(e^{2δβ}·n) shape",
+		minF(ratios), maxF(ratios))
+	return t, nil
+}
+
+func logInv(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Log(x)
+}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"math"
+
+	"logitdyn/internal/core"
+	"logitdyn/internal/game"
+	"logitdyn/internal/graph"
+	"logitdyn/internal/mixing"
+)
+
+func init() {
+	register(Experiment{ID: "E9", Title: "Theorem 5.1 — cutwidth controls graphical-coordination mixing", Run: runE9})
+	register(Experiment{ID: "E10", Title: "Theorem 5.5 — clique exponent Φmax − Φ(1)", Run: runE10})
+	register(Experiment{ID: "E11", Title: "Theorems 5.6/5.7 — ring mixes in Θ(e^{2δβ} n log n)", Run: runE11})
+	register(Experiment{ID: "E12", Title: "Blume 1993 — stationary mass concentrates on the risk-dominant equilibrium", Run: runE12})
+}
+
+// runE9 compares topologies at fixed (n, β): cutwidth, the Theorem 5.1
+// bound, and measured mixing time.
+func runE9(cfg Config) (*Table, error) {
+	t := &Table{ID: "E9", Title: "topology comparison under the cutwidth bound (Theorem 5.1)",
+		Columns: []string{"graph", "n", "cutwidth", "tmix_measured", "thm51_bound", "under_bound"}}
+	n := 8
+	if cfg.Quick {
+		n = 6
+	}
+	base, err := game.NewCoordination2x2(1.2, 1.0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	beta := 0.5
+	eps := cfg.eps()
+	type topo struct {
+		name string
+		g    *graph.Graph
+	}
+	topos := []topo{
+		{"path", graph.Path(n)},
+		{"ring", graph.Ring(n)},
+		{"star", graph.Star(n)},
+		{"clique", graph.Clique(n)},
+	}
+	if !cfg.Quick {
+		topos = append(topos,
+			topo{"grid", graph.Grid(2, n/2)},
+			topo{"tree", graph.BinaryTree(3)},
+			topo{"hypercube", graph.Hypercube(3)},
+		)
+	}
+	allUnder := true
+	var ringT, cliqueT int64
+	for _, tp := range topos {
+		gg, err := game.NewGraphical(tp.g, base)
+		if err != nil {
+			return nil, err
+		}
+		cw, _, err := graph.ExactCutwidth(tp.g)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.NewAnalyzer(gg, beta)
+		if err != nil {
+			return nil, err
+		}
+		tm, err := a.MixingTime(eps, 0)
+		if err != nil {
+			return nil, err
+		}
+		bound := mixing.Theorem51Upper(tp.g.N(), cw, beta, base.Delta0(), base.Delta1())
+		under := float64(tm) <= bound
+		allUnder = allUnder && under
+		t.AddRow(tp.name, tp.g.N(), cw, tm, bound, under)
+		switch tp.name {
+		case "ring":
+			ringT = tm
+		case "clique":
+			cliqueT = tm
+		}
+	}
+	t.Note("measured t_mix under the Theorem 5.1 bound for every topology: %v", allUnder)
+	t.Note("ordering check: ring (χ=2) mixes faster than clique (χ=⌊n²/4⌋): %v (ring %d vs clique %d)",
+		ringT <= cliqueT, ringT, cliqueT)
+	return t, nil
+}
+
+// runE10 sweeps β on the clique and fits the exponent against the Theorem
+// 5.5 prediction Φmax − Φ(1).
+func runE10(cfg Config) (*Table, error) {
+	t := &Table{ID: "E10", Title: "clique growth exponent (Theorem 5.5)",
+		Columns: []string{"beta", "tmix_measured", "exp(beta*(PhiMax-Phi1))"}}
+	n := 7
+	if cfg.Quick {
+		n = 5
+	}
+	base, err := game.NewCoordination2x2(1.5, 1.0, 0, 0) // δ0 > δ1
+	if err != nil {
+		return nil, err
+	}
+	gg, err := game.NewGraphical(graph.Clique(n), base)
+	if err != nil {
+		return nil, err
+	}
+	kStar := game.CliqueCriticalOnes(n, base)
+	phiMax := game.CliquePhiByOnes(n, kStar, base)
+	phiOnes := game.CliquePhiByOnes(n, n, base)
+	gap := phiMax - phiOnes
+	betas := []float64{0.5, 1, 1.5, 2, 2.5, 3}
+	if cfg.Quick {
+		betas = []float64{0.5, 1.5, 2.5}
+	}
+	eps := cfg.eps()
+	times := make([]float64, len(betas))
+	for i, beta := range betas {
+		a, err := core.NewAnalyzer(gg, beta)
+		if err != nil {
+			return nil, err
+		}
+		tm, err := a.MixingTime(eps, 0)
+		if err != nil {
+			return nil, err
+		}
+		times[i] = math.Max(float64(tm), 1)
+		t.AddRow(beta, tm, math.Exp(beta*gap))
+	}
+	slope, err := mixing.GrowthExponent(betas[len(betas)/2:], times[len(times)/2:])
+	if err != nil {
+		return nil, err
+	}
+	t.Note("Theorem 5.5 predicts exponent Φmax − Φ(1) = %.3f; fitted slope %.3f (k* = %d ones at the barrier)",
+		gap, slope, kStar)
+	return t, nil
+}
+
+// runE11 sweeps β and n on the ring without risk dominance and checks both
+// Theorem 5.6 (upper) and Theorem 5.7 (lower).
+func runE11(cfg Config) (*Table, error) {
+	t := &Table{ID: "E11", Title: "ring mixing (Theorems 5.6/5.7)",
+		Columns: []string{"sweep", "n", "beta", "tmix_measured", "thm56_upper", "thm57_lower", "within"}}
+	delta := 1.0
+	eps := cfg.eps()
+	nFixed := 8
+	betasSweep := []float64{0.5, 1, 1.5, 2, 2.5, 3}
+	nsSweep := []int{4, 6, 8, 10}
+	if cfg.Quick {
+		nFixed = 6
+		betasSweep = []float64{0.25, 0.75, 1.25}
+		nsSweep = []int{4, 6}
+	}
+	allWithin := true
+	measure := func(sweep string, n int, beta float64) (int64, error) {
+		g, err := game.NewIsing(graph.Ring(n), delta)
+		if err != nil {
+			return 0, err
+		}
+		a, err := core.NewAnalyzer(g, beta)
+		if err != nil {
+			return 0, err
+		}
+		tm, err := a.MixingTime(eps, 0)
+		if err != nil {
+			return 0, err
+		}
+		upper := mixing.Theorem56Upper(n, beta, delta, eps)
+		lower := mixing.Theorem57Lower(beta, delta, eps)
+		within := float64(tm) <= upper && float64(tm) >= lower
+		allWithin = allWithin && within
+		t.AddRow(sweep, n, beta, tm, upper, lower, within)
+		return tm, nil
+	}
+	times := make([]float64, len(betasSweep))
+	for i, beta := range betasSweep {
+		tm, err := measure("beta", nFixed, beta)
+		if err != nil {
+			return nil, err
+		}
+		times[i] = math.Max(float64(tm), 1)
+	}
+	for _, n := range nsSweep {
+		if _, err := measure("n", n, 0.5); err != nil {
+			return nil, err
+		}
+	}
+	slope, err := mixing.GrowthExponent(betasSweep[len(betasSweep)/2:], times[len(times)/2:])
+	if err != nil {
+		return nil, err
+	}
+	t.Note("measured t_mix inside the [Thm 5.7, Thm 5.6] envelope at every point: %v", allWithin)
+	t.Note("β-sweep slope %.3f vs predicted 2δ = %.3f", slope, 2*delta)
+	return t, nil
+}
+
+// runE12 tracks the stationary mass of the risk-dominant equilibrium of a
+// 2×2 coordination game as β grows (Blume 1993, the paper's Section 1).
+func runE12(cfg Config) (*Table, error) {
+	t := &Table{ID: "E12", Title: "risk-dominant selection (Blume 1993)",
+		Columns: []string{"beta", "pi(risk-dominant)", "pi(other NE)", "pi(mixed profiles)"}}
+	base, err := game.NewCoordination2x2(3, 2, 0, 0) // (0,0) risk dominant
+	if err != nil {
+		return nil, err
+	}
+	// The profile space has 4 states; the full grid is cheap even in Quick
+	// mode, and the β=8 endpoint is what drives the mass to 1.
+	betas := []float64{0, 0.5, 1, 2, 4, 8}
+	var masses []float64
+	for _, beta := range betas {
+		a, err := core.NewAnalyzer(base, beta)
+		if err != nil {
+			return nil, err
+		}
+		pi, err := a.Gibbs()
+		if err != nil {
+			return nil, err
+		}
+		sp := a.Dynamics().Space()
+		rd := pi[sp.Encode([]int{0, 0})]
+		other := pi[sp.Encode([]int{1, 1})]
+		mixed := pi[sp.Encode([]int{0, 1})] + pi[sp.Encode([]int{1, 0})]
+		masses = append(masses, rd)
+		t.AddRow(beta, rd, other, mixed)
+	}
+	increasing := true
+	for i := 1; i < len(masses); i++ {
+		if masses[i] < masses[i-1]-1e-12 {
+			increasing = false
+		}
+	}
+	t.Note("π(risk-dominant) increases with β and tends to 1: %v (final mass %.6f)",
+		increasing && masses[len(masses)-1] > 0.99, masses[len(masses)-1])
+	return t, nil
+}

@@ -1,0 +1,246 @@
+// Package core is the high-level entry point of the library: an Analyzer
+// that, given a strategic game and an inverse noise β, produces everything
+// the paper talks about — the logit dynamics chain, its stationary (Gibbs)
+// distribution, the full spectrum, the exact mixing time, the potential
+// statistics (ΔΦ, δΦ, ζ) and every applicable closed-form bound from the
+// paper's Sections 3–5.
+//
+// Typical use:
+//
+//	g, _ := game.NewCoordination2x2(3, 2, 0, 0)
+//	a, _ := core.NewAnalyzer(g, 1.0)
+//	rep, _ := a.Analyze(core.Options{})
+//	fmt.Println(rep.MixingTime, rep.Bounds.Thm34Upper)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"logitdyn/internal/game"
+	"logitdyn/internal/logit"
+	"logitdyn/internal/mixing"
+	"logitdyn/internal/rng"
+	"logitdyn/internal/spectral"
+)
+
+// Analyzer bundles a game with an inverse noise level.
+type Analyzer struct {
+	dyn *logit.Dynamics
+}
+
+// NewAnalyzer validates the inputs and returns an analyzer. The profile
+// space must be materializable for exact analysis; simulation entry points
+// work regardless.
+func NewAnalyzer(g game.Game, beta float64) (*Analyzer, error) {
+	d, err := logit.New(g, beta)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{dyn: d}, nil
+}
+
+// Dynamics exposes the underlying logit dynamics.
+func (a *Analyzer) Dynamics() *logit.Dynamics { return a.dyn }
+
+// Options tunes Analyze.
+type Options struct {
+	// Eps is the total-variation target; 0 means the paper's 1/4.
+	Eps float64
+	// MaxT caps the measurable mixing time; 0 means 2^62.
+	MaxT int64
+	// MaxExactStates refuses exact spectral analysis above this profile
+	// count; 0 means 4096.
+	MaxExactStates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps == 0 {
+		o.Eps = mixing.DefaultEps
+	}
+	if o.MaxT == 0 {
+		o.MaxT = 1 << 62
+	}
+	if o.MaxExactStates == 0 {
+		o.MaxExactStates = 4096
+	}
+	return o
+}
+
+// Report is the full analysis of one (game, β) pair.
+type Report struct {
+	Beta float64
+	// NumProfiles is |S|.
+	NumProfiles int
+	// MixingTime is the exact t_mix(ε).
+	MixingTime int64
+	// RelaxationTime is 1/(1−λ*).
+	RelaxationTime float64
+	// LambdaStar and MinEigenvalue describe the spectrum.
+	LambdaStar, MinEigenvalue float64
+	// Stationary is the stationary distribution (Gibbs for potential games).
+	Stationary []float64
+	// IsPotentialGame reports whether an exact potential was available (or
+	// reconstructible).
+	IsPotentialGame bool
+	// Stats holds ΔΦ, δΦ and ζ for potential games (nil otherwise).
+	Stats *mixing.PotentialStats
+	// Bounds holds the paper's closed-form bounds for potential games
+	// (nil otherwise).
+	Bounds *mixing.BoundsReport
+	// PureNash lists the pure Nash equilibria by profile index.
+	PureNash []int
+	// DominantProfile is the dominant-strategy profile if one exists.
+	DominantProfile []int
+	// Welfare summarizes the stationary expected social welfare (the
+	// authors' SAGT'10 companion quantity).
+	Welfare *mixing.WelfareReport
+}
+
+// Analyze runs the exact pipeline: stationary distribution, spectrum,
+// mixing time, potential statistics, paper bounds, equilibrium structure.
+func (a *Analyzer) Analyze(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	sp := a.dyn.Space()
+	if sp.Size() > opts.MaxExactStates {
+		return nil, fmt.Errorf("core: %d profiles exceed the exact-analysis cap %d; use simulation entry points",
+			sp.Size(), opts.MaxExactStates)
+	}
+	rep := &Report{Beta: a.dyn.Beta(), NumProfiles: sp.Size()}
+
+	if res, err := mixing.ExactMixingTime(a.dyn, opts.Eps, opts.MaxT); err == nil {
+		rep.MixingTime = res.MixingTime
+		rep.RelaxationTime = res.RelaxationTime
+		rep.LambdaStar = res.LambdaStar
+		rep.MinEigenvalue = res.MinEigenvalue
+	} else {
+		// Non-reversible chains (non-potential games) have no symmetric
+		// spectral decomposition; measure by brute-force evolution instead
+		// and mark the spectral fields unavailable.
+		maxEvo := opts.MaxT
+		if maxEvo > 1<<20 {
+			maxEvo = 1 << 20
+		}
+		tm, evoErr := mixing.EvolutionMixingTime(a.dyn, opts.Eps, int(maxEvo))
+		if evoErr != nil {
+			return nil, fmt.Errorf("core: spectral route failed (%v) and evolution fallback failed (%v)", err, evoErr)
+		}
+		rep.MixingTime = tm
+		rep.RelaxationTime = math.NaN()
+		rep.LambdaStar = math.NaN()
+		rep.MinEigenvalue = math.NaN()
+	}
+
+	pi, err := a.dyn.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	rep.Stationary = pi
+
+	g := a.dyn.Game()
+	if p, ok := game.AsPotential(g); ok {
+		rep.IsPotentialGame = true
+		rep.Stats, err = mixing.AnalyzePotential(p)
+		if err != nil {
+			return nil, err
+		}
+		rep.Bounds, err = mixing.Report(p, a.dyn.Beta(), opts.Eps)
+		if err != nil {
+			return nil, err
+		}
+	} else if phi, ok := game.ReconstructPotential(g, 1e-9); ok {
+		rep.IsPotentialGame = true
+		rep.Stats, err = mixing.AnalyzePhiTable(sp, phi)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep.PureNash = game.PureNashEquilibria(g, 1e-12)
+	if prof, ok := game.DominantProfile(g, 1e-12); ok {
+		rep.DominantProfile = prof
+	}
+	rep.Welfare, err = mixing.StationaryWelfare(a.dyn)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// MixingTime is a convenience wrapper returning only the exact t_mix(ε).
+func (a *Analyzer) MixingTime(eps float64, maxT int64) (int64, error) {
+	if eps == 0 {
+		eps = mixing.DefaultEps
+	}
+	if maxT == 0 {
+		maxT = 1 << 62
+	}
+	res, err := mixing.ExactMixingTime(a.dyn, eps, maxT)
+	if err != nil {
+		return 0, err
+	}
+	return res.MixingTime, nil
+}
+
+// Spectrum returns the sorted eigenvalues (λ1 = 1 first) of the chain.
+func (a *Analyzer) Spectrum() ([]float64, error) {
+	pi, err := a.dyn.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	dec, err := spectral.Decompose(a.dyn.TransitionDense(), pi)
+	if err != nil {
+		return nil, err
+	}
+	return dec.Values, nil
+}
+
+// Gibbs returns the stationary Gibbs measure for potential games.
+func (a *Analyzer) Gibbs() ([]float64, error) { return a.dyn.Gibbs() }
+
+// Simulate runs t logit steps from start and returns the empirical
+// occupancy distribution over profile indices.
+func (a *Analyzer) Simulate(start []int, t int, seed uint64) ([]float64, error) {
+	if t <= 0 {
+		return nil, errors.New("core: Simulate needs t > 0")
+	}
+	counts := a.dyn.Trajectory(start, t, rng.New(seed))
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c) / float64(t+1)
+	}
+	return out, nil
+}
+
+// GrowthExponent sweeps β over the grid, measures exact mixing times, and
+// returns the fitted slope of log t_mix against β together with the
+// per-β measurements. The theorems predict ΔΦ, ζ, 2δ or 0 depending on the
+// game class.
+func GrowthExponent(g game.Game, betas []float64, eps float64, maxT int64) (slope float64, times []int64, err error) {
+	if eps == 0 {
+		eps = mixing.DefaultEps
+	}
+	if maxT == 0 {
+		maxT = 1 << 62
+	}
+	times = make([]int64, len(betas))
+	ft := make([]float64, len(betas))
+	for i, b := range betas {
+		a, err := NewAnalyzer(g, b)
+		if err != nil {
+			return 0, nil, err
+		}
+		tm, err := a.MixingTime(eps, maxT)
+		if err != nil {
+			return 0, nil, err
+		}
+		times[i] = tm
+		ft[i] = math.Max(float64(tm), 1)
+	}
+	slope, err = mixing.GrowthExponent(betas, ft)
+	if err != nil {
+		return 0, nil, err
+	}
+	return slope, times, nil
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"logitdyn/internal/game"
+	"logitdyn/internal/graph"
+	"logitdyn/internal/markov"
+)
+
+func coordGame(t *testing.T) game.Coordination2x2 {
+	t.Helper()
+	g, err := game.NewCoordination2x2(3, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAnalyzeCoordination(t *testing.T) {
+	a, err := NewAnalyzer(coordGame(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Analyze(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumProfiles != 4 {
+		t.Errorf("NumProfiles = %d", rep.NumProfiles)
+	}
+	if !rep.IsPotentialGame {
+		t.Error("coordination game must report as potential game")
+	}
+	if rep.Stats == nil || rep.Stats.DeltaPhi != 3 {
+		t.Errorf("Stats = %+v", rep.Stats)
+	}
+	if rep.Bounds == nil || rep.Bounds.Thm34Upper <= float64(rep.MixingTime) {
+		t.Error("Thm 3.4 bound must dominate the measured mixing time")
+	}
+	if len(rep.PureNash) != 2 {
+		t.Errorf("PureNash = %v", rep.PureNash)
+	}
+	if rep.DominantProfile != nil {
+		t.Error("coordination game has no dominant profile")
+	}
+	if rep.MinEigenvalue < -1e-9 {
+		t.Errorf("Theorem 3.1 violated: λ_min = %g", rep.MinEigenvalue)
+	}
+	if rep.MixingTime <= 0 {
+		t.Errorf("MixingTime = %d", rep.MixingTime)
+	}
+	if s := sum(rep.Stationary); math.Abs(s-1) > 1e-12 {
+		t.Errorf("stationary sums to %g", s)
+	}
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestAnalyzeDominantGame(t *testing.T) {
+	g, err := game.NewDominantDiagonal(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Analyze(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DominantProfile == nil {
+		t.Fatal("dominant profile must be detected")
+	}
+	for _, v := range rep.DominantProfile {
+		if v != 0 {
+			t.Fatalf("DominantProfile = %v", rep.DominantProfile)
+		}
+	}
+	if !rep.Bounds.HasDominantProfile {
+		t.Error("bounds report must flag the dominant profile")
+	}
+}
+
+func TestAnalyzeNonPotentialGame(t *testing.T) {
+	// Matching pennies: no potential, no pure Nash; stationary still exists.
+	g := game.NewTableGame([]int{2, 2})
+	sp := g.Space()
+	for idx := 0; idx < sp.Size(); idx++ {
+		x := sp.Decode(idx, nil)
+		v := 1.0
+		if x[0] != x[1] {
+			v = -1
+		}
+		g.SetUtilityIndexed(0, idx, v)
+		g.SetUtilityIndexed(1, idx, -v)
+	}
+	a, err := NewAnalyzer(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Analyze(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IsPotentialGame {
+		t.Error("matching pennies must not report a potential")
+	}
+	if rep.Stats != nil || rep.Bounds != nil {
+		t.Error("non-potential game must not carry potential stats")
+	}
+	if len(rep.PureNash) != 0 {
+		t.Errorf("PureNash = %v", rep.PureNash)
+	}
+	if rep.MixingTime <= 0 {
+		t.Errorf("evolution fallback t_mix = %d", rep.MixingTime)
+	}
+	if !math.IsNaN(rep.LambdaStar) {
+		t.Error("spectral fields must be NaN for non-reversible chains")
+	}
+}
+
+func TestAnalyzeReconstructsUndeclaredPotential(t *testing.T) {
+	// A common-interest game materialized WITHOUT its potential table:
+	// Analyze must reconstruct it.
+	dw, err := game.NewDoubleWell(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := game.NewTableGame([]int{2, 2, 2, 2})
+	sp := bare.Space()
+	x := make([]int, 4)
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Decode(idx, x)
+		for i := 0; i < 4; i++ {
+			bare.SetUtilityIndexed(i, idx, dw.Utility(i, x))
+		}
+	}
+	a, err := NewAnalyzer(bare, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Analyze(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IsPotentialGame {
+		t.Fatal("potential must be reconstructed from utilities")
+	}
+	if math.Abs(rep.Stats.DeltaPhi-2) > 1e-9 {
+		t.Errorf("reconstructed ΔΦ = %g, want 2", rep.Stats.DeltaPhi)
+	}
+}
+
+func TestAnalyzeRefusesHugeSpaces(t *testing.T) {
+	g, err := game.NewDoubleWell(20, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Analyze(Options{})
+	if err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("expected cap error, got %v", err)
+	}
+}
+
+func TestSimulateMatchesGibbs(t *testing.T) {
+	a, err := NewAnalyzer(coordGame(t), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := a.Simulate([]int{0, 0}, 300000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := a.Gibbs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv := markov.TVDistance(emp, pi); tv > 0.01 {
+		t.Fatalf("simulated occupancy vs Gibbs TV = %g", tv)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	a, _ := NewAnalyzer(coordGame(t), 1)
+	if _, err := a.Simulate([]int{0, 0}, 0, 1); err == nil {
+		t.Fatal("t=0 must error")
+	}
+}
+
+func TestSpectrumTopIsOne(t *testing.T) {
+	a, _ := NewAnalyzer(coordGame(t), 1)
+	vals, err := a.Spectrum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-12 {
+		t.Fatalf("λ1 = %g", vals[0])
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatal("spectrum must be non-increasing")
+		}
+	}
+}
+
+func TestGrowthExponentRingTracksTwoDelta(t *testing.T) {
+	// Theorem 5.6/5.7: ring with δ0=δ1=δ has exponent ≈ 2δ.
+	delta := 1.0
+	g, err := game.NewIsing(graph.Ring(4), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	betas := []float64{1.5, 2, 2.5, 3}
+	slope, times, err := GrowthExponent(g, betas, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != len(betas) {
+		t.Fatal("times length mismatch")
+	}
+	if math.Abs(slope-2*delta) > 0.5 {
+		t.Errorf("ring slope = %g, want ≈ %g", slope, 2*delta)
+	}
+}
+
+func TestMixingTimeDefaultArgs(t *testing.T) {
+	a, _ := NewAnalyzer(coordGame(t), 0.5)
+	tm, err := a.MixingTime(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm <= 0 {
+		t.Fatalf("t_mix = %d", tm)
+	}
+}
+
+func TestAnalyzeIncludesWelfare(t *testing.T) {
+	a, err := NewAnalyzer(coordGame(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Analyze(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Welfare == nil {
+		t.Fatal("report must include a welfare summary")
+	}
+	if rep.Welfare.Optimum != 6 {
+		t.Errorf("welfare optimum %g, want 6", rep.Welfare.Optimum)
+	}
+	if rep.Welfare.Expected <= 0 || rep.Welfare.Expected > rep.Welfare.Optimum {
+		t.Errorf("expected welfare %g out of range", rep.Welfare.Expected)
+	}
+}

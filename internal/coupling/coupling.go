@@ -1,0 +1,338 @@
+// Package coupling implements the simulation-side convergence machinery of
+// the paper: the maximal ("interval") coupling used in the proofs of
+// Theorems 3.6 and 4.2, coalescence-time estimation, an exact one-step
+// path-coupling contraction computation, and — for monotone two-strategy
+// games such as graphical coordination games — a grand monotone coupling
+// with coupling-from-the-past exact sampling.
+package coupling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"logitdyn/internal/logit"
+	"logitdyn/internal/rng"
+)
+
+// CoupledStep advances two copies of the logit dynamics by one maximally
+// coupled step in place: both chains select the same player i, and her new
+// strategies are drawn from the maximal coupling of σ_i(· | x) and
+// σ_i(· | y) — they agree with the largest possible probability
+// Σ_z min{σ_i(z|x), σ_i(z|y)}, exactly as in the interval construction of
+// the paper's Theorem 3.6. The updated player is returned.
+func CoupledStep(d *logit.Dynamics, x, y []int, r *rng.RNG) int {
+	i := r.Intn(d.Space().Players())
+	px := d.UpdateProbs(i, x, nil)
+	py := d.UpdateProbs(i, y, nil)
+	sx, sy := sampleMaximal(px, py, r)
+	x[i], y[i] = sx, sy
+	return i
+}
+
+// sampleMaximal draws a pair (a, b) from the maximal coupling of the
+// discrete distributions p and q: P(a = b = z) = min(p_z, q_z) and the
+// residual mass is assigned independently from the normalized leftovers.
+func sampleMaximal(p, q []float64, r *rng.RNG) (int, int) {
+	overlap := 0.0
+	for z := range p {
+		overlap += math.Min(p[z], q[z])
+	}
+	u := r.Float64()
+	if u < overlap {
+		// Agree: sample z ∝ min(p_z, q_z) by inverting u against the
+		// cumulative overlap.
+		acc := 0.0
+		for z := range p {
+			acc += math.Min(p[z], q[z])
+			if u < acc {
+				return z, z
+			}
+		}
+		last := len(p) - 1
+		return last, last
+	}
+	// Disagree: independent residual draws.
+	a := sampleResidual(p, q, r)
+	b := sampleResidual(q, p, r)
+	return a, b
+}
+
+// sampleResidual samples ∝ max(p_z − q_z, 0).
+func sampleResidual(p, q []float64, r *rng.RNG) int {
+	total := 0.0
+	for z := range p {
+		if d := p[z] - q[z]; d > 0 {
+			total += d
+		}
+	}
+	if total <= 0 {
+		// The distributions coincide; fall back to p itself.
+		return r.Categorical(p)
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for z := range p {
+		if d := p[z] - q[z]; d > 0 {
+			acc += d
+			if u < acc {
+				return z
+			}
+		}
+	}
+	return len(p) - 1
+}
+
+// CoalescenceTime runs the maximal coupling from (x, y) until the chains
+// meet, returning the meeting time. It errors after maxT steps.
+func CoalescenceTime(d *logit.Dynamics, x, y []int, r *rng.RNG, maxT int64) (int64, error) {
+	cx := append([]int(nil), x...)
+	cy := append([]int(nil), y...)
+	if equalProfiles(cx, cy) {
+		return 0, nil
+	}
+	for t := int64(1); t <= maxT; t++ {
+		CoupledStep(d, cx, cy, r)
+		if equalProfiles(cx, cy) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("coupling: no coalescence within %d steps", maxT)
+}
+
+func equalProfiles(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimateMixingUpper estimates a coupling upper bound on t_mix(ε): it
+// samples coalescence times from the given starting pairs and returns the
+// empirical (1−ε)-quantile, which by Theorem 2.1 upper-bounds the true
+// t_mix(ε) up to sampling error when the pairs include the worst pair.
+func EstimateMixingUpper(d *logit.Dynamics, pairs [][2][]int, trials int, eps float64, r *rng.RNG, maxT int64) (int64, error) {
+	if len(pairs) == 0 || trials <= 0 {
+		return 0, errors.New("coupling: need pairs and trials")
+	}
+	var times []float64
+	for pi, pr := range pairs {
+		stream := r.Split(uint64(pi))
+		for k := 0; k < trials; k++ {
+			tau, err := CoalescenceTime(d, pr[0], pr[1], stream, maxT)
+			if err != nil {
+				return 0, err
+			}
+			times = append(times, float64(tau))
+		}
+	}
+	sort.Float64s(times)
+	idx := int(math.Ceil(float64(len(times))*(1-eps))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(times) {
+		idx = len(times) - 1
+	}
+	return int64(times[idx]), nil
+}
+
+// ExactContraction computes E[d(X1, Y1)] exactly for one maximally coupled
+// step from a pair of profiles at Hamming distance 1 — the quantity the
+// path-coupling proofs of Theorems 3.6 and 5.6 bound. d(x, y) must be 1.
+func ExactContraction(d *logit.Dynamics, x, y []int) (float64, error) {
+	sp := d.Space()
+	if sp.Hamming(sp.Encode(x), sp.Encode(y)) != 1 {
+		return 0, errors.New("coupling: ExactContraction needs Hamming-adjacent profiles")
+	}
+	j := -1
+	for i := range x {
+		if x[i] != y[i] {
+			j = i
+			break
+		}
+	}
+	n := sp.Players()
+	exp := 0.0
+	for i := 0; i < n; i++ {
+		if i == j {
+			// Updating the disagreeing player coalesces: distance 0
+			// (σ_j(·|x) = σ_j(·|y) since x_-j = y_-j).
+			continue
+		}
+		px := d.UpdateProbs(i, x, nil)
+		py := d.UpdateProbs(i, y, nil)
+		overlap := 0.0
+		for z := range px {
+			overlap += math.Min(px[z], py[z])
+		}
+		// Agreement keeps distance 1; disagreement raises it to 2.
+		exp += overlap + 2*(1-overlap)
+	}
+	return exp / float64(n), nil
+}
+
+// PathCouplingAlpha scans every Hamming edge of the profile space, computes
+// the exact one-step contraction, and returns the Theorem 2.2 rate
+// α = −log(max E[d(X1,Y1)]). A non-positive α means path coupling fails to
+// contract for this (game, β).
+func PathCouplingAlpha(d *logit.Dynamics) (float64, error) {
+	sp := d.Space()
+	worst := 0.0
+	x := make([]int, sp.Players())
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Decode(idx, x)
+		for i := 0; i < sp.Players(); i++ {
+			cur := x[i]
+			for v := cur + 1; v < sp.Strategies(i); v++ {
+				y := append([]int(nil), x...)
+				y[i] = v
+				e, err := ExactContraction(d, x, y)
+				if err != nil {
+					return 0, err
+				}
+				if e > worst {
+					worst = e
+				}
+			}
+		}
+	}
+	if worst <= 0 {
+		return math.Inf(1), nil
+	}
+	return -math.Log(worst), nil
+}
+
+// PathCouplingUpper converts a positive contraction rate α into the Theorem
+// 2.2 mixing bound (log diam + log 1/ε)/α, with the Hamming diameter n.
+func PathCouplingUpper(n int, alpha, eps float64) float64 {
+	if alpha <= 0 {
+		return math.Inf(1)
+	}
+	return (math.Log(float64(n)) + math.Log(1/eps)) / alpha
+}
+
+// ---------------------------------------------------------------------------
+// Monotone grand coupling and coupling from the past.
+
+// MonotoneStep applies the grand-coupling update (i, u) to a two-strategy
+// profile in place: player i adopts strategy 1 exactly when u >= σ_i(0 | x).
+// Marginally this is one logit step; jointly, for games whose update is
+// monotone (graphical coordination games), it preserves the componentwise
+// order between chains driven by the same randomness.
+func MonotoneStep(d *logit.Dynamics, x []int, i int, u float64) {
+	probs := d.UpdateProbs(i, x, nil)
+	if u >= probs[0] {
+		x[i] = 1
+	} else {
+		x[i] = 0
+	}
+}
+
+// VerifyMonotone checks on the full profile space that the grand coupling
+// preserves the componentwise partial order: for every comparable pair
+// x <= y, every player i and a grid of u values, the updated profiles remain
+// ordered. Intended for tests and small spaces; returns a descriptive error
+// at the first violation.
+func VerifyMonotone(d *logit.Dynamics, uGrid int) error {
+	sp := d.Space()
+	n := sp.Players()
+	for i := 0; i < n; i++ {
+		if sp.Strategies(i) != 2 {
+			return errors.New("coupling: monotone coupling requires two strategies per player")
+		}
+	}
+	x := make([]int, n)
+	y := make([]int, n)
+	for a := 0; a < sp.Size(); a++ {
+		sp.Decode(a, x)
+		for b := 0; b < sp.Size(); b++ {
+			sp.Decode(b, y)
+			if !leq(x, y) {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				for g := 0; g <= uGrid; g++ {
+					u := float64(g) / float64(uGrid+1)
+					cx := append([]int(nil), x...)
+					cy := append([]int(nil), y...)
+					MonotoneStep(d, cx, i, u)
+					MonotoneStep(d, cy, i, u)
+					if !leq(cx, cy) {
+						return fmt.Errorf("coupling: monotonicity violated at x=%v y=%v i=%d u=%g", x, y, i, u)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func leq(x, y []int) bool {
+	for i := range x {
+		if x[i] > y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CFTP draws an exact sample from the stationary distribution of a monotone
+// two-strategy logit dynamics by coupling from the past (Propp–Wilson):
+// chains started from the top (all-1) and bottom (all-0) states at time −T
+// are driven by the same randomness; when they coalesce at time 0 the common
+// value is exactly stationary. T doubles until coalescence, up to
+// maxDoublings.
+func CFTP(d *logit.Dynamics, r *rng.RNG, maxDoublings int) ([]int, error) {
+	sp := d.Space()
+	n := sp.Players()
+	for i := 0; i < n; i++ {
+		if sp.Strategies(i) != 2 {
+			return nil, errors.New("coupling: CFTP requires two strategies per player")
+		}
+	}
+	type move struct {
+		i int
+		u float64
+	}
+	var past []move // past[k] is the update at time −(k+1)
+	T := 1
+	for doubling := 0; doubling <= maxDoublings; doubling++ {
+		for len(past) < T {
+			past = append(past, move{i: r.Intn(n), u: r.Float64()})
+		}
+		top := make([]int, n)
+		bot := make([]int, n)
+		for i := range top {
+			top[i] = 1
+		}
+		// Apply moves from time −T forward to 0: index T−1 down to 0.
+		for k := T - 1; k >= 0; k-- {
+			MonotoneStep(d, top, past[k].i, past[k].u)
+			MonotoneStep(d, bot, past[k].i, past[k].u)
+		}
+		if equalProfiles(top, bot) {
+			return top, nil
+		}
+		T *= 2
+	}
+	return nil, fmt.Errorf("coupling: CFTP did not coalesce within 2^%d steps", maxDoublings)
+}
+
+// SampleGibbsCFTP draws k exact stationary samples and returns per-profile
+// counts, for comparing against the closed-form Gibbs measure.
+func SampleGibbsCFTP(d *logit.Dynamics, k int, r *rng.RNG, maxDoublings int) ([]int64, error) {
+	sp := d.Space()
+	counts := make([]int64, sp.Size())
+	for s := 0; s < k; s++ {
+		x, err := CFTP(d, r.Split(uint64(s)), maxDoublings)
+		if err != nil {
+			return nil, err
+		}
+		counts[sp.Encode(x)]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,295 @@
+package coupling
+
+import (
+	"math"
+	"testing"
+
+	"logitdyn/internal/game"
+	"logitdyn/internal/graph"
+	"logitdyn/internal/logit"
+	"logitdyn/internal/markov"
+	"logitdyn/internal/mixing"
+	"logitdyn/internal/rng"
+)
+
+func coordDyn(t *testing.T, beta float64) *logit.Dynamics {
+	t.Helper()
+	base, err := game.NewCoordination2x2(3, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := logit.New(base, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func ringDyn(t *testing.T, n int, delta, beta float64) *logit.Dynamics {
+	t.Helper()
+	g, err := game.NewIsing(graph.Ring(n), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := logit.New(g, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSampleMaximalMarginals(t *testing.T) {
+	// Empirical marginals of the maximal coupling must match p and q, and
+	// the agreement probability must be the overlap.
+	p := []float64{0.7, 0.2, 0.1}
+	q := []float64{0.3, 0.3, 0.4}
+	overlap := 0.3 + 0.2 + 0.1
+	r := rng.New(3)
+	const trials = 300000
+	countP := make([]float64, 3)
+	countQ := make([]float64, 3)
+	agree := 0.0
+	for k := 0; k < trials; k++ {
+		a, b := sampleMaximal(p, q, r)
+		countP[a]++
+		countQ[b]++
+		if a == b {
+			agree++
+		}
+	}
+	for z := range p {
+		if math.Abs(countP[z]/trials-p[z]) > 0.005 {
+			t.Errorf("marginal P[%d] = %g, want %g", z, countP[z]/trials, p[z])
+		}
+		if math.Abs(countQ[z]/trials-q[z]) > 0.005 {
+			t.Errorf("marginal Q[%d] = %g, want %g", z, countQ[z]/trials, q[z])
+		}
+	}
+	if math.Abs(agree/trials-overlap) > 0.005 {
+		t.Errorf("agreement = %g, want overlap %g", agree/trials, overlap)
+	}
+}
+
+func TestSampleMaximalIdenticalAlwaysAgrees(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	r := rng.New(1)
+	for k := 0; k < 1000; k++ {
+		a, b := sampleMaximal(p, p, r)
+		if a != b {
+			t.Fatal("identical distributions must always agree")
+		}
+	}
+}
+
+func TestCoalescenceStaysTogether(t *testing.T) {
+	d := coordDyn(t, 1)
+	r := rng.New(2)
+	tau, err := CoalescenceTime(d, []int{0, 0}, []int{1, 1}, r, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 {
+		t.Fatalf("τ = %d for distinct starts", tau)
+	}
+	if tau2, _ := CoalescenceTime(d, []int{0, 1}, []int{0, 1}, r, 10); tau2 != 0 {
+		t.Fatalf("equal starts must have τ = 0, got %d", tau2)
+	}
+}
+
+func TestCoalescenceTimeout(t *testing.T) {
+	// Enormous β on the coordination game: chains in opposite wells stay
+	// apart for far longer than 10 steps with overwhelming probability; use
+	// a double-well where coalescence requires crossing the barrier.
+	dw, err := game.NewDoubleWell(8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := logit.New(dw, 30)
+	zeros := make([]int, 8)
+	ones := make([]int, 8)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if _, err := CoalescenceTime(d, zeros, ones, rng.New(4), 10); err == nil {
+		t.Fatal("expected coalescence timeout")
+	}
+}
+
+func TestEstimateMixingUpperBoundsExact(t *testing.T) {
+	// The coupling estimate must upper-bound the exact mixing time
+	// (Theorem 2.1), up to sampling noise — check with generous trials.
+	d := coordDyn(t, 0.8)
+	res, err := mixing.ExactMixingTime(d, 0.25, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2][]int{
+		{{0, 0}, {1, 1}},
+		{{0, 1}, {1, 0}},
+	}
+	est, err := EstimateMixingUpper(d, pairs, 400, 0.25, rng.New(9), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < res.MixingTime {
+		t.Errorf("coupling estimate %d below exact t_mix %d", est, res.MixingTime)
+	}
+}
+
+func TestEstimateMixingUpperValidation(t *testing.T) {
+	d := coordDyn(t, 1)
+	if _, err := EstimateMixingUpper(d, nil, 10, 0.25, rng.New(1), 100); err == nil {
+		t.Error("no pairs must error")
+	}
+	if _, err := EstimateMixingUpper(d, [][2][]int{{{0, 0}, {1, 1}}}, 0, 0.25, rng.New(1), 100); err == nil {
+		t.Error("zero trials must error")
+	}
+}
+
+func TestExactContractionNeedsAdjacency(t *testing.T) {
+	d := coordDyn(t, 1)
+	if _, err := ExactContraction(d, []int{0, 0}, []int{1, 1}); err == nil {
+		t.Fatal("distance-2 pair must error")
+	}
+}
+
+func TestExactContractionMatchesTheorem36Computation(t *testing.T) {
+	// For β below the Theorem 3.6 threshold the exact contraction must be
+	// <= e^{−(1−c)/n} for every adjacent pair, hence α >= (1−c)/n.
+	base, _ := game.NewCoordination2x2(3, 2, 0, 0)
+	st, err := mixing.AnalyzePotential(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := 0.5
+	beta := c / (2 * st.SmallDeltaPhi) // n = 2 players
+	d, _ := logit.New(base, beta)
+	alpha, err := PathCouplingAlpha(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (1 - c) / 2; alpha < want-1e-9 {
+		t.Errorf("α = %g below Theorem 3.6 rate %g", alpha, want)
+	}
+}
+
+func TestPathCouplingAlphaEmpiricalAgreement(t *testing.T) {
+	// Exact one-step expected distance must match simulation.
+	d := ringDyn(t, 4, 1, 0.4)
+	x := []int{0, 0, 0, 0}
+	y := []int{1, 0, 0, 0}
+	want, err := ExactContraction(d, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	const trials = 200000
+	sum := 0.0
+	sp := d.Space()
+	for k := 0; k < trials; k++ {
+		cx := append([]int(nil), x...)
+		cy := append([]int(nil), y...)
+		CoupledStep(d, cx, cy, r)
+		sum += float64(sp.Hamming(sp.Encode(cx), sp.Encode(cy)))
+	}
+	if got := sum / trials; math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical E[d] = %g vs exact %g", got, want)
+	}
+}
+
+func TestPathCouplingUpperBoundsRing(t *testing.T) {
+	// Theorem 5.6: the ring contraction yields a bound that must dominate
+	// the exact mixing time.
+	n := 4
+	delta, beta := 1.0, 0.5
+	d := ringDyn(t, n, delta, beta)
+	res, err := mixing.ExactMixingTime(d, 0.25, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := mixing.Theorem56Upper(n, beta, delta, 0.25)
+	if float64(res.MixingTime) > bound {
+		t.Errorf("exact t_mix %d exceeds Theorem 5.6 bound %g", res.MixingTime, bound)
+	}
+	// And the generic exact-contraction route applies too.
+	alpha, err := PathCouplingAlpha(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 0 {
+		t.Skip("path coupling does not contract at this β; theorem still holds via its specialized coupling")
+	}
+	if pb := PathCouplingUpper(n, alpha, 0.25); float64(res.MixingTime) > pb {
+		t.Errorf("exact t_mix %d exceeds path-coupling bound %g", res.MixingTime, pb)
+	}
+}
+
+func TestVerifyMonotoneGraphicalGames(t *testing.T) {
+	for _, beta := range []float64{0, 0.5, 2} {
+		d := ringDyn(t, 4, 1, beta)
+		if err := VerifyMonotone(d, 16); err != nil {
+			t.Errorf("β=%g: %v", beta, err)
+		}
+	}
+	// Risk-dominant base game is monotone too.
+	base, _ := game.NewCoordination2x2(3, 2, 0, 0)
+	g, _ := game.NewGraphical(graph.Path(3), base)
+	d, _ := logit.New(g, 1)
+	if err := VerifyMonotone(d, 16); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyMonotoneRejectsManyStrategies(t *testing.T) {
+	g, _ := game.NewDominantDiagonal(2, 3)
+	d, _ := logit.New(g, 1)
+	if err := VerifyMonotone(d, 4); err == nil {
+		t.Fatal("3-strategy game must be rejected")
+	}
+	if _, err := CFTP(d, rng.New(1), 4); err == nil {
+		t.Fatal("CFTP must reject 3-strategy games")
+	}
+}
+
+func TestCFTPSamplesGibbs(t *testing.T) {
+	// CFTP samples must match the closed-form Gibbs measure.
+	d := ringDyn(t, 4, 1, 0.7)
+	pi, err := d.Gibbs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 20000
+	counts, err := SampleGibbsCFTP(d, samples, rng.New(21), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := make([]float64, len(counts))
+	for i, c := range counts {
+		emp[i] = float64(c) / samples
+	}
+	if tv := markov.TVDistance(emp, pi); tv > 0.02 {
+		t.Fatalf("CFTP empirical vs Gibbs TV = %g", tv)
+	}
+}
+
+func TestCFTPDeterministicGivenSeed(t *testing.T) {
+	d := ringDyn(t, 5, 1, 0.5)
+	a, err := CFTP(d, rng.New(33), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CFTP(d, rng.New(33), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalProfiles(a, b) {
+		t.Fatal("CFTP must be deterministic given the seed")
+	}
+}
+
+func TestCFTPTimeout(t *testing.T) {
+	d := ringDyn(t, 6, 2, 6)
+	if _, err := CFTP(d, rng.New(5), 0); err == nil {
+		t.Fatal("maxDoublings=0 must time out on a slow chain")
+	}
+}

@@ -1,0 +1,204 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// AsPotential reports whether g exposes a usable exact potential. It
+// unwraps the TableGame case where the Potential interface is satisfied
+// structurally but no table is installed.
+func AsPotential(g Game) (Potential, bool) {
+	p, ok := g.(Potential)
+	if !ok {
+		return nil, false
+	}
+	if t, isTable := g.(*TableGame); isTable && !t.HasPhi() {
+		return nil, false
+	}
+	return p, true
+}
+
+// BestResponses returns the set of player i's best responses to the profile
+// x (the strategies maximizing u_i(·, x_-i)), with ties included up to tol.
+func BestResponses(g Game, i int, x []int, tol float64) []int {
+	y := append([]int(nil), x...)
+	best := math.Inf(-1)
+	for v := 0; v < g.Strategies(i); v++ {
+		y[i] = v
+		if u := g.Utility(i, y); u > best {
+			best = u
+		}
+	}
+	var out []int
+	for v := 0; v < g.Strategies(i); v++ {
+		y[i] = v
+		if g.Utility(i, y) >= best-tol {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsPureNash reports whether x is a pure Nash equilibrium: no player can
+// improve by more than tol with a unilateral deviation.
+func IsPureNash(g Game, x []int, tol float64) bool {
+	y := append([]int(nil), x...)
+	for i := 0; i < g.Players(); i++ {
+		cur := g.Utility(i, x)
+		for v := 0; v < g.Strategies(i); v++ {
+			if v == x[i] {
+				continue
+			}
+			y[i] = v
+			if g.Utility(i, y) > cur+tol {
+				return false
+			}
+		}
+		y[i] = x[i]
+	}
+	return true
+}
+
+// PureNashEquilibria enumerates all pure Nash equilibria by profile index.
+// Intended for small games (it scans the whole profile space).
+func PureNashEquilibria(g Game, tol float64) []int {
+	sp := SpaceOf(g)
+	x := make([]int, sp.Players())
+	var out []int
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Decode(idx, x)
+		if IsPureNash(g, x, tol) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// IsDominantStrategy reports whether strategy s is (weakly) dominant for
+// player i: u_i(s, x_-i) >= u_i(s', x_-i) − tol for every s' and every
+// profile x of the other players, matching the paper's Section 4 definition.
+func IsDominantStrategy(g Game, i, s int, tol float64) bool {
+	sp := SpaceOf(g)
+	x := make([]int, sp.Players())
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Decode(idx, x)
+		if x[i] != 0 {
+			continue // enumerate each x_-i once, with player i's digit fixed
+		}
+		x[i] = s
+		us := g.Utility(i, x)
+		for v := 0; v < g.Strategies(i); v++ {
+			x[i] = v
+			if g.Utility(i, x) > us+tol {
+				return false
+			}
+		}
+		x[i] = 0
+	}
+	return true
+}
+
+// DominantProfile returns a profile in which every player plays a dominant
+// strategy, or ok=false if some player has none. When several strategies
+// are dominant for a player the lowest-numbered one is chosen.
+func DominantProfile(g Game, tol float64) (profile []int, ok bool) {
+	n := g.Players()
+	profile = make([]int, n)
+	for i := 0; i < n; i++ {
+		found := false
+		for s := 0; s < g.Strategies(i) && !found; s++ {
+			if IsDominantStrategy(g, i, s, tol) {
+				profile[i] = s
+				found = true
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return profile, true
+}
+
+// VerifyPotential checks the paper's Eq. (1) on every profile and deviation:
+//
+//	u_i(a, x_-i) − u_i(b, x_-i) = Φ(b, x_-i) − Φ(a, x_-i)
+//
+// within tol. It returns a descriptive error at the first violation.
+func VerifyPotential(p Potential, tol float64) error {
+	sp := SpaceOf(p)
+	x := make([]int, sp.Players())
+	y := make([]int, sp.Players())
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Decode(idx, x)
+		phiX := p.Phi(x)
+		uX := make([]float64, sp.Players())
+		for i := range uX {
+			uX[i] = p.Utility(i, x)
+		}
+		for i := 0; i < sp.Players(); i++ {
+			copy(y, x)
+			for v := 0; v < sp.Strategies(i); v++ {
+				if v == x[i] {
+					continue
+				}
+				y[i] = v
+				lhs := uX[i] - p.Utility(i, y)
+				rhs := p.Phi(y) - phiX
+				if math.Abs(lhs-rhs) > tol {
+					return fmt.Errorf(
+						"game: potential violated at profile %v, player %d, deviation %d→%d: Δu=%g, −ΔΦ=%g",
+						x, i, x[i], v, lhs, rhs)
+				}
+			}
+			y[i] = x[i]
+		}
+	}
+	return nil
+}
+
+// ReconstructPotential attempts to build an exact potential for g by
+// integrating utility differences over the Hamming graph of the profile
+// space (a breadth-first spanning tree fixes the values; every non-tree
+// Hamming edge is then checked for consistency). It returns the
+// profile-indexed potential with Φ(profile 0) = 0 and ok=true exactly when
+// g is an exact potential game within tol.
+//
+// This doubles as a constructive potential-game test: the paper's classes
+// (Sections 3 and 5) are all exact potential games, while generic games are
+// not.
+func ReconstructPotential(g Game, tol float64) (phi []float64, ok bool) {
+	sp := SpaceOf(g)
+	size := sp.Size()
+	phi = make([]float64, size)
+	seen := make([]bool, size)
+	seen[0] = true
+	queue := []int{0}
+	x := make([]int, sp.Players())
+	y := make([]int, sp.Players())
+	for len(queue) > 0 {
+		idx := queue[0]
+		queue = queue[1:]
+		sp.Decode(idx, x)
+		for i := 0; i < sp.Players(); i++ {
+			copy(y, x)
+			for v := 0; v < sp.Strategies(i); v++ {
+				if v == x[i] {
+					continue
+				}
+				y[i] = v
+				nIdx := sp.WithDigit(idx, i, v)
+				// Eq. (1): Φ(y) = Φ(x) + u_i(x) − u_i(y).
+				delta := g.Utility(i, x) - g.Utility(i, y)
+				if !seen[nIdx] {
+					phi[nIdx] = phi[idx] + delta
+					seen[nIdx] = true
+					queue = append(queue, nIdx)
+				} else if math.Abs(phi[nIdx]-(phi[idx]+delta)) > tol {
+					return nil, false
+				}
+			}
+		}
+	}
+	return phi, true
+}

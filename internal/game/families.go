@@ -1,0 +1,446 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"logitdyn/internal/graph"
+	"logitdyn/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// 2×2 coordination games (the paper's payoff matrix (10)).
+
+// Coordination2x2 is the two-player two-strategy coordination game
+//
+//	      0       1
+//	0   a, a    c, d
+//	1   d, c    b, b
+//
+// with δ0 = a−d > 0 and δ1 = b−c > 0 (both (0,0) and (1,1) are strict Nash
+// equilibria). Its exact potential is φ(0,0) = −δ0, φ(1,1) = −δ1,
+// φ(0,1) = φ(1,0) = 0.
+type Coordination2x2 struct {
+	A, B, C, D float64
+}
+
+// NewCoordination2x2 validates δ0, δ1 > 0 and returns the game.
+func NewCoordination2x2(a, b, c, d float64) (Coordination2x2, error) {
+	g := Coordination2x2{A: a, B: b, C: c, D: d}
+	if g.Delta0() <= 0 || g.Delta1() <= 0 {
+		return Coordination2x2{}, fmt.Errorf(
+			"game: coordination game needs δ0, δ1 > 0, got δ0=%g δ1=%g", g.Delta0(), g.Delta1())
+	}
+	return g, nil
+}
+
+// Delta0 returns δ0 = a − d.
+func (g Coordination2x2) Delta0() float64 { return g.A - g.D }
+
+// Delta1 returns δ1 = b − c.
+func (g Coordination2x2) Delta1() float64 { return g.B - g.C }
+
+// Players returns 2.
+func (g Coordination2x2) Players() int { return 2 }
+
+// Strategies returns 2 for both players.
+func (g Coordination2x2) Strategies(int) int { return 2 }
+
+// Utility returns the payoff of player i (the game is symmetric).
+func (g Coordination2x2) Utility(i int, x []int) float64 {
+	return g.Pairwise(x[i], x[1-i])
+}
+
+// Pairwise returns the payoff to a player choosing mine against an opponent
+// choosing theirs. It is the building block of graphical coordination games.
+func (g Coordination2x2) Pairwise(mine, theirs int) float64 {
+	switch {
+	case mine == 0 && theirs == 0:
+		return g.A
+	case mine == 1 && theirs == 1:
+		return g.B
+	case mine == 0:
+		return g.C
+	default:
+		return g.D
+	}
+}
+
+// Phi returns the potential φ of the profile.
+func (g Coordination2x2) Phi(x []int) float64 { return g.EdgePhi(x[0], x[1]) }
+
+// EdgePhi returns the edge potential φ(s, t).
+func (g Coordination2x2) EdgePhi(s, t int) float64 {
+	switch {
+	case s == 0 && t == 0:
+		return -g.Delta0()
+	case s == 1 && t == 1:
+		return -g.Delta1()
+	default:
+		return 0
+	}
+}
+
+// RiskDominant returns the risk-dominant equilibrium strategy (0 or 1), or
+// −1 if δ0 = δ1 (no risk-dominant equilibrium, the Ising case).
+func (g Coordination2x2) RiskDominant() int {
+	switch {
+	case g.Delta0() > g.Delta1():
+		return 0
+	case g.Delta1() > g.Delta0():
+		return 1
+	default:
+		return -1
+	}
+}
+
+var _ Potential = Coordination2x2{}
+
+// ---------------------------------------------------------------------------
+// Graphical coordination games (Section 5).
+
+// Graphical is a graphical coordination game: each vertex of a social graph
+// is a player with strategies {0, 1} who plays the base 2×2 coordination
+// game with every neighbor; utilities add over incident edges and the exact
+// potential is the sum of edge potentials.
+type Graphical struct {
+	g    *graph.Graph
+	base Coordination2x2
+}
+
+// NewGraphical builds the graphical coordination game on the social graph g
+// with the given base game.
+func NewGraphical(g *graph.Graph, base Coordination2x2) (*Graphical, error) {
+	if g.N() < 1 {
+		return nil, fmt.Errorf("game: graphical coordination game needs >= 1 player")
+	}
+	if base.Delta0() <= 0 || base.Delta1() <= 0 {
+		return nil, fmt.Errorf("game: base game needs δ0, δ1 > 0")
+	}
+	return &Graphical{g: g, base: base}, nil
+}
+
+// NewIsing builds the graphical coordination game with no risk-dominant
+// equilibrium (δ0 = δ1 = δ): payoff δ for agreeing, 0 for disagreeing. The
+// logit dynamics for this game is exactly the Glauber dynamics on the
+// ferromagnetic Ising model with coupling βδ/2 (up to the spin relabeling
+// {0,1} → {−1,+1}).
+func NewIsing(g *graph.Graph, delta float64) (*Graphical, error) {
+	if delta <= 0 {
+		return nil, fmt.Errorf("game: Ising coupling must be positive, got %g", delta)
+	}
+	return NewGraphical(g, Coordination2x2{A: delta, B: delta, C: 0, D: 0})
+}
+
+// Graph returns the underlying social graph.
+func (gg *Graphical) Graph() *graph.Graph { return gg.g }
+
+// Base returns the base 2×2 coordination game.
+func (gg *Graphical) Base() Coordination2x2 { return gg.base }
+
+// Players returns the number of vertices of the social graph.
+func (gg *Graphical) Players() int { return gg.g.N() }
+
+// Strategies returns 2 for every player.
+func (gg *Graphical) Strategies(int) int { return 2 }
+
+// Utility returns u_i(x) = Σ_{j ∈ N(i)} payoff(x_i, x_j).
+func (gg *Graphical) Utility(i int, x []int) float64 {
+	u := 0.0
+	for _, j := range gg.g.Neighbors(i) {
+		u += gg.base.Pairwise(x[i], x[j])
+	}
+	return u
+}
+
+// Phi returns Φ(x) = Σ_{(u,v) ∈ E} φ(x_u, x_v).
+func (gg *Graphical) Phi(x []int) float64 {
+	p := 0.0
+	for _, e := range gg.g.Edges() {
+		p += gg.base.EdgePhi(x[e.U], x[e.V])
+	}
+	return p
+}
+
+var _ Potential = (*Graphical)(nil)
+
+// CliquePhiByOnes returns the potential of a clique coordination game as a
+// function of the number k of players playing 1 (Section 5.2):
+//
+//	Φ(k) = −( C(n−k, 2)·δ0 + C(k, 2)·δ1 ).
+func CliquePhiByOnes(n, k int, base Coordination2x2) float64 {
+	c2 := func(v int) float64 { return float64(v*(v-1)) / 2 }
+	return -(c2(n-k)*base.Delta0() + c2(k)*base.Delta1())
+}
+
+// CliqueCriticalOnes returns k*, the number of 1-players at which the clique
+// potential is maximal (the barrier between the all-0 and all-1 wells),
+// the integer closest to (n−1)·δ0/(δ0+δ1) + 1/2.
+func CliqueCriticalOnes(n int, base Coordination2x2) int {
+	k := math.Round(float64(n-1)*base.Delta0()/(base.Delta0()+base.Delta1()) + 0.5)
+	if k < 0 {
+		k = 0
+	}
+	if k > float64(n) {
+		k = float64(n)
+	}
+	return int(k)
+}
+
+// ---------------------------------------------------------------------------
+// Hamming-weight potential games (Theorem 3.5 double wells and variants).
+
+// WeightPotential is an n-player two-strategy common-interest game whose
+// potential depends only on the Hamming weight w(x) (the number of players
+// playing 1): Φ(x) = f(w(x)) and u_i(x) = −Φ(x) for every player. Any f
+// yields an exact potential game.
+type WeightPotential struct {
+	n int
+	f func(w int) float64
+}
+
+// NewWeightPotential builds the game; f is evaluated lazily and must be
+// deterministic.
+func NewWeightPotential(n int, f func(w int) float64) (*WeightPotential, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("game: WeightPotential needs n >= 1")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("game: WeightPotential needs a weight function")
+	}
+	return &WeightPotential{n: n, f: f}, nil
+}
+
+// NewDoubleWell builds the Theorem 3.5 potential
+//
+//	Φ_n(x) = −l·min{c, |c − w(x)|}
+//
+// with wells of depth −c·l at w = 0 and at w >= 2c, and a barrier of height
+// 0 at w = c. The theorem requires 1 <= c <= n/2 (equivalently
+// 2·g/n <= l <= g for g = c·l); ΔΦ = c·l and δΦ = l.
+func NewDoubleWell(n, c int, l float64) (*WeightPotential, error) {
+	if c < 1 || 2*c > n {
+		return nil, fmt.Errorf("game: double well needs 1 <= c <= n/2, got c=%d n=%d", c, n)
+	}
+	if l <= 0 {
+		return nil, fmt.Errorf("game: double well needs l > 0")
+	}
+	return NewWeightPotential(n, func(w int) float64 {
+		d := w - c
+		if d < 0 {
+			d = -d
+		}
+		if d > c {
+			d = c
+		}
+		return -l * float64(d)
+	})
+}
+
+// NewAsymmetricDoubleWell builds a two-well weight potential with wells of
+// different depths: Φ(0 weight) = −deep, Φ(n weight) = −shallow, and a
+// linear climb to a barrier of height 0 at weight c. It realizes ζ < ΔΦ
+// (Theorems 3.8/3.9): ΔΦ = deep while ζ = shallow (the climb from the
+// shallow well to the barrier). Requires 0 < shallow <= deep and
+// 1 <= c <= n−1.
+func NewAsymmetricDoubleWell(n, c int, deep, shallow float64) (*WeightPotential, error) {
+	if c < 1 || c > n-1 {
+		return nil, fmt.Errorf("game: asymmetric well needs 1 <= c <= n-1, got c=%d n=%d", c, n)
+	}
+	if shallow <= 0 || deep < shallow {
+		return nil, fmt.Errorf("game: asymmetric well needs 0 < shallow <= deep")
+	}
+	return NewWeightPotential(n, func(w int) float64 {
+		if w <= c {
+			// Linear from −deep at w=0 up to 0 at w=c.
+			return -deep * float64(c-w) / float64(c)
+		}
+		// Linear from 0 at w=c down to −shallow at w=n.
+		return -shallow * float64(w-c) / float64(n-c)
+	})
+}
+
+// Players returns n.
+func (g *WeightPotential) Players() int { return g.n }
+
+// Strategies returns 2.
+func (g *WeightPotential) Strategies(int) int { return 2 }
+
+// Utility returns −Φ(x) (common interest).
+func (g *WeightPotential) Utility(_ int, x []int) float64 { return -g.Phi(x) }
+
+// Phi returns f(w(x)).
+func (g *WeightPotential) Phi(x []int) float64 {
+	w := 0
+	for _, v := range x {
+		w += v
+	}
+	return g.f(w)
+}
+
+// WeightPhi exposes f directly for bound computations.
+func (g *WeightPotential) WeightPhi(w int) float64 { return g.f(w) }
+
+var _ Potential = (*WeightPotential)(nil)
+
+// ---------------------------------------------------------------------------
+// Dominant-strategy games (Section 4).
+
+// DominantDiagonal is the Theorem 4.3 game: n players with m strategies
+// each, u_i(x) = 0 if x = 0 and −1 otherwise. Strategy 0 is (weakly)
+// dominant for every player; the game is also an exact potential game with
+// Φ(0) = 0 and Φ(x) = 1 elsewhere, and its logit dynamics mixing time is
+// Θ(m^{n−1}) for large β — large, but independent of β.
+type DominantDiagonal struct {
+	N, M int
+}
+
+// NewDominantDiagonal validates n, m >= 2 (the theorem's range) and returns
+// the game.
+func NewDominantDiagonal(n, m int) (DominantDiagonal, error) {
+	if n < 2 || m < 2 {
+		return DominantDiagonal{}, fmt.Errorf("game: DominantDiagonal needs n, m >= 2, got n=%d m=%d", n, m)
+	}
+	return DominantDiagonal{N: n, M: m}, nil
+}
+
+// Players returns n.
+func (g DominantDiagonal) Players() int { return g.N }
+
+// Strategies returns m for every player.
+func (g DominantDiagonal) Strategies(int) int { return g.M }
+
+// Utility returns 0 on the all-zeros profile and −1 elsewhere.
+func (g DominantDiagonal) Utility(_ int, x []int) float64 {
+	for _, v := range x {
+		if v != 0 {
+			return -1
+		}
+	}
+	return 0
+}
+
+// Phi returns the exact potential: 0 at the dominant profile, 1 elsewhere.
+func (g DominantDiagonal) Phi(x []int) float64 { return -g.Utility(0, x) }
+
+var _ Potential = DominantDiagonal{}
+
+// ---------------------------------------------------------------------------
+// Random potential games.
+
+// NewRandomPotential samples a potential game on the given strategy counts:
+// Φ is i.i.d. uniform on [0, scale] and each player's utility is
+// u_i(x) = −Φ(x) + b_i(x_-i) where the b_i are i.i.d. uniform "dummy" terms
+// depending only on the opponents' strategies. The dummy terms leave Eq. (1)
+// untouched, so the game is an exact potential game but not common-interest,
+// which keeps potential-reconstruction tests honest.
+func NewRandomPotential(sizes []int, scale float64, r *rng.RNG) *TableGame {
+	if scale <= 0 {
+		panic("game: NewRandomPotential needs scale > 0")
+	}
+	t := NewTableGame(sizes)
+	sp := t.Space()
+	phi := make([]float64, sp.Size())
+	for idx := range phi {
+		phi[idx] = scale * r.Float64()
+	}
+	t.SetPhiTable(phi)
+	x := make([]int, sp.Players())
+	for i := 0; i < sp.Players(); i++ {
+		// One dummy value per opponent sub-profile, indexed by the profile
+		// with player i's digit zeroed.
+		dummy := make(map[int]float64)
+		for idx := 0; idx < sp.Size(); idx++ {
+			sp.Decode(idx, x)
+			key := sp.WithDigit(idx, i, 0)
+			b, ok := dummy[key]
+			if !ok {
+				b = scale * r.Float64()
+				dummy[key] = b
+			}
+			t.SetUtilityIndexed(i, idx, -phi[idx]+b)
+		}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Singleton congestion games.
+
+// Congestion is a singleton congestion game: each of n players picks one of
+// m resources; a player on resource r with total load ℓ pays delay d_r(ℓ),
+// so u_i(x) = −d_{x_i}(load(x_i)). The exact potential is Rosenthal's
+// Φ(x) = Σ_r Σ_{k=1}^{load_r} d_r(k).
+type Congestion struct {
+	n     int
+	delay [][]float64 // delay[r][ℓ−1] = d_r(ℓ), ℓ = 1..n
+}
+
+// NewCongestion builds the game from per-resource delay tables. delay[r]
+// must have length n (delay at loads 1..n).
+func NewCongestion(n int, delay [][]float64) (*Congestion, error) {
+	if n < 1 || len(delay) < 1 {
+		return nil, fmt.Errorf("game: congestion game needs n >= 1 and >= 1 resource")
+	}
+	for r, d := range delay {
+		if len(d) != n {
+			return nil, fmt.Errorf("game: resource %d has %d delay entries, want %d", r, len(d), n)
+		}
+	}
+	cp := make([][]float64, len(delay))
+	for r := range delay {
+		cp[r] = append([]float64(nil), delay[r]...)
+	}
+	return &Congestion{n: n, delay: cp}, nil
+}
+
+// NewLinearCongestion builds a congestion game with affine delays
+// d_r(ℓ) = alpha[r]·ℓ + beta[r].
+func NewLinearCongestion(n int, alpha, beta []float64) (*Congestion, error) {
+	if len(alpha) != len(beta) {
+		return nil, fmt.Errorf("game: alpha and beta length mismatch")
+	}
+	delay := make([][]float64, len(alpha))
+	for r := range alpha {
+		delay[r] = make([]float64, n)
+		for l := 1; l <= n; l++ {
+			delay[r][l-1] = alpha[r]*float64(l) + beta[r]
+		}
+	}
+	return NewCongestion(n, delay)
+}
+
+// Players returns n.
+func (g *Congestion) Players() int { return g.n }
+
+// Strategies returns the number of resources.
+func (g *Congestion) Strategies(int) int { return len(g.delay) }
+
+// Utility returns −d_{x_i}(load of x_i under x).
+func (g *Congestion) Utility(i int, x []int) float64 {
+	r := x[i]
+	load := 0
+	for _, v := range x {
+		if v == r {
+			load++
+		}
+	}
+	return -g.delay[r][load-1]
+}
+
+// Phi returns Rosenthal's potential.
+func (g *Congestion) Phi(x []int) float64 {
+	loads := make([]int, len(g.delay))
+	for _, v := range x {
+		loads[v]++
+	}
+	p := 0.0
+	for r, l := range loads {
+		for k := 1; k <= l; k++ {
+			p += g.delay[r][k-1]
+		}
+	}
+	return p
+}
+
+var _ Potential = (*Congestion)(nil)

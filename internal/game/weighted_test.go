@@ -1,0 +1,126 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"logitdyn/internal/graph"
+	"logitdyn/internal/rng"
+)
+
+func TestWeightedGraphicalValidation(t *testing.T) {
+	g := graph.Ring(4)
+	if _, err := NewWeightedGraphical(g, make([]Coordination2x2, 3)); err == nil {
+		t.Error("wrong base count must be rejected")
+	}
+	bases := make([]Coordination2x2, 4)
+	if _, err := NewWeightedGraphical(g, bases); err == nil {
+		t.Error("degenerate base games must be rejected")
+	}
+	if _, err := NewRandomWeightedGraphical(g, 0, 1, rng.New(1)); err == nil {
+		t.Error("minGap = 0 must be rejected")
+	}
+	if _, err := NewRandomWeightedGraphical(g, 2, 1, rng.New(1)); err == nil {
+		t.Error("maxGap < minGap must be rejected")
+	}
+}
+
+func TestWeightedGraphicalReducesToUniform(t *testing.T) {
+	// With identical per-edge bases, the weighted game must equal the
+	// uniform Graphical game everywhere.
+	soc := graph.Grid(2, 3)
+	base := Coordination2x2{A: 3, B: 2, C: 0, D: 0}
+	uniform, err := NewGraphical(soc, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := make([]Coordination2x2, soc.M())
+	for i := range bases {
+		bases[i] = base
+	}
+	weighted, err := NewWeightedGraphical(soc, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := SpaceOf(uniform)
+	x := make([]int, sp.Players())
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Decode(idx, x)
+		for i := 0; i < sp.Players(); i++ {
+			if uniform.Utility(i, x) != weighted.Utility(i, x) {
+				t.Fatalf("utility mismatch at %v player %d", x, i)
+			}
+		}
+		if uniform.Phi(x) != weighted.Phi(x) {
+			t.Fatalf("potential mismatch at %v", x)
+		}
+	}
+}
+
+func TestWeightedGraphicalIsExactPotential(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 4; trial++ {
+		soc := graph.ErdosRenyi(5, 0.6, r)
+		if soc.M() == 0 {
+			continue
+		}
+		g, err := NewRandomWeightedGraphical(soc, 0.5, 3, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyPotential(g, 1e-9); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestWeightedGraphicalMaxGapSum(t *testing.T) {
+	soc := graph.Path(3)
+	bases := []Coordination2x2{
+		{A: 1, B: 1, C: 0, D: 0},
+		{A: 2.5, B: 1.5, C: 0, D: 0},
+	}
+	g, err := NewWeightedGraphical(soc, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MaxGapSum(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("MaxGapSum = %g, want 4", got)
+	}
+	if g.EdgeBase(1).Delta0() != 2.5 {
+		t.Error("EdgeBase order must follow Graph().Edges()")
+	}
+}
+
+func TestWeightedGraphicalAllSameStillNash(t *testing.T) {
+	r := rng.New(4)
+	soc := graph.Ring(5)
+	g, err := NewRandomWeightedGraphical(soc, 0.5, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := make([]int, 5)
+	ones := []int{1, 1, 1, 1, 1}
+	if !IsPureNash(g, zeros, 1e-12) || !IsPureNash(g, ones, 1e-12) {
+		t.Fatal("consensus profiles must stay Nash under heterogeneous gaps")
+	}
+}
+
+func TestBinaryTreeAndHypercube(t *testing.T) {
+	bt := graph.BinaryTree(3)
+	if bt.N() != 7 || bt.M() != 6 {
+		t.Fatalf("binary tree: n=%d m=%d", bt.N(), bt.M())
+	}
+	if !bt.Connected() {
+		t.Fatal("tree must be connected")
+	}
+	hc := graph.Hypercube(3)
+	if hc.N() != 8 || hc.M() != 12 {
+		t.Fatalf("hypercube: n=%d m=%d", hc.N(), hc.M())
+	}
+	for v := 0; v < hc.N(); v++ {
+		if hc.Degree(v) != 3 {
+			t.Fatalf("hypercube vertex %d degree %d", v, hc.Degree(v))
+		}
+	}
+}

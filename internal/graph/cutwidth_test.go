@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"testing"
+
+	"logitdyn/internal/rng"
+)
+
+func TestCutwidthOfOrderingRing(t *testing.T) {
+	g := Ring(6)
+	// Consecutive ordering of a ring keeps exactly 2 edges in every cut.
+	if w := CutwidthOfOrdering(g, []int{0, 1, 2, 3, 4, 5}); w != 2 {
+		t.Errorf("consecutive ring ordering width = %d, want 2", w)
+	}
+	// Interleaved ordering is worse.
+	if w := CutwidthOfOrdering(g, []int{0, 3, 1, 4, 2, 5}); w <= 2 {
+		t.Errorf("interleaved ring ordering width = %d, want > 2", w)
+	}
+}
+
+func TestCutwidthOfOrderingValidation(t *testing.T) {
+	g := Ring(4)
+	for name, ord := range map[string][]int{
+		"short":        {0, 1, 2},
+		"repeat":       {0, 1, 2, 2},
+		"out-of-range": {0, 1, 2, 7},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad ordering did not panic")
+				}
+			}()
+			CutwidthOfOrdering(g, ord)
+		})
+	}
+}
+
+func TestExactCutwidthClosedForms(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path2", Path(2), 1},
+		{"path7", Path(7), 1},
+		{"ring3", Ring(3), 2},
+		{"ring8", Ring(8), 2},
+		{"clique2", Clique(2), 1},
+		{"clique4", Clique(4), 4}, // ⌊4/2⌋·⌈4/2⌉
+		{"clique5", Clique(5), 6}, // 2·3
+		{"clique6", Clique(6), 9}, // 3·3
+		{"star5", Star(5), 2},     // ⌈4/2⌉
+		{"star6", Star(6), 3},     // ⌈5/2⌉ = 3
+		{"edgeless", NewBuilder(4).Graph(), 0},
+		{"single", NewBuilder(1).Graph(), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w, ord, err := ExactCutwidth(c.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w != c.want {
+				t.Fatalf("ExactCutwidth = %d, want %d", w, c.want)
+			}
+			if c.g.N() > 0 {
+				// The returned ordering must witness the optimum.
+				if ww := CutwidthOfOrdering(c.g, ord); ww != w {
+					t.Fatalf("ordering witnesses %d, DP says %d", ww, w)
+				}
+			}
+		})
+	}
+}
+
+func TestExactCutwidthMatchesClosedFormTable(t *testing.T) {
+	for n := 3; n <= 9; n++ {
+		for family, g := range map[string]*Graph{
+			"ring":   Ring(n),
+			"path":   Path(n),
+			"clique": Clique(n),
+			"star":   Star(n),
+		} {
+			want, ok := ClosedFormCutwidth(family, n)
+			if !ok {
+				t.Fatalf("closed form missing for %s %d", family, n)
+			}
+			got, _, err := ExactCutwidth(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s(%d): DP %d vs closed form %d", family, n, got, want)
+			}
+		}
+	}
+}
+
+func TestExactCutwidthTooLarge(t *testing.T) {
+	if _, _, err := ExactCutwidth(Path(MaxExactCutwidthN + 1)); err == nil {
+		t.Fatal("oversized ExactCutwidth must error")
+	}
+}
+
+func TestExactCutwidthEmpty(t *testing.T) {
+	w, ord, err := ExactCutwidth(NewBuilder(0).Graph())
+	if err != nil || w != 0 || ord != nil {
+		t.Fatalf("empty graph: w=%d ord=%v err=%v", w, ord, err)
+	}
+}
+
+func TestHeuristicCutwidthUpperBoundsExact(t *testing.T) {
+	r := rng.New(11)
+	graphs := []*Graph{
+		Ring(8), Path(9), Clique(6), Star(7), Grid(3, 4),
+		ErdosRenyi(9, 0.3, r), Torus(3, 3),
+	}
+	for _, g := range graphs {
+		exact, _, err := ExactCutwidth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heur, ord := HeuristicCutwidth(g, 4, r)
+		if heur < exact {
+			t.Fatalf("%v: heuristic %d below exact %d (impossible)", g, heur, exact)
+		}
+		if w := CutwidthOfOrdering(g, ord); w != heur {
+			t.Fatalf("%v: heuristic ordering witnesses %d, reported %d", g, w, heur)
+		}
+	}
+}
+
+func TestHeuristicCutwidthExactOnStructured(t *testing.T) {
+	// On rings and paths the local search should find the true optimum.
+	r := rng.New(5)
+	for n := 4; n <= 10; n++ {
+		if w, _ := HeuristicCutwidth(Ring(n), 3, r); w != 2 {
+			t.Errorf("ring %d: heuristic %d, want 2", n, w)
+		}
+		if w, _ := HeuristicCutwidth(Path(n), 3, r); w != 1 {
+			t.Errorf("path %d: heuristic %d, want 1", n, w)
+		}
+	}
+}
+
+func TestHeuristicCutwidthEmpty(t *testing.T) {
+	w, ord := HeuristicCutwidth(NewBuilder(0).Graph(), 2, rng.New(1))
+	if w != 0 || ord != nil {
+		t.Fatalf("empty: %d %v", w, ord)
+	}
+}
+
+func TestClosedFormCutwidthUnknownFamily(t *testing.T) {
+	if _, ok := ClosedFormCutwidth("petersen", 10); ok {
+		t.Fatal("unknown family must report ok=false")
+	}
+	if _, ok := ClosedFormCutwidth("ring", 2); ok {
+		t.Fatal("ring with n < 3 must report ok=false")
+	}
+}
+
+func BenchmarkExactCutwidthRing16(b *testing.B) {
+	g := Ring(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExactCutwidth(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeuristicCutwidthGrid(b *testing.B) {
+	g := Grid(5, 8)
+	r := rng.New(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HeuristicCutwidth(g, 2, r)
+	}
+}
+
+func TestHypercubeCutwidthClosedForm(t *testing.T) {
+	// χ(Q_d) = ⌊2^{d+1}/3⌋ (Harper's compressed ordering); verify against
+	// the exact DP for the dimensions the DP can reach.
+	for d := 1; d <= 4; d++ {
+		want, ok := ClosedFormCutwidth("hypercube", d)
+		if !ok {
+			t.Fatalf("closed form missing for dimension %d", d)
+		}
+		got, _, err := ExactCutwidth(Hypercube(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Q_%d: DP %d vs closed form %d", d, got, want)
+		}
+	}
+}
+
+func TestHypercubeCutwidthSequence(t *testing.T) {
+	// ⌊2^{d+1}/3⌋ = 1, 2, 5, 10, 21, 42, …
+	want := []int{1, 2, 5, 10, 21, 42}
+	for d := 1; d <= len(want); d++ {
+		got, ok := ClosedFormCutwidth("hypercube", d)
+		if !ok || got != want[d-1] {
+			t.Errorf("Q_%d closed form = %d (ok=%v), want %d", d, got, ok, want[d-1])
+		}
+	}
+}

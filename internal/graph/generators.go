@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"fmt"
+
+	"logitdyn/internal/rng"
+)
+
+// Ring returns the cycle C_n for n >= 3: vertex i is adjacent to (i±1) mod n.
+// This is the paper's Section 5.3 topology.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("graph: Ring needs n >= 3")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Graph()
+}
+
+// Path returns the path P_n on n >= 1 vertices: 0-1-2-…-(n-1).
+func Path(n int) *Graph {
+	if n < 1 {
+		panic("graph: Path needs n >= 1")
+	}
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Graph()
+}
+
+// Clique returns the complete graph K_n for n >= 1. This is the paper's
+// Section 5.2 topology.
+func Clique(n int) *Graph {
+	if n < 1 {
+		panic("graph: Clique needs n >= 1")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Graph()
+}
+
+// Star returns the star K_{1,n-1}: vertex 0 adjacent to all others.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic("graph: Star needs n >= 2")
+	}
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Graph()
+}
+
+// Grid returns the rows×cols king-free rectangular lattice with 4-neighbor
+// adjacency. Vertex (r, c) has index r*cols + c.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic("graph: Grid needs positive dimensions")
+	}
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Torus returns the rows×cols lattice with wraparound 4-neighbor adjacency.
+// Both dimensions must be >= 3 so wrap edges do not duplicate grid edges.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: Torus needs rows, cols >= 3")
+	}
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.Graph()
+}
+
+// BinaryTree returns the complete binary tree with the given number of
+// levels (>= 1): 2^levels − 1 vertices, root 0, children of i at 2i+1 and
+// 2i+2. Trees are the Berger–Kenyon–Mossel–Peres setting the paper's
+// Section 5 builds on.
+func BinaryTree(levels int) *Graph {
+	if levels < 1 {
+		panic("graph: BinaryTree needs levels >= 1")
+	}
+	n := 1<<uint(levels) - 1
+	b := NewBuilder(n)
+	for i := 0; 2*i+1 < n; i++ {
+		b.AddEdge(i, 2*i+1)
+		if 2*i+2 < n {
+			b.AddEdge(i, 2*i+2)
+		}
+	}
+	return b.Graph()
+}
+
+// Hypercube returns the dim-dimensional hypercube Q_dim on 2^dim vertices;
+// vertices are adjacent when their indices differ in exactly one bit.
+func Hypercube(dim int) *Graph {
+	if dim < 1 {
+		panic("graph: Hypercube needs dim >= 1")
+	}
+	n := 1 << uint(dim)
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 0; d < dim; d++ {
+			w := v ^ (1 << uint(d))
+			if v < w {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// CompleteBipartite returns K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	if a < 1 || b < 1 {
+		panic("graph: CompleteBipartite needs positive part sizes")
+	}
+	bd := NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bd.AddEdge(i, a+j)
+		}
+	}
+	return bd.Graph()
+}
+
+// ErdosRenyi returns G(n, p): each of the C(n,2) edges present independently
+// with probability p.
+func ErdosRenyi(n int, p float64, r *rng.RNG) *Graph {
+	if n < 1 {
+		panic("graph: ErdosRenyi needs n >= 1")
+	}
+	if p < 0 || p > 1 {
+		panic("graph: ErdosRenyi needs p in [0, 1]")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// RandomRegular returns a d-regular graph on n vertices sampled by the
+// pairing model with restarts (rejecting self-loops and multi-edges). n*d
+// must be even and d < n. For the small d and n used in experiments the
+// expected number of restarts is O(1).
+func RandomRegular(n, d int, r *rng.RNG) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("graph: RandomRegular needs 0 <= d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular needs n*d even, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return NewBuilder(n).Graph(), nil
+	}
+	const maxAttempts = 10000
+	stubs := make([]int, n*d)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		for i := range stubs {
+			stubs[i] = i / d
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		seen := make(map[Edge]bool, n*d/2)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			if u > v {
+				u, v = v, u
+			}
+			e := Edge{u, v}
+			if seen[e] {
+				ok = false
+				break
+			}
+			seen[e] = true
+		}
+		if !ok {
+			continue
+		}
+		b := NewBuilder(n)
+		for e := range seen {
+			b.AddEdge(e.U, e.V)
+		}
+		return b.Graph(), nil
+	}
+	return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d) did not find a simple pairing", n, d)
+}

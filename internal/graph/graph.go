@@ -1,0 +1,151 @@
+// Package graph implements the undirected-graph machinery the paper's
+// Section 5 needs: social-network topologies for graphical coordination
+// games and the cutwidth parameter χ(G) that controls the mixing-time upper
+// bound of Theorem 5.1.
+//
+// Graphs are simple (no self-loops, no multi-edges) and stored as sorted
+// adjacency lists plus a flat edge list, which suits both the game payoff
+// evaluation (neighbor iteration) and the cutwidth computations (edge
+// counting across a vertex cut).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between vertices U < V.
+type Edge struct {
+	U, V int
+}
+
+// Graph is an immutable simple undirected graph on vertices 0..N-1.
+// Build one with a Builder or a generator; the zero value is the empty graph
+// on zero vertices.
+type Graph struct {
+	n     int
+	adj   [][]int
+	edges []Edge
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate and self edges
+// are rejected at AddEdge time so failures point at the offending call.
+type Builder struct {
+	n    int
+	seen map[Edge]bool
+}
+
+// NewBuilder returns a builder for a graph on n >= 0 vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, seen: make(map[Edge]bool)}
+}
+
+// AddEdge records the undirected edge {u, v}. It panics on out-of-range
+// endpoints, self-loops, and duplicates.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	e := Edge{u, v}
+	if b.seen[e] {
+		panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", u, v))
+	}
+	b.seen[e] = true
+}
+
+// Graph finalizes the builder into an immutable Graph.
+func (b *Builder) Graph() *Graph {
+	g := &Graph{n: b.n, adj: make([][]int, b.n)}
+	g.edges = make([]Edge, 0, len(b.seen))
+	for e := range b.seen {
+		g.edges = append(g.edges, e)
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		if g.edges[i].U != g.edges[j].U {
+			return g.edges[i].U < g.edges[j].U
+		}
+		return g.edges[i].V < g.edges[j].V
+	})
+	for _, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], e.V)
+		g.adj[e.V] = append(g.adj[e.V], e.U)
+	}
+	for _, nb := range g.adj {
+		sort.Ints(nb)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the sorted edge list. The caller must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Neighbors returns the sorted neighbor list of v. The caller must not
+// modify it.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum vertex degree (0 for an edgeless graph).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	nb := g.adj[u]
+	i := sort.SearchInts(nb, v)
+	return i < len(nb) && nb[i] == v
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// String summarizes the graph for logs and errors.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, len(g.edges))
+}

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"testing"
+
+	"logitdyn/internal/rng"
+)
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"self-loop", func() { b := NewBuilder(3); b.AddEdge(1, 1) }},
+		{"out-of-range", func() { b := NewBuilder(3); b.AddEdge(0, 3) }},
+		{"negative", func() { b := NewBuilder(3); b.AddEdge(-1, 0) }},
+		{"duplicate", func() { b := NewBuilder(3); b.AddEdge(0, 1); b.AddEdge(1, 0) }},
+		{"negative-n", func() { NewBuilder(-1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", c.name)
+				}
+			}()
+			c.f()
+		})
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 1)
+	b.AddEdge(0, 3)
+	g := b.Graph()
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("HasEdge must be symmetric")
+	}
+	if g.HasEdge(2, 3) || g.HasEdge(0, 0) || g.HasEdge(-1, 2) || g.HasEdge(0, 9) {
+		t.Error("HasEdge false positives")
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 1 {
+		t.Errorf("degrees: %d %d", g.Degree(0), g.Degree(3))
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Errorf("Neighbors(0) = %v, want sorted [1 3]", nb)
+	}
+	// Edge list is sorted and canonical (U < V).
+	for i, e := range g.Edges() {
+		if e.U >= e.V {
+			t.Errorf("edge %d not canonical: %+v", i, e)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !Ring(5).Connected() {
+		t.Error("ring must be connected")
+	}
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if b.Graph().Connected() {
+		t.Error("two components reported connected")
+	}
+	if !NewBuilder(1).Graph().Connected() {
+		t.Error("single vertex must be connected")
+	}
+	if !NewBuilder(0).Graph().Connected() {
+		t.Error("empty graph is connected by convention")
+	}
+	if NewBuilder(2).Graph().Connected() {
+		t.Error("two isolated vertices are not connected")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	cases := []struct {
+		name       string
+		g          *Graph
+		n, m       int
+		regularDeg int // -1 to skip
+	}{
+		{"ring5", Ring(5), 5, 5, 2},
+		{"ring3", Ring(3), 3, 3, 2},
+		{"path1", Path(1), 1, 0, 0},
+		{"path6", Path(6), 6, 5, -1},
+		{"clique1", Clique(1), 1, 0, 0},
+		{"clique5", Clique(5), 5, 10, 4},
+		{"star4", Star(4), 4, 3, -1},
+		{"grid23", Grid(2, 3), 6, 7, -1},
+		{"grid11", Grid(1, 1), 1, 0, 0},
+		{"torus33", Torus(3, 3), 9, 18, 4},
+		{"torus34", Torus(3, 4), 12, 24, 4},
+		{"bipartite23", CompleteBipartite(2, 3), 5, 6, -1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.g.N() != c.n || c.g.M() != c.m {
+				t.Fatalf("got n=%d m=%d, want n=%d m=%d", c.g.N(), c.g.M(), c.n, c.m)
+			}
+			if c.regularDeg >= 0 {
+				for v := 0; v < c.g.N(); v++ {
+					if c.g.Degree(v) != c.regularDeg {
+						t.Fatalf("vertex %d degree %d, want %d", v, c.g.Degree(v), c.regularDeg)
+					}
+				}
+			}
+			if !c.g.Connected() {
+				t.Errorf("%s should be connected", c.name)
+			}
+		})
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"ring2":     func() { Ring(2) },
+		"path0":     func() { Path(0) },
+		"clique0":   func() { Clique(0) },
+		"star1":     func() { Star(1) },
+		"grid0":     func() { Grid(0, 2) },
+		"torus2":    func() { Torus(2, 3) },
+		"bip0":      func() { CompleteBipartite(0, 1) },
+		"er-bad-p":  func() { ErdosRenyi(3, 1.5, rng.New(1)) },
+		"er-zero-n": func() { ErdosRenyi(0, 0.5, rng.New(1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	r := rng.New(7)
+	if g := ErdosRenyi(6, 0, r); g.M() != 0 {
+		t.Errorf("G(6, 0) has %d edges", g.M())
+	}
+	if g := ErdosRenyi(6, 1, r); g.M() != 15 {
+		t.Errorf("G(6, 1) has %d edges, want 15", g.M())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	g1 := ErdosRenyi(10, 0.4, rng.New(42))
+	g2 := ErdosRenyi(10, 0.4, rng.New(42))
+	if g1.M() != g2.M() {
+		t.Fatal("same seed must give same graph")
+	}
+	for i, e := range g1.Edges() {
+		if g2.Edges()[i] != e {
+			t.Fatal("same seed must give same edge list")
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.New(3)
+	g, err := RandomRegular(10, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("vertex %d degree %d", v, g.Degree(v))
+		}
+	}
+	if _, err := RandomRegular(5, 3, r); err == nil {
+		t.Error("odd n*d must error")
+	}
+	if _, err := RandomRegular(4, 4, r); err == nil {
+		t.Error("d >= n must error")
+	}
+	g0, err := RandomRegular(4, 0, r)
+	if err != nil || g0.M() != 0 {
+		t.Errorf("0-regular: %v, m=%d", err, g0.M())
+	}
+}

@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U, where L has
+// a unit diagonal and is stored below the diagonal of lu, and U on and above.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	sign  float64
+}
+
+// FactorLU computes the LU factorization of a square matrix A.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: FactorLU of non-square matrix")
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), pivot: make([]int, n), sign: 1}
+	lu := f.lu
+	for i := range f.pivot {
+		f.pivot[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest |entry| in column k at or below the diagonal.
+		p, maxAbs := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.pivot[k], f.pivot[p] = f.pivot[p], f.pivot[k]
+			f.sign = -f.sign
+		}
+		pivotVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivotVal
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A*x = b for x given the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, errors.New("linalg: LU.Solve size mismatch")
+	}
+	x := make([]float64, n)
+	// Apply permutation: x = P*b.
+	for i, p := range f.pivot {
+		x[i] = b[p]
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves A*x = b directly (factor + solve).
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// SolveNullVector returns a vector in the (one-dimensional) null space of A,
+// normalized to unit 1-norm with non-negative orientation if possible. It is
+// the workhorse for computing stationary distributions via (P^T - I)π = 0
+// with a normalization row. A must be square.
+func SolveNullVector(a *Dense) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: SolveNullVector of non-square matrix")
+	}
+	n := a.Rows
+	// Replace the last equation with the normalization sum(x) = 1. For a
+	// rank n-1 matrix whose null space is one-dimensional this pins the
+	// solution uniquely.
+	sys := a.Clone()
+	for j := 0; j < n; j++ {
+		sys.Set(n-1, j, 1)
+	}
+	rhs := make([]float64, n)
+	rhs[n-1] = 1
+	x, err := Solve(sys, rhs)
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}

@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-12) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUSolveResidual(t *testing.T) {
+	// Pseudo-random well-conditioned system; check A·x ≈ b.
+	n := 40
+	a := NewDense(n, n)
+	s := 0.5
+	for i := range a.Data {
+		s = math.Mod(s*3.9*(1-s)+0.01, 1) // logistic-ish scramble
+		a.Data[i] = s - 0.5
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	Axpy(-1, b, r)
+	if res := NormInf(r); res > 1e-10 {
+		t.Fatalf("residual = %v", res)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err == nil {
+		// Exact singularity may survive factoring if pivots are nonzero;
+		// the solve must then fail. Either way an error must surface.
+		if _, err := Solve(a, []float64{1, 1}); err == nil {
+			t.Fatal("singular system solved without error")
+		}
+	}
+}
+
+func TestLUZeroMatrix(t *testing.T) {
+	if _, err := FactorLU(NewDense(3, 3)); err == nil {
+		t.Fatal("zero matrix factored without error")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := FactorLU(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square FactorLU did not error")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); !almostEqual(d, -6, 1e-12) {
+		t.Fatalf("Det = %v, want -6", d)
+	}
+	id, _ := FactorLU(Identity(5))
+	if d := id.Det(); !almostEqual(d, 1, 1e-15) {
+		t.Fatalf("Det(I) = %v", d)
+	}
+}
+
+func TestLUSolveSizeMismatch(t *testing.T) {
+	f, err := FactorLU(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("Solve with wrong-length b did not error")
+	}
+}
+
+func TestSolveNullVectorStationary(t *testing.T) {
+	// Two-state chain P = [[1-a, a], [b, 1-b]] has stationary distribution
+	// (b, a)/(a+b). The null space of P^T - I gives it.
+	a, b := 0.3, 0.2
+	p := FromRows([][]float64{{1 - a, a}, {b, 1 - b}})
+	sys := p.T()
+	for i := 0; i < 2; i++ {
+		sys.Set(i, i, sys.At(i, i)-1)
+	}
+	pi, err := SolveNullVector(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{b / (a + b), a / (a + b)}
+	for i := range want {
+		if !almostEqual(pi[i], want[i], 1e-12) {
+			t.Fatalf("pi = %v, want %v", pi, want)
+		}
+	}
+}
+
+func TestSolveNullVectorNonSquare(t *testing.T) {
+	if _, err := SolveNullVector(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square SolveNullVector did not error")
+	}
+}

@@ -1,0 +1,100 @@
+// Package linalg implements the dense linear algebra needed for exact
+// Markov-chain analysis: vectors, matrices, LU solves, and a symmetric
+// eigensolver (Householder tridiagonalization followed by implicit-shift QL).
+// Matrix-matrix and matrix-vector products are parallelized across rows.
+//
+// Only the stdlib is used; this package is the from-scratch replacement for
+// the parts of a BLAS/LAPACK stack the reproduction needs.
+package linalg
+
+import "math"
+
+// Dot returns the inner product of a and b. It panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place. It panics on length mismatch.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow.
+func Norm2(x []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Norm1 returns the sum of absolute values of x.
+func Norm1(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NormInf returns the maximum absolute value of x.
+func NormInf(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	return append([]float64(nil), x...)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Sum returns the sum of elements of x.
+func Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

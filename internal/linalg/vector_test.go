@@ -1,0 +1,148 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{0, 0}, []float64{1, 1}, 0},
+		{[]float64{-1, 1}, []float64{1, 1}, 0},
+		{[]float64{}, []float64{}, 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); got != c.want {
+			t.Errorf("Dot(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 2, 3}
+	Axpy(2, []float64{10, 20, 30}, y)
+	want := []float64{21, 42, 63}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy result %v, want %v", y, want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	x := []float64{1, -2, 4}
+	Scale(-0.5, x)
+	want := []float64{-0.5, 1, -2}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("Scale result %v, want %v", x, want)
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Norm2(x); !almostEqual(got, 5, 1e-14) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm1(x); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := NormInf(x); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %v, want 0", got)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	// Norm2 must not overflow for huge components.
+	x := []float64{1e200, 1e200}
+	want := 1e200 * math.Sqrt2
+	if got := Norm2(x); math.IsInf(got, 0) || !almostEqual(got/want, 1, 1e-14) {
+		t.Errorf("Norm2 overflow-guard failed: got %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := []float64{1, 2}
+	y := Clone(x)
+	y[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestFillSum(t *testing.T) {
+	x := make([]float64, 5)
+	Fill(x, 2.5)
+	if got := Sum(x); got != 12.5 {
+		t.Errorf("Sum after Fill = %v, want 12.5", got)
+	}
+}
+
+// Property: Cauchy–Schwarz |<a,b>| <= ||a||·||b||.
+func TestDotCauchySchwarz(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		av, bv := a[:], b[:]
+		for i := range av {
+			// Keep values finite and moderate.
+			av[i] = math.Mod(av[i], 1e6)
+			bv[i] = math.Mod(bv[i], 1e6)
+			if math.IsNaN(av[i]) {
+				av[i] = 0
+			}
+			if math.IsNaN(bv[i]) {
+				bv[i] = 0
+			}
+		}
+		lhs := math.Abs(Dot(av, bv))
+		rhs := Norm2(av) * Norm2(bv)
+		return lhs <= rhs*(1+1e-12)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Norm1 under vector addition.
+func TestNorm1Triangle(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		av, bv := a[:], b[:]
+		sum := make([]float64, len(av))
+		for i := range sum {
+			if math.IsNaN(av[i]) || math.IsInf(av[i], 0) {
+				av[i] = 1
+			}
+			if math.IsNaN(bv[i]) || math.IsInf(bv[i], 0) {
+				bv[i] = 1
+			}
+			av[i] = math.Mod(av[i], 1e9)
+			bv[i] = math.Mod(bv[i], 1e9)
+			sum[i] = av[i] + bv[i]
+		}
+		return Norm1(sum) <= Norm1(av)+Norm1(bv)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package logit implements the paper's central object: the logit dynamics
+// with inverse noise β for a finite strategic game (Blume 1993; the paper's
+// Section 2).
+//
+// At each step a player i is chosen uniformly at random and updates her
+// strategy to y with probability
+//
+//	σ_i(y | x) = exp(β·u_i(y, x_-i)) / Σ_z exp(β·u_i(z, x_-i))     (Eq. 2)
+//
+// which defines the ergodic Markov chain Mβ(G) of Eq. (3). For potential
+// games the chain is reversible with the Gibbs stationary measure
+// π(x) ∝ exp(−β·Φ(x)) (Eq. 4, in the sign convention of the paper's proofs).
+//
+// All exponentials are computed in shifted form (subtracting the row maximum
+// utility, or the minimum potential) so that arbitrarily large β never
+// overflows.
+package logit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"logitdyn/internal/game"
+	"logitdyn/internal/linalg"
+	"logitdyn/internal/markov"
+	"logitdyn/internal/rng"
+)
+
+// Dynamics is the logit dynamics Mβ(G) for a fixed game and inverse noise.
+type Dynamics struct {
+	g     game.Game
+	beta  float64
+	space *game.Space
+}
+
+// New validates β >= 0 and returns the dynamics.
+func New(g game.Game, beta float64) (*Dynamics, error) {
+	if g == nil {
+		return nil, errors.New("logit: nil game")
+	}
+	if beta < 0 || math.IsNaN(beta) || math.IsInf(beta, 0) {
+		return nil, fmt.Errorf("logit: inverse noise must be finite and >= 0, got %g", beta)
+	}
+	return &Dynamics{g: g, beta: beta, space: game.SpaceOf(g)}, nil
+}
+
+// Game returns the underlying game.
+func (d *Dynamics) Game() game.Game { return d.g }
+
+// Beta returns the inverse noise β.
+func (d *Dynamics) Beta() float64 { return d.beta }
+
+// Space returns the profile space of the game.
+func (d *Dynamics) Space() *game.Space { return d.space }
+
+// UpdateProbs returns σ_i(· | x), the logit update distribution of player i
+// at profile x (Eq. 2), reusing dst when it has the right length.
+func (d *Dynamics) UpdateProbs(i int, x []int, dst []float64) []float64 {
+	m := d.g.Strategies(i)
+	if len(dst) != m {
+		dst = make([]float64, m)
+	}
+	y := append([]int(nil), x...)
+	maxU := math.Inf(-1)
+	for v := 0; v < m; v++ {
+		y[i] = v
+		u := d.g.Utility(i, y)
+		dst[v] = u
+		if u > maxU {
+			maxU = u
+		}
+	}
+	total := 0.0
+	for v := 0; v < m; v++ {
+		dst[v] = math.Exp(d.beta * (dst[v] - maxU))
+		total += dst[v]
+	}
+	for v := 0; v < m; v++ {
+		dst[v] /= total
+	}
+	return dst
+}
+
+// TransitionSparse builds the Eq. (3) transition matrix in sparse row form:
+// each state has one entry per (player, strategy) pair, with the diagonal
+// accumulating the self-loop mass Σ_i σ_i(x_i | x)/n.
+func (d *Dynamics) TransitionSparse() *markov.Sparse {
+	n := d.space.Players()
+	size := d.space.Size()
+	s := markov.NewSparse(size)
+	linalg.ParallelFor(size, func(lo, hi int) {
+		x := make([]int, n)
+		var probs []float64
+		for idx := lo; idx < hi; idx++ {
+			d.space.Decode(idx, x)
+			row := make([]markov.Entry, 0, 1+n)
+			self := 0.0
+			for i := 0; i < n; i++ {
+				probs = d.UpdateProbs(i, x, probs)
+				for v, p := range probs {
+					if v == x[i] {
+						self += p
+						continue
+					}
+					if p == 0 {
+						continue
+					}
+					row = append(row, markov.Entry{To: d.space.WithDigit(idx, i, v), P: p / float64(n)})
+				}
+			}
+			row = append(row, markov.Entry{To: idx, P: self / float64(n)})
+			s.Rows[idx] = row
+		}
+	})
+	return s
+}
+
+// TransitionDense materializes the Eq. (3) transition matrix densely.
+func (d *Dynamics) TransitionDense() *linalg.Dense {
+	return d.TransitionSparse().Dense()
+}
+
+// Gibbs returns the Gibbs measure π(x) ∝ exp(−β·Φ(x)) (Eq. 4) when the game
+// exposes an exact potential, computed with the minimum-potential shift so
+// large β cannot overflow. It errors for games without a potential.
+func (d *Dynamics) Gibbs() ([]float64, error) {
+	p, ok := game.AsPotential(d.g)
+	if !ok {
+		return nil, errors.New("logit: Gibbs measure requires a potential game")
+	}
+	size := d.space.Size()
+	phi := make([]float64, size)
+	x := make([]int, d.space.Players())
+	minPhi := math.Inf(1)
+	for idx := 0; idx < size; idx++ {
+		d.space.Decode(idx, x)
+		phi[idx] = p.Phi(x)
+		if phi[idx] < minPhi {
+			minPhi = phi[idx]
+		}
+	}
+	pi := make([]float64, size)
+	total := 0.0
+	for idx := 0; idx < size; idx++ {
+		pi[idx] = math.Exp(-d.beta * (phi[idx] - minPhi))
+		total += pi[idx]
+	}
+	linalg.Scale(1/total, pi)
+	return pi, nil
+}
+
+// Stationary returns the stationary distribution: the Gibbs measure for
+// potential games, or the direct null-space solve of the transition matrix
+// otherwise (which requires a materializable profile space).
+func (d *Dynamics) Stationary() ([]float64, error) {
+	if pi, err := d.Gibbs(); err == nil {
+		return pi, nil
+	}
+	return markov.StationaryDirect(d.TransitionDense())
+}
+
+// Step performs one logit update in place: picks a player uniformly and
+// resamples her strategy from σ_i(· | x). It returns the updated player.
+func (d *Dynamics) Step(x []int, r *rng.RNG) int {
+	i := r.Intn(d.space.Players())
+	probs := d.UpdateProbs(i, x, nil)
+	x[i] = r.Categorical(probs)
+	return i
+}
+
+// StepIndexed performs one logit update on a profile index.
+func (d *Dynamics) StepIndexed(idx int, r *rng.RNG) int {
+	x := d.space.Decode(idx, nil)
+	d.Step(x, r)
+	return d.space.Encode(x)
+}
+
+// Trajectory runs t steps from the given starting profile and returns the
+// visit counts per profile index. The starting profile is counted once.
+func (d *Dynamics) Trajectory(start []int, t int, r *rng.RNG) []int64 {
+	counts := make([]int64, d.space.Size())
+	x := append([]int(nil), start...)
+	counts[d.space.Encode(x)]++
+	for s := 0; s < t; s++ {
+		d.Step(x, r)
+		counts[d.space.Encode(x)]++
+	}
+	return counts
+}

@@ -1,0 +1,115 @@
+package markov
+
+import (
+	"errors"
+
+	"logitdyn/internal/linalg"
+)
+
+// Hitting-time analysis. The paper contrasts its mixing-time results with
+// prior work on hitting times (Asadpour–Saberi on congestion games,
+// Montanari–Saberi on the highest-potential equilibrium); this file makes
+// those quantities computable exactly so the two convergence notions can be
+// compared on the same chains.
+
+// HittingTimes returns h[x] = E_x[τ_A], the expected number of steps to
+// first reach the target set A (given as a membership mask) from each state.
+// h is computed by solving the linear system
+//
+//	h[x] = 0                      for x ∈ A,
+//	h[x] = 1 + Σ_y P(x,y)·h[y]    for x ∉ A,
+//
+// via LU. The chain restricted to the complement of A must be substochastic
+// with escape (guaranteed for ergodic chains and non-empty A).
+func HittingTimes(p *linalg.Dense, target []bool) ([]float64, error) {
+	n := p.Rows
+	if p.Cols != n || len(target) != n {
+		return nil, errors.New("markov: HittingTimes size mismatch")
+	}
+	hasTarget := false
+	for _, in := range target {
+		if in {
+			hasTarget = true
+			break
+		}
+	}
+	if !hasTarget {
+		return nil, errors.New("markov: empty target set")
+	}
+	// Index the complement states.
+	comp := make([]int, 0, n)
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for x, in := range target {
+		if !in {
+			pos[x] = len(comp)
+			comp = append(comp, x)
+		}
+	}
+	h := make([]float64, n)
+	if len(comp) == 0 {
+		return h, nil
+	}
+	// Solve (I − P_CC)·h_C = 1.
+	m := len(comp)
+	sys := linalg.NewDense(m, m)
+	rhs := make([]float64, m)
+	for i, x := range comp {
+		rhs[i] = 1
+		row := p.Row(x)
+		for j, y := range comp {
+			v := -row[y]
+			if i == j {
+				v += 1
+			}
+			sys.Set(i, j, v)
+		}
+	}
+	sol, err := linalg.Solve(sys, rhs)
+	if err != nil {
+		return nil, err
+	}
+	for i, x := range comp {
+		h[x] = sol[i]
+	}
+	return h, nil
+}
+
+// WorstHittingTime returns max_x E_x[τ_A].
+func WorstHittingTime(p *linalg.Dense, target []bool) (float64, error) {
+	h, err := HittingTimes(p, target)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, v := range h {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst, nil
+}
+
+// CommuteTime returns E_x[τ_y] + E_y[τ_x], the expected round trip between
+// two states.
+func CommuteTime(p *linalg.Dense, x, y int) (float64, error) {
+	n := p.Rows
+	if x < 0 || x >= n || y < 0 || y >= n {
+		return 0, errors.New("markov: CommuteTime state out of range")
+	}
+	tx := make([]bool, n)
+	tx[y] = true
+	hxy, err := HittingTimes(p, tx)
+	if err != nil {
+		return 0, err
+	}
+	ty := make([]bool, n)
+	ty[x] = true
+	hyx, err := HittingTimes(p, ty)
+	if err != nil {
+		return 0, err
+	}
+	return hxy[x] + hyx[y], nil
+}

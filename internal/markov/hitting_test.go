@@ -1,0 +1,127 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"logitdyn/internal/linalg"
+)
+
+func TestHittingTimesTwoState(t *testing.T) {
+	// From state 0, τ_{1} is geometric with success probability a:
+	// E_0[τ_1] = 1/a.
+	a, b := 0.25, 0.4
+	p := twoState(a, b)
+	h, err := HittingTimes(p, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h[0]-1/a) > 1e-12 {
+		t.Errorf("E_0[τ_1] = %g, want %g", h[0], 1/a)
+	}
+	if h[1] != 0 {
+		t.Errorf("target state has h = %g", h[1])
+	}
+}
+
+func TestHittingTimesBirthDeathChain(t *testing.T) {
+	// Symmetric random walk with holding on {0,1,2}: hitting state 2 from 0.
+	p := linalg.FromRows([][]float64{
+		{0.5, 0.5, 0},
+		{0.25, 0.5, 0.25},
+		{0, 0.5, 0.5},
+	})
+	h, err := HittingTimes(p, []bool{false, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve by hand: h0 = 1 + 0.5h0 + 0.5h1; h1 = 1 + 0.25h0 + 0.5h1.
+	// → h0 = 2 + h1; h1 = 1 + 0.25(2 + h1) + 0.5h1 → 0.25h1 = 1.5 → h1 = 6,
+	// h0 = 8.
+	if math.Abs(h[0]-8) > 1e-10 || math.Abs(h[1]-6) > 1e-10 {
+		t.Errorf("h = %v, want [8 6 0]", h)
+	}
+}
+
+func TestHittingTimesMatchSimulation(t *testing.T) {
+	// Cross-check against direct expectation accumulation: evolve the
+	// distribution of the killed chain and sum survival probabilities.
+	a, b := 0.3, 0.2
+	p := twoState(a, b)
+	h, err := HittingTimes(p, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E_0[τ] = Σ_{t>=0} P(τ > t) = Σ survival mass in state 0.
+	surv := 1.0
+	expect := 0.0
+	for t0 := 0; t0 < 10000; t0++ {
+		expect += surv
+		surv *= 1 - a
+	}
+	if math.Abs(h[0]-expect) > 1e-9 {
+		t.Errorf("h[0] = %g vs survival sum %g", h[0], expect)
+	}
+}
+
+func TestHittingTimesValidation(t *testing.T) {
+	p := twoState(0.3, 0.2)
+	if _, err := HittingTimes(p, []bool{false, false}); err == nil {
+		t.Error("empty target must error")
+	}
+	if _, err := HittingTimes(p, []bool{true}); err == nil {
+		t.Error("size mismatch must error")
+	}
+}
+
+func TestHittingTimesAllTargets(t *testing.T) {
+	p := twoState(0.3, 0.2)
+	h, err := HittingTimes(p, []bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 0 || h[1] != 0 {
+		t.Errorf("h = %v, want zeros", h)
+	}
+}
+
+func TestWorstHittingTime(t *testing.T) {
+	p := twoState(0.25, 0.5)
+	w, err := WorstHittingTime(p, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-4) > 1e-12 {
+		t.Errorf("worst = %g, want 4", w)
+	}
+}
+
+func TestCommuteTimeSymmetric(t *testing.T) {
+	// Commute time is symmetric by definition: check both orders agree.
+	p := linalg.FromRows([][]float64{
+		{0.2, 0.5, 0.3},
+		{0.3, 0.4, 0.3},
+		{0.25, 0.25, 0.5},
+	})
+	cxy, err := CommuteTime(p, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyx, err := CommuteTime(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cxy-cyx) > 1e-10 {
+		t.Errorf("commute time not symmetric: %g vs %g", cxy, cyx)
+	}
+	if cxy <= 2 {
+		t.Errorf("commute time %g too small", cxy)
+	}
+}
+
+func TestCommuteTimeValidation(t *testing.T) {
+	p := twoState(0.3, 0.2)
+	if _, err := CommuteTime(p, 0, 5); err == nil {
+		t.Error("out-of-range state must error")
+	}
+}

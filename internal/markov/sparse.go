@@ -1,0 +1,120 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"logitdyn/internal/linalg"
+)
+
+// Entry is one sparse transition: probability P of moving to state To.
+type Entry struct {
+	To int
+	P  float64
+}
+
+// Sparse is a row-sparse transition matrix. Logit-dynamics chains have at
+// most 1 + Σ_i(|S_i|−1) non-zeros per row, so sparse evolution scales to
+// profile spaces far beyond what a dense matrix can hold.
+type Sparse struct {
+	N    int
+	Rows [][]Entry
+}
+
+// NewSparse allocates an empty sparse chain on n states.
+func NewSparse(n int) *Sparse {
+	if n <= 0 {
+		panic("markov: NewSparse with non-positive size")
+	}
+	return &Sparse{N: n, Rows: make([][]Entry, n)}
+}
+
+// CheckStochastic verifies rows are probability vectors within tol.
+func (s *Sparse) CheckStochastic(tol float64) error {
+	for i, row := range s.Rows {
+		sum := 0.0
+		for _, e := range row {
+			if e.To < 0 || e.To >= s.N {
+				return fmt.Errorf("markov: row %d has out-of-range target %d", i, e.To)
+			}
+			if e.P < -tol {
+				return fmt.Errorf("markov: row %d has negative probability %g", i, e.P)
+			}
+			sum += e.P
+		}
+		if math.Abs(sum-1) > tol {
+			return fmt.Errorf("markov: sparse row %d sums to %g", i, sum)
+		}
+	}
+	return nil
+}
+
+// Dense materializes the sparse chain; entries targeting the same state
+// accumulate.
+func (s *Sparse) Dense() *linalg.Dense {
+	d := linalg.NewDense(s.N, s.N)
+	for i, row := range s.Rows {
+		for _, e := range row {
+			d.Set(i, e.To, d.At(i, e.To)+e.P)
+		}
+	}
+	return d
+}
+
+// Evolve computes dst = src·P (one distribution step). dst and src must not
+// alias and must have length N.
+func (s *Sparse) Evolve(dst, src []float64) {
+	if len(dst) != s.N || len(src) != s.N {
+		panic("markov: Sparse.Evolve size mismatch")
+	}
+	linalg.Fill(dst, 0)
+	for i, mass := range src {
+		if mass == 0 {
+			continue
+		}
+		for _, e := range s.Rows[i] {
+			dst[e.To] += mass * e.P
+		}
+	}
+}
+
+// EvolveT computes src·P^t.
+func (s *Sparse) EvolveT(src []float64, t int) []float64 {
+	cur := linalg.Clone(src)
+	next := make([]float64, s.N)
+	for k := 0; k < t; k++ {
+		s.Evolve(next, cur)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// StationaryPower runs power iteration on the sparse chain.
+func (s *Sparse) StationaryPower(tol float64, maxIter int) ([]float64, error) {
+	mu := make([]float64, s.N)
+	next := make([]float64, s.N)
+	for i := range mu {
+		mu[i] = 1 / float64(s.N)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		s.Evolve(next, mu)
+		if TVDistance(mu, next) < tol {
+			copy(mu, next)
+			return mu, nil
+		}
+		mu, next = next, mu
+	}
+	return nil, errors.New("markov: sparse power iteration did not converge")
+}
+
+// At returns P(x, y) by scanning row x (rows are short for logit chains).
+func (s *Sparse) At(x, y int) float64 {
+	p := 0.0
+	for _, e := range s.Rows[x] {
+		if e.To == y {
+			p += e.P
+		}
+	}
+	return p
+}

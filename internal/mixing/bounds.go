@@ -1,0 +1,133 @@
+package mixing
+
+import (
+	"math"
+)
+
+// The paper's closed-form bounds, one function per theorem. All return
+// float64 step counts (they can exceed int64 for large β). ε is the
+// total-variation target; the paper's convention t_mix = t_mix(1/4).
+
+// Theorem34Upper is the all-β upper bound for n-player potential games with
+// at most m strategies per player and maximum global variation ΔΦ:
+//
+//	t_mix(ε) <= 2mn·e^{βΔΦ}·(log(1/ε) + βΔΦ + n·log m).
+func Theorem34Upper(n, m int, beta, deltaPhi, eps float64) float64 {
+	return 2 * float64(m) * float64(n) * math.Exp(beta*deltaPhi) *
+		(math.Log(1/eps) + beta*deltaPhi + float64(n)*math.Log(float64(m)))
+}
+
+// Lemma33RelaxUpper is the relaxation-time bound behind Theorem 3.4:
+// t_rel <= 2mn·e^{βΔΦ}.
+func Lemma33RelaxUpper(n, m int, beta, deltaPhi float64) float64 {
+	return 2 * float64(m) * float64(n) * math.Exp(beta*deltaPhi)
+}
+
+// Theorem35Lower is the double-well lower bound: for the potential
+// Φ_n(x) = −l·min{c, |c−w(x)|} with ΔΦ = c·l,
+//
+//	t_mix(ε) >= (1−2ε)/(2(m−1)) · e^{βΔΦ − (ΔΦ/δΦ)·log n},
+//
+// where the e^{−(ΔΦ/δΦ)·log n} factor absorbs |∂R| <= C(n, c) <= e^{c·log n}.
+func Theorem35Lower(n, m int, beta, deltaPhi, smallDeltaPhi, eps float64) float64 {
+	if smallDeltaPhi <= 0 {
+		return 0
+	}
+	exponent := beta*deltaPhi - (deltaPhi/smallDeltaPhi)*math.Log(float64(n))
+	return (1 - 2*eps) / (2 * float64(m-1)) * math.Exp(exponent)
+}
+
+// Theorem36Condition reports whether β is in the small-noise regime
+// β <= c/(n·δΦ) for the given constant c < 1.
+func Theorem36Condition(n int, beta, smallDeltaPhi, c float64) bool {
+	if smallDeltaPhi == 0 {
+		return true // constant potential: every β mixes fast
+	}
+	return beta <= c/(float64(n)*smallDeltaPhi)
+}
+
+// Theorem36Upper is the small-β path-coupling bound: with contraction rate
+// α = (1−c)/n and Hamming diameter n,
+//
+//	t_mix(ε) <= (log n + log(1/ε)) · n/(1−c).
+func Theorem36Upper(n int, c, eps float64) float64 {
+	return (math.Log(float64(n)) + math.Log(1/eps)) * float64(n) / (1 - c)
+}
+
+// Lemma37RelaxUpper is the large-β relaxation bound: t_rel <= n·m^{2n+1}·e^{βζ}.
+func Lemma37RelaxUpper(n, m int, beta, zeta float64) float64 {
+	return float64(n) * math.Pow(float64(m), float64(2*n+1)) * math.Exp(beta*zeta)
+}
+
+// Theorem38Upper is the asymptotic-in-β form t_mix <= e^{βζ(1+o(1))}; the
+// concrete envelope multiplies Lemma 3.7's relaxation bound by the
+// log(1/(ε·π_min)) factor of Theorem 2.3, with π_min >= 1/(e^{βΔΦ}·|S|).
+func Theorem38Upper(n, m int, beta, zeta, deltaPhi, eps float64) float64 {
+	logInvPiMin := beta*deltaPhi + float64(n)*math.Log(float64(m))
+	return Lemma37RelaxUpper(n, m, beta, zeta) * (math.Log(1/eps) + logInvPiMin)
+}
+
+// Theorem39Lower is the matching lower bound t_mix >= e^{βζ(1−o(1))}; the
+// concrete form is (1−2ε)/(2(m−1)·|∂R|)·e^{βζ} where ∂R is the inner
+// boundary of the bottleneck set. Callers that know |∂R| pass it; m^n is
+// always a valid (weak) fallback.
+func Theorem39Lower(m int, boundary float64, beta, zeta, eps float64) float64 {
+	if boundary <= 0 {
+		return 0
+	}
+	return (1 - 2*eps) / (2 * float64(m-1) * boundary) * math.Exp(beta*zeta)
+}
+
+// Theorem42Upper is the dominant-strategy upper bound: with coupling phases
+// of length t* = 2n·log n and per-phase coalescence probability >= 1/(2m^n),
+//
+//	t_mix <= ⌈2·m^n·ln 4⌉ · 2n·log n = O(m^n · n log n),
+//
+// independent of β.
+func Theorem42Upper(n, m int) float64 {
+	phases := math.Ceil(2 * math.Pow(float64(m), float64(n)) * math.Log(4))
+	return phases * 2 * float64(n) * math.Log(float64(n))
+}
+
+// Theorem43Lower is the matching lower bound for the DominantDiagonal game:
+// t_mix >= (m^n − 1)/(4(m−1)) for β >= log(m^n − 1).
+func Theorem43Lower(n, m int) float64 {
+	return (math.Pow(float64(m), float64(n)) - 1) / (4 * float64(m-1))
+}
+
+// Theorem43BetaThreshold returns the β above which the Theorem 4.3 argument
+// applies (π(R) < 1/2 requires β > log(m^n − 1)).
+func Theorem43BetaThreshold(n, m int) float64 {
+	return math.Log(math.Pow(float64(m), float64(n)) - 1)
+}
+
+// Theorem51Upper is the cutwidth bound for graphical coordination games:
+//
+//	t_mix <= 2n³·e^{χ(G)(δ0+δ1)β}·(n·δ0·β + 1).
+func Theorem51Upper(n, cutwidth int, beta, delta0, delta1 float64) float64 {
+	return 2 * math.Pow(float64(n), 3) *
+		math.Exp(float64(cutwidth)*(delta0+delta1)*beta) *
+		(float64(n)*delta0*beta + 1)
+}
+
+// Theorem55Exponent returns β·(Φmax − Φ(1)), the clique exponent: Theorem
+// 5.5 sandwiches t_mix between C^{β(Φmax−Φ(1))} and D^{β(Φmax−Φ(1))·δ1} for
+// constants C, D = O_β(1). PhiMax and PhiAllOnes are values of the clique
+// potential.
+func Theorem55Exponent(beta, phiMax, phiAllOnes float64) float64 {
+	return beta * (phiMax - phiAllOnes)
+}
+
+// Theorem56Upper is the ring upper bound for δ0 = δ1 = δ: path coupling
+// contracts at rate 2/(n(1+e^{2δβ})), giving
+//
+//	t_mix(ε) <= n(1+e^{2δβ})·(log n + log(1/ε))/2 = O(e^{2δβ}·n log n).
+func Theorem56Upper(n int, beta, delta, eps float64) float64 {
+	return float64(n) * (1 + math.Exp(2*delta*beta)) * (math.Log(float64(n)) + math.Log(1/eps)) / 2
+}
+
+// Theorem57Lower is the ring lower bound: the bottleneck at R = {all-ones}
+// gives t_mix(ε) >= (1−2ε)/2 · (1 + e^{2δβ}).
+func Theorem57Lower(beta, delta, eps float64) float64 {
+	return (1 - 2*eps) / 2 * (1 + math.Exp(2*delta*beta))
+}

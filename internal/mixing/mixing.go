@@ -1,0 +1,174 @@
+package mixing
+
+import (
+	"fmt"
+	"math"
+
+	"logitdyn/internal/game"
+	"logitdyn/internal/linalg"
+	"logitdyn/internal/logit"
+	"logitdyn/internal/markov"
+	"logitdyn/internal/spectral"
+)
+
+// DefaultEps is the paper's convention t_mix = t_mix(1/4).
+const DefaultEps = 0.25
+
+// Result bundles the exact spectral measurements for one (game, β) pair.
+type Result struct {
+	Beta           float64
+	MixingTime     int64
+	RelaxationTime float64
+	LambdaStar     float64
+	MinEigenvalue  float64
+	// SpectralLower/SpectralUpper are the Theorem 2.3 sandwich at ε.
+	SpectralLower, SpectralUpper float64
+}
+
+// ExactMixingTime decomposes the logit chain of d and returns the exact
+// t_mix(eps), capped at maxT. The chain must be reversible (potential game,
+// or any game whose stationary distribution makes it reversible).
+func ExactMixingTime(d *logit.Dynamics, eps float64, maxT int64) (*Result, error) {
+	pi, err := d.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	dec, err := spectral.Decompose(d.TransitionDense(), pi)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := dec.MixingTime(eps, maxT)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := dec.MixingTimeBoundsFromRelaxation(eps)
+	return &Result{
+		Beta:           d.Beta(),
+		MixingTime:     tm,
+		RelaxationTime: dec.RelaxationTime(),
+		LambdaStar:     dec.LambdaStar(),
+		MinEigenvalue:  dec.MinEigenvalue(),
+		SpectralLower:  lo,
+		SpectralUpper:  hi,
+	}, nil
+}
+
+// EvolutionMixingTime measures t_mix(eps) by brute-force sparse evolution of
+// a point mass from every starting state, advancing all states in lockstep
+// until the worst TV distance drops to eps. It is O(maxT·|S|·nnz) and exists
+// as an independent cross-check of the spectral route on small chains.
+func EvolutionMixingTime(d *logit.Dynamics, eps float64, maxT int) (int64, error) {
+	pi, err := d.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	s := d.TransitionSparse()
+	size := s.N
+	// One distribution per starting state.
+	dists := make([][]float64, size)
+	next := make([][]float64, size)
+	for x := range dists {
+		dists[x] = make([]float64, size)
+		dists[x][x] = 1
+		next[x] = make([]float64, size)
+	}
+	mixed := func() bool {
+		w := 0.0
+		for x := range dists {
+			if tv := markov.TVDistance(dists[x], pi); tv > w {
+				w = tv
+			}
+		}
+		// Same tie-breaking slack as the spectral route.
+		return w <= eps+spectral.TVTol
+	}
+	if mixed() {
+		return 0, nil
+	}
+	for t := 1; t <= maxT; t++ {
+		linalg.ParallelFor(size, func(lo, hi int) {
+			for x := lo; x < hi; x++ {
+				s.Evolve(next[x], dists[x])
+			}
+		})
+		dists, next = next, dists
+		if mixed() {
+			return int64(t), nil
+		}
+	}
+	return 0, fmt.Errorf("mixing: evolution did not mix within %d steps", maxT)
+}
+
+// GrowthExponent fits the slope of log(t_mix) against β by least squares.
+// The theorems of Sections 3 and 5 predict slopes ΔΦ (Thm 3.4/3.5), ζ
+// (Thm 3.8/3.9) and 2δ (Thm 5.6/5.7); Section 4 predicts slope 0.
+func GrowthExponent(betas []float64, mixingTimes []float64) (slope float64, err error) {
+	if len(betas) != len(mixingTimes) || len(betas) < 2 {
+		return 0, fmt.Errorf("mixing: need >= 2 matched samples")
+	}
+	logT := make([]float64, len(mixingTimes))
+	for i, v := range mixingTimes {
+		if v <= 0 {
+			return 0, fmt.Errorf("mixing: non-positive mixing time %g", v)
+		}
+		logT[i] = math.Log(v)
+	}
+	// Least squares slope.
+	n := float64(len(betas))
+	var sx, sy, sxx, sxy float64
+	for i := range betas {
+		sx += betas[i]
+		sy += logT[i]
+		sxx += betas[i] * betas[i]
+		sxy += betas[i] * logT[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, fmt.Errorf("mixing: degenerate β grid")
+	}
+	return (n*sxy - sx*sy) / den, nil
+}
+
+// BoundsReport evaluates every applicable paper bound for the logit dynamics
+// of a potential game at one β.
+type BoundsReport struct {
+	Stats *PotentialStats
+	// Theorem 3.4 all-β upper bound.
+	Thm34Upper float64
+	// Theorem 3.6 small-β bound, valid only if Thm36Applies.
+	Thm36Applies bool
+	Thm36Upper   float64
+	// Theorem 3.8/3.9 ζ-bounds.
+	Thm38Upper float64
+	Thm39Lower float64
+	// Dominant-strategy bounds (Section 4), valid if the game has a
+	// dominant profile.
+	HasDominantProfile bool
+	Thm42Upper         float64
+}
+
+// Report computes the bounds report for a potential game at inverse noise β.
+func Report(p game.Potential, beta, eps float64) (*BoundsReport, error) {
+	st, err := AnalyzePotential(p)
+	if err != nil {
+		return nil, err
+	}
+	sp := game.SpaceOf(p)
+	n, m := sp.Players(), sp.MaxStrategies()
+	const smallBetaC = 0.5
+	r := &BoundsReport{
+		Stats:      st,
+		Thm34Upper: Theorem34Upper(n, m, beta, st.DeltaPhi, eps),
+		Thm38Upper: Theorem38Upper(n, m, beta, st.Zeta, st.DeltaPhi, eps),
+		Thm39Lower: Theorem39Lower(m, math.Pow(float64(m), float64(n)), beta, st.Zeta, eps),
+	}
+	if Theorem36Condition(n, beta, st.SmallDeltaPhi, smallBetaC) {
+		r.Thm36Applies = true
+		r.Thm36Upper = Theorem36Upper(n, smallBetaC, eps)
+	}
+	if _, ok := game.DominantProfile(p, 1e-12); ok {
+		r.HasDominantProfile = true
+		r.Thm42Upper = Theorem42Upper(n, m)
+	}
+	return r, nil
+}

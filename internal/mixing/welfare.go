@@ -1,0 +1,71 @@
+package mixing
+
+import (
+	"errors"
+	"math"
+
+	"logitdyn/internal/game"
+	"logitdyn/internal/logit"
+)
+
+// Stationary expected social welfare. The paper's own precursor work
+// (reference [4], "Mixing time and stationary expected social welfare of
+// logit dynamics", SAGT'10) pairs every mixing-time bound with the expected
+// social welfare E_π[Σ_i u_i] at stationarity: once the chain has mixed,
+// this is the long-run average welfare the system delivers. These helpers
+// make that quantity computable for any game this repository builds.
+
+// SocialWelfare returns SW(x) = Σ_i u_i(x).
+func SocialWelfare(g game.Game, x []int) float64 {
+	sw := 0.0
+	for i := 0; i < g.Players(); i++ {
+		sw += g.Utility(i, x)
+	}
+	return sw
+}
+
+// WelfareReport summarizes welfare at one β.
+type WelfareReport struct {
+	// Expected is E_π[SW] under the stationary distribution.
+	Expected float64
+	// Optimum is max_x SW(x) and OptProfile a maximizer.
+	Optimum    float64
+	OptProfile []int
+	// WorstNash is the lowest welfare over pure Nash equilibria (NaN if
+	// none exist); Expected/Optimum and WorstNash/Optimum are the
+	// stationary counterparts of the price of anarchy/stability.
+	WorstNash float64
+}
+
+// StationaryWelfare computes the welfare report for the logit dynamics of g
+// at the dynamics' β. The profile space must be materializable.
+func StationaryWelfare(d *logit.Dynamics) (*WelfareReport, error) {
+	pi, err := d.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	g := d.Game()
+	sp := d.Space()
+	if sp.Size() != len(pi) {
+		return nil, errors.New("mixing: welfare size mismatch")
+	}
+	rep := &WelfareReport{Optimum: math.Inf(-1), WorstNash: math.NaN()}
+	x := make([]int, sp.Players())
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Decode(idx, x)
+		sw := SocialWelfare(g, x)
+		rep.Expected += pi[idx] * sw
+		if sw > rep.Optimum {
+			rep.Optimum = sw
+			rep.OptProfile = append(rep.OptProfile[:0], x...)
+		}
+	}
+	for _, idx := range game.PureNashEquilibria(g, 1e-12) {
+		sp.Decode(idx, x)
+		sw := SocialWelfare(g, x)
+		if math.IsNaN(rep.WorstNash) || sw < rep.WorstNash {
+			rep.WorstNash = sw
+		}
+	}
+	return rep, nil
+}

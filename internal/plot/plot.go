@@ -1,0 +1,88 @@
+// Package plot renders small ASCII charts for the examples and CLI tools:
+// horizontal bar charts for distributions and log-x line charts for
+// d(t)-style decay curves. Stdout-friendly, no dependencies.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bars renders a labeled horizontal bar chart. Values must be non-negative;
+// bars are scaled to width characters at the maximum value.
+func Bars(w io.Writer, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return errors.New("plot: labels and values length mismatch")
+	}
+	if width < 1 {
+		return errors.New("plot: width must be positive")
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("plot: bad value %g at %d", v, i)
+		}
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		bar := ""
+		if maxV > 0 {
+			bar = strings.Repeat("#", int(math.Round(v/maxV*float64(width))))
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %10.4g  %s\n", maxLabel, labels[i], v, bar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named (x, y) sequence for LogXChart.
+type Series struct {
+	Name string
+	X    []float64 // must be positive and increasing for the log axis
+	Y    []float64 // values in [0, yMax]
+}
+
+// LogXChart renders y against log10(x) as rows of one line per sample:
+// suitable for mixing-decay curves d(t) over many orders of magnitude of t.
+// yMax scales the bar; rows are emitted in x order.
+func LogXChart(w io.Writer, s Series, yMax float64, width int) error {
+	if len(s.X) != len(s.Y) {
+		return errors.New("plot: series length mismatch")
+	}
+	if yMax <= 0 || width < 1 {
+		return errors.New("plot: bad chart geometry")
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%-12s %-10s\n", s.Name, "x", "y"); err != nil {
+		return err
+	}
+	prev := math.Inf(-1)
+	for i := range s.X {
+		if s.X[i] <= 0 || s.X[i] < prev {
+			return fmt.Errorf("plot: x must be positive and non-decreasing, got %g after %g", s.X[i], prev)
+		}
+		prev = s.X[i]
+		y := s.Y[i]
+		if math.IsNaN(y) || y < 0 {
+			return fmt.Errorf("plot: bad y %g at %d", y, i)
+		}
+		frac := y / yMax
+		if frac > 1 {
+			frac = 1
+		}
+		bar := strings.Repeat("#", int(math.Round(frac*float64(width))))
+		if _, err := fmt.Fprintf(w, "%-12.6g %-10.4f %s\n", s.X[i], y, bar); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarsBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := Bars(&buf, []string{"a", "bb"}, []float64{1, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar must span full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "#####") || strings.Contains(lines[0], "######") {
+		t.Errorf("half bar must be 5 chars: %q", lines[0])
+	}
+}
+
+func TestBarsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if err := Bars(&buf, []string{"a"}, []float64{-1}, 10); err == nil {
+		t.Error("negative value must error")
+	}
+	if err := Bars(&buf, []string{"a"}, []float64{math.NaN()}, 10); err == nil {
+		t.Error("NaN must error")
+	}
+	if err := Bars(&buf, []string{"a"}, []float64{1}, 0); err == nil {
+		t.Error("zero width must error")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, []string{"a", "b"}, []float64{0, 0}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#") {
+		t.Error("zero values must render empty bars")
+	}
+}
+
+func TestLogXChart(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{Name: "d(t)", X: []float64{1, 10, 100}, Y: []float64{1, 0.5, 0}}
+	if err := LogXChart(&buf, s, 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "d(t)") {
+		t.Error("missing series name")
+	}
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Error("full-scale bar missing")
+	}
+}
+
+func TestLogXChartValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LogXChart(&buf, Series{X: []float64{1}, Y: []float64{1, 2}}, 1, 10); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if err := LogXChart(&buf, Series{X: []float64{0}, Y: []float64{1}}, 1, 10); err == nil {
+		t.Error("non-positive x must error")
+	}
+	if err := LogXChart(&buf, Series{X: []float64{5, 1}, Y: []float64{1, 1}}, 1, 10); err == nil {
+		t.Error("decreasing x must error")
+	}
+	if err := LogXChart(&buf, Series{X: []float64{1}, Y: []float64{-1}}, 1, 10); err == nil {
+		t.Error("negative y must error")
+	}
+	if err := LogXChart(&buf, Series{X: []float64{1}, Y: []float64{1}}, 0, 10); err == nil {
+		t.Error("bad yMax must error")
+	}
+}
+
+func TestLogXChartClampsOverflowY(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LogXChart(&buf, Series{Name: "s", X: []float64{1}, Y: []float64{5}}, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), strings.Repeat("#", 11)) {
+		t.Error("bar must clamp at width")
+	}
+}

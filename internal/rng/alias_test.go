@@ -1,0 +1,105 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasMatchesWeights(t *testing.T) {
+	r := New(101)
+	w := []float64{0.5, 1.5, 3.0, 0.0, 5.0}
+	a := NewAlias(w)
+	counts := make([]int, len(w))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	total := 10.0
+	for i, c := range counts {
+		want := w[i] / total * n
+		tol := 5*math.Sqrt(want) + 5
+		if math.Abs(float64(c)-want) > tol {
+			t.Fatalf("outcome %d count %d want about %v", i, c, want)
+		}
+	}
+	if counts[3] != 0 {
+		t.Fatalf("zero-weight outcome sampled %d times", counts[3])
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a := NewAlias([]float64{2.5})
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-outcome alias returned nonzero")
+		}
+	}
+}
+
+func TestAliasUniform(t *testing.T) {
+	a := NewAlias([]float64{1, 1, 1, 1, 1, 1})
+	r := New(3)
+	counts := make([]int, 6)
+	const n = 120000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	want := float64(n) / 6
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("outcome %d count %d want about %v", i, c, want)
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	cases := [][]float64{{}, {0, 0, 0}, {1, -1}, {math.NaN()}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewAlias(%v) did not panic", w)
+				}
+			}()
+			NewAlias(w)
+		}()
+	}
+}
+
+// TestAliasTableInvariant checks the structural invariant of the table: the
+// reconstructed probability of each outcome equals its normalized weight.
+func TestAliasTableInvariant(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		total := 0.0
+		for i, v := range raw {
+			w[i] = float64(v)
+			total += w[i]
+		}
+		if total == 0 {
+			return true
+		}
+		a := NewAlias(w)
+		n := float64(len(w))
+		// Reconstruct P(outcome = i) from the table.
+		p := make([]float64, len(w))
+		for cell := range a.prob {
+			p[cell] += a.prob[cell] / n
+			p[a.alias[cell]] += (1 - a.prob[cell]) / n
+		}
+		for i := range p {
+			if math.Abs(p[i]-w[i]/total) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("seeds 1 and 2 agree on %d/64 draws", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	saw := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		saw[r.Uint64()] = true
+	}
+	if len(saw) < 16 {
+		t.Fatalf("seed 0 produced repeats in first 16 draws: %d distinct", len(saw))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(13)
+	const k, n = 7, 140000
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		v := r.Intn(k)
+		if v < 0 || v >= k {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(n) / k
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformSmall(t *testing.T) {
+	r := New(19)
+	// All 6 permutations of 3 elements should be roughly equally likely.
+	counts := map[[3]int]int{}
+	const n = 60000
+	for i := 0; i < n; i++ {
+		p := r.Perm(3)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("expected 6 distinct permutations, got %d", len(counts))
+	}
+	want := float64(n) / 6
+	for perm, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("perm %v count %d deviates from %v", perm, c, want)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(23)
+	a := parent.Split(0)
+	b := parent.Split(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("split streams agree on %d/64 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(29).Split(5)
+	b := New(29).Split(5)
+	for i := 0; i < 32; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split not deterministic")
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(31)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	r := New(37)
+	w := []float64{1, 2, 3, 4}
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	for i, c := range counts {
+		want := w[i] / 10 * n
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("category %d count %d want about %v", i, c, want)
+		}
+	}
+}
+
+func TestCategoricalZeroWeightNeverSampled(t *testing.T) {
+	r := New(41)
+	w := []float64{0, 1, 0, 1}
+	for i := 0; i < 5000; i++ {
+		v := r.Categorical(w)
+		if v == 0 || v == 2 {
+			t.Fatalf("sampled zero-weight category %d", v)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := [][]float64{{-1, 2}, {0, 0}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Categorical(%v) did not panic", w)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(43)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := make([]bool, len(s))
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("shuffle lost element %d", i)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package sim is the parallel experiment engine: it fans a deterministic
+// function out over a parameter grid with a bounded worker pool, handing
+// each task an independent, reproducible RNG stream split from a base seed.
+// Results are returned in input order regardless of scheduling, so every
+// experiment in this repository is exactly reproducible from its seed.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"logitdyn/internal/rng"
+)
+
+// Map runs fn over every parameter in parallel and returns the results in
+// input order. Each invocation receives its index, the parameter, and an
+// RNG stream derived deterministically from seed and the index. workers <= 0
+// selects GOMAXPROCS.
+func Map[P, R any](params []P, seed uint64, workers int, fn func(i int, p P, r *rng.RNG) R) []R {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(params) {
+		workers = len(params)
+	}
+	results := make([]R, len(params))
+	if len(params) == 0 {
+		return results
+	}
+	base := rng.New(seed)
+	// Pre-split the streams sequentially so stream identity does not depend
+	// on scheduling.
+	streams := make([]*rng.RNG, len(params))
+	for i := range streams {
+		streams[i] = base.Split(uint64(i))
+	}
+	if workers <= 1 {
+		for i, p := range params {
+			results[i] = fn(i, p, streams[i])
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = fn(i, params[i], streams[i])
+			}
+		}()
+	}
+	for i := range params {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// Repeat runs fn `trials` times in parallel with independent streams and
+// returns the samples in trial order.
+func Repeat[R any](trials int, seed uint64, workers int, fn func(trial int, r *rng.RNG) R) []R {
+	idx := make([]int, trials)
+	for i := range idx {
+		idx[i] = i
+	}
+	return Map(idx, seed, workers, func(i int, _ int, r *rng.RNG) R {
+		return fn(i, r)
+	})
+}
+
+// Grid2 builds the cross product of two parameter slices as (a, b) pairs in
+// row-major order, for sweeping (β, n)-style grids through Map.
+func Grid2[A, B any](as []A, bs []B) []Pair[A, B] {
+	out := make([]Pair[A, B], 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			out = append(out, Pair[A, B]{First: a, Second: b})
+		}
+	}
+	return out
+}
+
+// Pair is a generic two-field tuple for parameter grids.
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"logitdyn/internal/rng"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	params := []int{10, 20, 30, 40, 50}
+	out := Map(params, 1, 4, func(i int, p int, r *rng.RNG) int {
+		return p + i
+	})
+	want := []int{10, 21, 32, 43, 54}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The RNG stream handed to each task must not depend on scheduling.
+	params := make([]int, 64)
+	run := func(workers int) []uint64 {
+		return Map(params, 42, workers, func(i int, _ int, r *rng.RNG) uint64 {
+			return r.Uint64()
+		})
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 16} {
+		got := run(w)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: task %d stream differs", w, i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out := Map([]int{}, 1, 4, func(i, p int, r *rng.RNG) int { return 0 })
+	if len(out) != 0 {
+		t.Fatal("empty input must give empty output")
+	}
+}
+
+func TestMapRunsAllTasksOnce(t *testing.T) {
+	var count int64
+	n := 100
+	Map(make([]struct{}, n), 7, 8, func(i int, _ struct{}, r *rng.RNG) struct{} {
+		atomic.AddInt64(&count, 1)
+		return struct{}{}
+	})
+	if count != int64(n) {
+		t.Fatalf("ran %d tasks, want %d", count, n)
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	out := Map([]int{1, 2, 3}, 1, 0, func(i, p int, r *rng.RNG) int { return p * 2 })
+	if out[0] != 2 || out[1] != 4 || out[2] != 6 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	out := Repeat(10, 3, 4, func(trial int, r *rng.RNG) int { return trial })
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("trial order broken: %v", out)
+		}
+	}
+	// Determinism of streams.
+	a := Repeat(5, 9, 2, func(_ int, r *rng.RNG) uint64 { return r.Uint64() })
+	b := Repeat(5, 9, 5, func(_ int, r *rng.RNG) uint64 { return r.Uint64() })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Repeat streams must be deterministic")
+		}
+	}
+}
+
+func TestGrid2RowMajor(t *testing.T) {
+	g := Grid2([]int{1, 2}, []string{"a", "b", "c"})
+	if len(g) != 6 {
+		t.Fatalf("len = %d", len(g))
+	}
+	if g[0].First != 1 || g[0].Second != "a" {
+		t.Fatalf("g[0] = %+v", g[0])
+	}
+	if g[5].First != 2 || g[5].Second != "c" {
+		t.Fatalf("g[5] = %+v", g[5])
+	}
+}

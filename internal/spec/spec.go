@@ -1,0 +1,124 @@
+// Package spec builds games and graphs from command-line-friendly string
+// specifications, shared by the cmd/ binaries so every tool names games the
+// same way.
+package spec
+
+import (
+	"fmt"
+
+	"logitdyn/internal/game"
+	"logitdyn/internal/graph"
+	"logitdyn/internal/rng"
+)
+
+// Spec describes a game to construct.
+type Spec struct {
+	// Game selects the family: coordination, graphical, ising, doublewell,
+	// asymwell, dominant, congestion, random.
+	Game string
+	// Graph selects the social graph for graphical/ising games: ring, path,
+	// clique, star, grid, torus.
+	Graph string
+	// N is the number of players (vertices); for grid/torus the shape is
+	// Rows×Cols instead.
+	N int
+	// M is the strategies-per-player count for dominant/random/congestion.
+	M int
+	// C is the double-well barrier location.
+	C int
+	// Delta0, Delta1 are the coordination payoff gaps (δ0, δ1); Delta1
+	// doubles as the Ising coupling δ.
+	Delta0, Delta1 float64
+	// Depth, Shallow parameterize the asymmetric double well.
+	Depth, Shallow float64
+	// Scale is the random-potential amplitude.
+	Scale float64
+	// Rows, Cols shape grid/torus graphs.
+	Rows, Cols int
+	// Seed drives random constructions.
+	Seed uint64
+}
+
+// BuildGraph constructs the social graph named by the spec.
+func (s Spec) BuildGraph() (*graph.Graph, error) {
+	switch s.Graph {
+	case "ring":
+		return graph.Ring(s.N), nil
+	case "path":
+		return graph.Path(s.N), nil
+	case "clique":
+		return graph.Clique(s.N), nil
+	case "star":
+		return graph.Star(s.N), nil
+	case "grid":
+		return graph.Grid(s.Rows, s.Cols), nil
+	case "torus":
+		return graph.Torus(s.Rows, s.Cols), nil
+	case "tree":
+		// N is interpreted as the number of levels of the complete binary
+		// tree (2^N − 1 vertices).
+		return graph.BinaryTree(s.N), nil
+	case "hypercube":
+		// N is interpreted as the dimension (2^N vertices).
+		return graph.Hypercube(s.N), nil
+	case "er":
+		return graph.ErdosRenyi(s.N, 0.5, rng.New(s.Seed)), nil
+	default:
+		return nil, fmt.Errorf("spec: unknown graph %q (ring|path|clique|star|grid|torus|tree|hypercube|er)", s.Graph)
+	}
+}
+
+// Build constructs the game named by the spec.
+func (s Spec) Build() (game.Game, error) {
+	switch s.Game {
+	case "coordination":
+		return game.NewCoordination2x2(s.Delta0, s.Delta1, 0, 0)
+	case "graphical":
+		g, err := s.BuildGraph()
+		if err != nil {
+			return nil, err
+		}
+		base, err := game.NewCoordination2x2(s.Delta0, s.Delta1, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		return game.NewGraphical(g, base)
+	case "ising":
+		g, err := s.BuildGraph()
+		if err != nil {
+			return nil, err
+		}
+		return game.NewIsing(g, s.Delta1)
+	case "doublewell":
+		return game.NewDoubleWell(s.N, s.C, s.Delta1)
+	case "asymwell":
+		return game.NewAsymmetricDoubleWell(s.N, s.C, s.Depth, s.Shallow)
+	case "dominant":
+		return game.NewDominantDiagonal(s.N, s.M)
+	case "congestion":
+		alpha := make([]float64, s.M)
+		beta := make([]float64, s.M)
+		for r := range alpha {
+			alpha[r] = 1 + float64(r)*0.5
+		}
+		return game.NewLinearCongestion(s.N, alpha, beta)
+	case "weighted":
+		g, err := s.BuildGraph()
+		if err != nil {
+			return nil, err
+		}
+		return game.NewRandomWeightedGraphical(g, 0.5, 2.5, rng.New(s.Seed))
+	case "random":
+		sizes := make([]int, s.N)
+		for i := range sizes {
+			sizes[i] = s.M
+		}
+		scale := s.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		return game.NewRandomPotential(sizes, scale, rng.New(s.Seed)), nil
+	default:
+		return nil, fmt.Errorf("spec: unknown game %q (coordination|graphical|ising|weighted|doublewell|asymwell|dominant|congestion|random)", s.Game)
+	}
+}

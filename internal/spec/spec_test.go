@@ -1,0 +1,112 @@
+package spec
+
+import (
+	"testing"
+
+	"logitdyn/internal/game"
+)
+
+func TestBuildGraphFamilies(t *testing.T) {
+	cases := []struct {
+		s    Spec
+		n, m int
+	}{
+		{Spec{Graph: "ring", N: 5}, 5, 5},
+		{Spec{Graph: "path", N: 4}, 4, 3},
+		{Spec{Graph: "clique", N: 4}, 4, 6},
+		{Spec{Graph: "star", N: 5}, 5, 4},
+		{Spec{Graph: "grid", Rows: 2, Cols: 3}, 6, 7},
+		{Spec{Graph: "torus", Rows: 3, Cols: 3}, 9, 18},
+		{Spec{Graph: "tree", N: 3}, 7, 6},
+		{Spec{Graph: "hypercube", N: 3}, 8, 12},
+	}
+	for _, c := range cases {
+		g, err := c.s.BuildGraph()
+		if err != nil {
+			t.Fatalf("%s: %v", c.s.Graph, err)
+		}
+		if g.N() != c.n || g.M() != c.m {
+			t.Errorf("%s: n=%d m=%d, want n=%d m=%d", c.s.Graph, g.N(), g.M(), c.n, c.m)
+		}
+	}
+}
+
+func TestBuildGraphER(t *testing.T) {
+	g, err := Spec{Graph: "er", N: 10, Seed: 4}.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Errorf("n = %d", g.N())
+	}
+	// Determinism.
+	g2, _ := Spec{Graph: "er", N: 10, Seed: 4}.BuildGraph()
+	if g.M() != g2.M() {
+		t.Error("same seed must give same graph")
+	}
+}
+
+func TestBuildGraphUnknown(t *testing.T) {
+	if _, err := (Spec{Graph: "petersen", N: 10}).BuildGraph(); err == nil {
+		t.Fatal("unknown graph must error")
+	}
+}
+
+func TestBuildGames(t *testing.T) {
+	cases := []Spec{
+		{Game: "coordination", Delta0: 3, Delta1: 2},
+		{Game: "graphical", Graph: "ring", N: 4, Delta0: 3, Delta1: 2},
+		{Game: "ising", Graph: "ring", N: 4, Delta1: 1},
+		{Game: "doublewell", N: 6, C: 2, Delta1: 1},
+		{Game: "asymwell", N: 5, C: 2, Depth: 3, Shallow: 1},
+		{Game: "dominant", N: 3, M: 2},
+		{Game: "congestion", N: 3, M: 2},
+		{Game: "random", N: 2, M: 3, Seed: 5},
+		{Game: "weighted", Graph: "ring", N: 4, Seed: 5},
+	}
+	for _, s := range cases {
+		g, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Game, err)
+		}
+		if g.Players() < 1 {
+			t.Errorf("%s: %d players", s.Game, g.Players())
+		}
+		// Every family the spec builds is a potential game; verify when the
+		// space is small.
+		if p, ok := game.AsPotential(g); ok {
+			if err := game.VerifyPotential(p, 1e-9); err != nil {
+				t.Errorf("%s: %v", s.Game, err)
+			}
+		} else {
+			t.Errorf("%s: expected a potential game", s.Game)
+		}
+	}
+}
+
+func TestBuildGameUnknown(t *testing.T) {
+	if _, err := (Spec{Game: "auction"}).Build(); err == nil {
+		t.Fatal("unknown game must error")
+	}
+}
+
+func TestBuildGamePropagatesValidation(t *testing.T) {
+	// Invalid parameters must surface the constructor's error.
+	if _, err := (Spec{Game: "doublewell", N: 4, C: 3, Delta1: 1}).Build(); err == nil {
+		t.Fatal("invalid double-well parameters must error")
+	}
+	if _, err := (Spec{Game: "graphical", Graph: "nope", N: 4, Delta0: 1, Delta1: 1}).Build(); err == nil {
+		t.Fatal("bad graph inside graphical must error")
+	}
+}
+
+func TestRandomGameDefaultScale(t *testing.T) {
+	g, err := Spec{Game: "random", N: 2, M: 2, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := g.(*game.TableGame)
+	if !tg.HasPhi() {
+		t.Fatal("random game must install its potential")
+	}
+}

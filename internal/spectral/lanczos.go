@@ -1,0 +1,182 @@
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"logitdyn/internal/linalg"
+	"logitdyn/internal/markov"
+	"logitdyn/internal/rng"
+)
+
+// Sparse spectral analysis. Dense decomposition is O(|S|³) and caps exact
+// work near |S| ≈ 4096; the Lanczos iteration below needs only sparse
+// mat-vecs with the symmetrized operator A = D^{1/2} P D^{−1/2}, so the
+// relaxation time of much larger logit chains (|S| in the hundreds of
+// thousands) stays measurable. Theorem 2.3 then converts t_rel into a
+// two-sided mixing-time envelope, which is how the repository scales the
+// ring experiments beyond the dense limit.
+
+// SparseOperator applies the symmetrized chain operator using the sparse
+// transition rows: (A v)[x] = sqrt(π_x) · Σ_y P(x,y) · v[y]/sqrt(π_y).
+type SparseOperator struct {
+	s       *markov.Sparse
+	sqrtPi  []float64
+	scratch []float64
+}
+
+// NewSparseOperator validates inputs and precomputes sqrt(π).
+func NewSparseOperator(s *markov.Sparse, pi []float64) (*SparseOperator, error) {
+	if s.N != len(pi) {
+		return nil, errors.New("spectral: operator size mismatch")
+	}
+	sqrtPi := make([]float64, len(pi))
+	for i, v := range pi {
+		if v <= 0 {
+			return nil, fmt.Errorf("spectral: π(%d) = %g must be positive", i, v)
+		}
+		sqrtPi[i] = math.Sqrt(v)
+	}
+	return &SparseOperator{s: s, sqrtPi: sqrtPi, scratch: make([]float64, s.N)}, nil
+}
+
+// N returns the state count.
+func (op *SparseOperator) N() int { return op.s.N }
+
+// Apply computes dst = A·v. dst and v must not alias.
+func (op *SparseOperator) Apply(dst, v []float64) {
+	u := op.scratch
+	for i := range u {
+		u[i] = v[i] / op.sqrtPi[i]
+	}
+	linalg.ParallelFor(op.s.N, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			acc := 0.0
+			for _, e := range op.s.Rows[x] {
+				acc += e.P * u[e.To]
+			}
+			dst[x] = op.sqrtPi[x] * acc
+		}
+	})
+}
+
+// TopVector returns ψ1 = sqrt(π), the known unit-λ eigenvector of A.
+func (op *SparseOperator) TopVector() []float64 {
+	return linalg.Clone(op.sqrtPi)
+}
+
+// LanczosResult reports the extremal eigenvalues of A restricted to the
+// orthogonal complement of ψ1.
+type LanczosResult struct {
+	// Lambda2 is the largest eigenvalue below the trivial λ1 = 1.
+	Lambda2 float64
+	// LambdaMin is the smallest eigenvalue of the restriction.
+	LambdaMin float64
+	// Iterations is the Krylov dimension actually used.
+	Iterations int
+}
+
+// LambdaStar returns max(|λ2|, |λmin|).
+func (r *LanczosResult) LambdaStar() float64 {
+	return math.Max(math.Abs(r.Lambda2), math.Abs(r.LambdaMin))
+}
+
+// RelaxationTime returns 1/(1 − λ*).
+func (r *LanczosResult) RelaxationTime() float64 {
+	gap := 1 - r.LambdaStar()
+	if gap <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / gap
+}
+
+// Lanczos runs the Lanczos iteration with full reorthogonalization (against
+// ψ1 and every previous Krylov vector) for up to maxIter steps, stopping
+// early when the residual β_k falls below tol. The Ritz values of the
+// resulting tridiagonal matrix converge to A's extremal eigenvalues on
+// ψ1⊥ — exactly λ2 and λ_min of the chain.
+func Lanczos(op *SparseOperator, maxIter int, tol float64, r *rng.RNG) (*LanczosResult, error) {
+	n := op.N()
+	if maxIter < 2 {
+		return nil, errors.New("spectral: Lanczos needs maxIter >= 2")
+	}
+	if maxIter > n-1 {
+		maxIter = n - 1
+	}
+	if maxIter < 1 {
+		// One-state chain: the restriction is empty; gap is maximal.
+		return &LanczosResult{Lambda2: 0, LambdaMin: 0, Iterations: 0}, nil
+	}
+	psi1 := op.TopVector()
+	normalize(psi1)
+
+	// Random start orthogonal to ψ1.
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Float64() - 0.5
+	}
+	orthogonalize(v, psi1)
+	if linalg.Norm2(v) < 1e-12 {
+		return nil, errors.New("spectral: degenerate Lanczos start")
+	}
+	normalize(v)
+
+	basis := [][]float64{v}
+	var alphas, betas []float64
+	w := make([]float64, n)
+	for k := 0; k < maxIter; k++ {
+		vk := basis[len(basis)-1]
+		op.Apply(w, vk)
+		alpha := linalg.Dot(w, vk)
+		alphas = append(alphas, alpha)
+		// w ← w − α·v_k − β_{k−1}·v_{k−1}, then full reorthogonalization.
+		linalg.Axpy(-alpha, vk, w)
+		if len(basis) > 1 {
+			linalg.Axpy(-betas[len(betas)-1], basis[len(basis)-2], w)
+		}
+		orthogonalize(w, psi1)
+		for _, b := range basis {
+			orthogonalize(w, b)
+		}
+		beta := linalg.Norm2(w)
+		if beta < tol {
+			break
+		}
+		betas = append(betas, beta)
+		next := linalg.Clone(w)
+		linalg.Scale(1/beta, next)
+		basis = append(basis, next)
+	}
+
+	// Ritz values of the tridiagonal (α, β) matrix.
+	k := len(alphas)
+	tri := linalg.NewDense(k, k)
+	for i := 0; i < k; i++ {
+		tri.Set(i, i, alphas[i])
+		if i+1 < k {
+			tri.Set(i, i+1, betas[i])
+			tri.Set(i+1, i, betas[i])
+		}
+	}
+	es, err := linalg.SymEigen(tri)
+	if err != nil {
+		return nil, err
+	}
+	return &LanczosResult{
+		Lambda2:    es.Values[k-1],
+		LambdaMin:  es.Values[0],
+		Iterations: k,
+	}, nil
+}
+
+func normalize(v []float64) {
+	n := linalg.Norm2(v)
+	if n > 0 {
+		linalg.Scale(1/n, v)
+	}
+}
+
+func orthogonalize(v, against []float64) {
+	linalg.Axpy(-linalg.Dot(v, against), against, v)
+}
