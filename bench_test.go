@@ -1,8 +1,12 @@
 package logitdyn_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"logitdyn/internal/bench"
@@ -10,6 +14,8 @@ import (
 	"logitdyn/internal/game"
 	"logitdyn/internal/graph"
 	"logitdyn/internal/logit"
+	"logitdyn/internal/service"
+	"logitdyn/internal/spec"
 	"logitdyn/internal/spectral"
 )
 
@@ -109,6 +115,77 @@ func BenchmarkPipelineFullAnalyze(b *testing.B) {
 		if _, err := a.Analyze(core.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Serving-layer benchmarks: the baseline for every future scaling PR.
+// Cold-analyze pays a full eigendecomposition per request (every key
+// distinct), cache-hit serves a hot key from the LRU, and batch-sweep fans
+// a β-grid out across the worker pool in one request.
+
+func servicePost(b *testing.B, srv *httptest.Server, path string, body any) {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("%s: status %d", path, resp.StatusCode)
+	}
+}
+
+func serviceBenchSpec() *spec.Spec {
+	return &spec.Spec{Game: "doublewell", N: 6, C: 2, Delta1: 1}
+}
+
+func BenchmarkServiceColdAnalyze(b *testing.B) {
+	srv := httptest.NewServer(service.New(service.Config{CacheSize: 4 * 1024}).Handler())
+	defer srv.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A distinct β per iteration defeats the cache, so every request
+		// pays the full analysis.
+		servicePost(b, srv, "/v1/analyze", service.AnalyzeRequest{
+			Spec: serviceBenchSpec(),
+			Beta: 1 + float64(i)*1e-9,
+		})
+	}
+}
+
+func BenchmarkServiceCacheHit(b *testing.B) {
+	srv := httptest.NewServer(service.New(service.Config{}).Handler())
+	defer srv.Close()
+	req := service.AnalyzeRequest{Spec: serviceBenchSpec(), Beta: 1}
+	servicePost(b, srv, "/v1/analyze", req) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		servicePost(b, srv, "/v1/analyze", req)
+	}
+}
+
+func BenchmarkServiceBatchSweep(b *testing.B) {
+	srv := httptest.NewServer(service.New(service.Config{CacheSize: 4 * 1024}).Handler())
+	defer srv.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		betas := make([]float64, 8)
+		for j := range betas {
+			// Distinct per iteration so the sweep is always cold work.
+			betas[j] = 0.25 + 0.25*float64(j) + float64(i)*1e-9
+		}
+		servicePost(b, srv, "/v1/analyze/batch", service.BatchRequest{
+			Spec:  serviceBenchSpec(),
+			Betas: betas,
+		})
 	}
 }
 

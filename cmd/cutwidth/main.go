@@ -16,6 +16,7 @@ import (
 
 	"logitdyn/internal/graph"
 	"logitdyn/internal/rng"
+	"logitdyn/internal/serialize"
 	"logitdyn/internal/spec"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	flag.IntVar(&s.Cols, "cols", 3, "grid/torus cols")
 	flag.Uint64Var(&s.Seed, "seed", 1, "seed for random graphs")
 	restarts := flag.Int("restarts", 8, "heuristic restarts")
+	jsonOut := flag.Bool("json", false, "emit the computation as JSON on stdout (the service wire format)")
 	flag.Parse()
 
 	g, err := s.BuildGraph()
@@ -34,14 +36,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cutwidth: %v\n", err)
 		os.Exit(2)
 	}
-	fmt.Printf("graph %s: n=%d m=%d maxdeg=%d connected=%v\n",
-		s.Graph, g.N(), g.M(), g.MaxDegree(), g.Connected())
+	doc := serialize.CutwidthDoc{
+		Graph:     s.Graph,
+		N:         g.N(),
+		M:         g.M(),
+		MaxDegree: g.MaxDegree(),
+		Connected: g.Connected(),
+	}
 
 	// Closed forms are parameterized by n for path/ring/clique/star and by
 	// the dimension for the hypercube — which is exactly what spec.N holds
 	// in both cases.
 	if w, ok := graph.ClosedFormCutwidth(s.Graph, s.N); ok {
-		fmt.Printf("closed form   χ = %d\n", w)
+		doc.ClosedForm = &w
 	}
 	if g.N() <= graph.MaxExactCutwidthN {
 		w, ord, err := graph.ExactCutwidth(g)
@@ -49,10 +56,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cutwidth: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("exact DP      χ = %d  (ordering %v)\n", w, ord)
+		doc.Exact = &w
+		doc.ExactOrdering = ord
+	}
+	doc.Heuristic, doc.HeuristicOrdering = graph.HeuristicCutwidth(g, *restarts, rng.New(s.Seed))
+
+	if *jsonOut {
+		if err := serialize.EncodeCutwidth(os.Stdout, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "cutwidth: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("graph %s: n=%d m=%d maxdeg=%d connected=%v\n",
+		s.Graph, doc.N, doc.M, doc.MaxDegree, doc.Connected)
+	if doc.ClosedForm != nil {
+		fmt.Printf("closed form   χ = %d\n", *doc.ClosedForm)
+	}
+	if doc.Exact != nil {
+		fmt.Printf("exact DP      χ = %d  (ordering %v)\n", *doc.Exact, doc.ExactOrdering)
 	} else {
 		fmt.Printf("exact DP      skipped (n > %d)\n", graph.MaxExactCutwidthN)
 	}
-	w, ord := graph.HeuristicCutwidth(g, *restarts, rng.New(s.Seed))
-	fmt.Printf("heuristic     χ <= %d  (ordering %v)\n", w, ord)
+	fmt.Printf("heuristic     χ <= %d  (ordering %v)\n", doc.Heuristic, doc.HeuristicOrdering)
 }

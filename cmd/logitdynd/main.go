@@ -1,0 +1,77 @@
+// Command logitdynd is the long-running analysis daemon: it serves the
+// internal/service HTTP JSON API (canonical game hashing, LRU report cache
+// with singleflight, bounded worker pool) so many callers share one
+// spectral analysis per distinct (game, β) pair.
+//
+// Example:
+//
+//	logitdynd -addr :8080 -cache 512 -workers 4
+//	curl -s localhost:8080/v1/analyze -d '{"spec":{"game":"doublewell","n":6,"c":2,"delta1":1},"beta":1.5}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"logitdyn/internal/service"
+	"logitdyn/internal/spec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", 256, "report-cache capacity (reports)")
+	workers := flag.Int("workers", 0, "max concurrent analyses (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("maxbatch", 256, "max items per batch request")
+	maxProfiles := flag.Int("maxprofiles", 0, "max profile-space size per request (0 = default)")
+	maxBeta := flag.Float64("maxbeta", 0, "max inverse noise β per request (0 = default)")
+	flag.Parse()
+
+	limits := spec.DefaultLimits()
+	if *maxProfiles > 0 {
+		limits.MaxProfiles = *maxProfiles
+	}
+	if *maxBeta > 0 {
+		limits.MaxBeta = *maxBeta
+	}
+	svc := service.New(service.Config{
+		CacheSize: *cacheSize,
+		Workers:   *workers,
+		MaxBatch:  *maxBatch,
+		Limits:    limits,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("logitdynd listening on %s (cache=%d workers=%d maxprofiles=%d)",
+		*addr, *cacheSize, *workers, limits.MaxProfiles)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("logitdynd: %v", err)
+	case <-ctx.Done():
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "logitdynd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("logitdynd: drained and stopped")
+}

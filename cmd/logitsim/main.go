@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
@@ -16,6 +17,7 @@ import (
 	"logitdyn/internal/markov"
 	"logitdyn/internal/plot"
 	"logitdyn/internal/rng"
+	"logitdyn/internal/serialize"
 	"logitdyn/internal/spec"
 )
 
@@ -36,6 +38,7 @@ func main() {
 	beta := flag.Float64("beta", 1, "inverse noise β")
 	steps := flag.Int("steps", 100000, "simulation steps")
 	top := flag.Int("top", 8, "profiles to print")
+	jsonOut := flag.Bool("json", false, "emit the simulation as JSON on stdout (the service wire format)")
 	flag.Parse()
 
 	g, err := s.Build()
@@ -56,8 +59,29 @@ func main() {
 		emp[i] = float64(c) / float64(*steps+1)
 	}
 
-	fmt.Printf("simulated %d logit steps at β=%g on %q (|S|=%d)\n", *steps, *beta, s.Game, sp.Size())
 	gibbs, gerr := d.Gibbs()
+	if *jsonOut {
+		doc := serialize.SimulationDoc{
+			Game:        s.Game,
+			Beta:        serialize.Float(*beta),
+			Steps:       *steps,
+			Seed:        s.Seed,
+			NumProfiles: sp.Size(),
+			Start:       start,
+			Empirical:   emp,
+			TVGibbs:     serialize.Float(math.NaN()),
+		}
+		if gerr == nil {
+			doc.TVGibbs = serialize.Float(markov.TVDistance(emp, gibbs))
+		}
+		if err := serialize.EncodeSimulation(os.Stdout, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "logitsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("simulated %d logit steps at β=%g on %q (|S|=%d)\n", *steps, *beta, s.Game, sp.Size())
 	if gerr == nil {
 		fmt.Printf("TV(empirical, Gibbs) = %.4f\n\n", markov.TVDistance(emp, gibbs))
 	} else {

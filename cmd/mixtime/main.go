@@ -40,18 +40,27 @@ func main() {
 	loadGame := flag.String("loadgame", "", "read the game from a JSON file instead of -game flags")
 	saveGame := flag.String("savegame", "", "write the constructed game as JSON")
 	saveResult := flag.String("saveresult", "", "write the analysis result as JSON")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON on stdout (the service wire format)")
 	flag.Parse()
 
 	var g game.Game
 	var err error
+	gameName := s.Game
 	if *loadGame != "" {
 		f, ferr := os.Open(*loadGame)
 		if ferr != nil {
 			fmt.Fprintf(os.Stderr, "mixtime: %v\n", ferr)
 			os.Exit(2)
 		}
-		g, err = serialize.DecodeGame(f)
+		var doc serialize.GameDoc
+		doc, err = serialize.DecodeGameDoc(f)
 		f.Close()
+		if err == nil {
+			if doc.Name != "" {
+				gameName = doc.Name
+			}
+			g, err = doc.Build()
+		}
 	} else {
 		g, err = s.Build()
 	}
@@ -65,7 +74,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mixtime: %v\n", ferr)
 			os.Exit(2)
 		}
-		if err := serialize.EncodeGame(f, g, s.Game); err != nil {
+		if err := serialize.EncodeGame(f, g, gameName); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "mixtime: %v\n", err)
 			os.Exit(1)
@@ -83,7 +92,40 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("game            %s (|S| = %d profiles)\n", s.Game, rep.NumProfiles)
+	if *saveResult != "" {
+		doc := serialize.ResultDoc{
+			Game:           gameName,
+			Beta:           rep.Beta,
+			Eps:            *eps,
+			MixingTime:     rep.MixingTime,
+			RelaxationTime: rep.RelaxationTime,
+		}
+		if rep.Stats != nil {
+			doc.DeltaPhi = rep.Stats.DeltaPhi
+			doc.Zeta = rep.Stats.Zeta
+		}
+		f, ferr := os.Create(*saveResult)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "mixtime: %v\n", ferr)
+			os.Exit(1)
+		}
+		if err := serialize.EncodeResult(f, doc); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "mixtime: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if *jsonOut {
+		if err := serialize.EncodeReport(os.Stdout, serialize.FromReport(rep, gameName, *eps)); err != nil {
+			fmt.Fprintf(os.Stderr, "mixtime: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("game            %s (|S| = %d profiles)\n", gameName, rep.NumProfiles)
 	fmt.Printf("beta            %g\n", rep.Beta)
 	fmt.Printf("t_mix(%g)      %d steps\n", *eps, rep.MixingTime)
 	fmt.Printf("t_rel           %.4g\n", rep.RelaxationTime)
@@ -108,27 +150,4 @@ func main() {
 		}
 	}
 
-	if *saveResult != "" {
-		doc := serialize.ResultDoc{
-			Game:           s.Game,
-			Beta:           rep.Beta,
-			Eps:            *eps,
-			MixingTime:     rep.MixingTime,
-			RelaxationTime: rep.RelaxationTime,
-		}
-		if rep.Stats != nil {
-			doc.DeltaPhi = rep.Stats.DeltaPhi
-			doc.Zeta = rep.Stats.Zeta
-		}
-		f, ferr := os.Create(*saveResult)
-		if ferr != nil {
-			fmt.Fprintf(os.Stderr, "mixtime: %v\n", ferr)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := serialize.EncodeResult(f, doc); err != nil {
-			fmt.Fprintf(os.Stderr, "mixtime: %v\n", err)
-			os.Exit(1)
-		}
-	}
 }

@@ -12,10 +12,13 @@
 // Entry points:
 //
 //   - internal/core      — the Analyzer facade (mixing time, spectrum, bounds)
+//   - internal/service   — the serving layer: canonical game hashing, LRU
+//     report cache with singleflight, bounded worker pool, HTTP JSON API
 //   - internal/game      — game families: coordination, graphical, double
 //     wells, dominant-strategy, congestion
 //   - internal/logit     — the dynamics itself (Eq. 2–4 of the paper)
 //   - internal/bench     — the E1–E12 experiment registry
+//   - cmd/logitdynd      — the long-running analysis daemon
 //   - cmd/experiments    — regenerate the EXPERIMENTS.md tables
 //   - cmd/mixtime        — analyze one game at one β
 //   - cmd/logitsim       — trajectory simulation

@@ -1,0 +1,3 @@
+module logitdyn
+
+go 1.24

@@ -68,6 +68,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Normalized returns the options with all defaults filled in, so that
+// equivalent zero-value spellings collapse to one representation. Cache
+// layers key analyses on normalized options.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 // Report is the full analysis of one (game, β) pair.
 type Report struct {
 	Beta float64
@@ -166,6 +171,17 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// AnalyzeGame is the one-shot entry point: build the analyzer for (g, β)
+// and run the exact pipeline. Serving layers use it as the cache-miss
+// path, keyed on the canonical game hash plus Normalized options.
+func AnalyzeGame(g game.Game, beta float64, opts Options) (*Report, error) {
+	a, err := NewAnalyzer(g, beta)
+	if err != nil {
+		return nil, err
+	}
+	return a.Analyze(opts)
 }
 
 // MixingTime is a convenience wrapper returning only the exact t_mix(ε).

@@ -1,0 +1,331 @@
+// Report, simulation and cutwidth documents: the full wire format shared by
+// the cmd/ tools (-json flags) and the internal/service HTTP API. Every
+// field of core.Report round-trips, including NaN/±Inf scalars, which plain
+// encoding/json cannot represent; those travel as the strings "NaN",
+// "+Inf" and "-Inf" via the Float type.
+package serialize
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"logitdyn/internal/core"
+	"logitdyn/internal/mixing"
+)
+
+// Float is a float64 that survives JSON encoding even when it is NaN or
+// infinite (encoded as the strings "NaN", "+Inf", "-Inf").
+type Float float64
+
+// MarshalJSON encodes non-finite values as strings.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts either a JSON number or one of the non-finite
+// marker strings.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = Float(math.NaN())
+		case "+Inf", "Inf":
+			*f = Float(math.Inf(1))
+		case "-Inf":
+			*f = Float(math.Inf(-1))
+		default:
+			return fmt.Errorf("serialize: invalid float marker %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// PotentialStatsDoc mirrors mixing.PotentialStats.
+type PotentialStatsDoc struct {
+	Phi           []float64 `json:"phi,omitempty"`
+	PhiMin        Float     `json:"phi_min"`
+	PhiMax        Float     `json:"phi_max"`
+	DeltaPhi      Float     `json:"delta_phi"`
+	SmallDeltaPhi Float     `json:"small_delta_phi"`
+	Zeta          Float     `json:"zeta"`
+}
+
+func fromStats(st *mixing.PotentialStats) *PotentialStatsDoc {
+	if st == nil {
+		return nil
+	}
+	return &PotentialStatsDoc{
+		Phi:           st.Phi,
+		PhiMin:        Float(st.PhiMin),
+		PhiMax:        Float(st.PhiMax),
+		DeltaPhi:      Float(st.DeltaPhi),
+		SmallDeltaPhi: Float(st.SmallDeltaPhi),
+		Zeta:          Float(st.Zeta),
+	}
+}
+
+func (d *PotentialStatsDoc) stats() *mixing.PotentialStats {
+	if d == nil {
+		return nil
+	}
+	return &mixing.PotentialStats{
+		Phi:           d.Phi,
+		PhiMin:        float64(d.PhiMin),
+		PhiMax:        float64(d.PhiMax),
+		DeltaPhi:      float64(d.DeltaPhi),
+		SmallDeltaPhi: float64(d.SmallDeltaPhi),
+		Zeta:          float64(d.Zeta),
+	}
+}
+
+// BoundsDoc mirrors mixing.BoundsReport.
+type BoundsDoc struct {
+	Stats              *PotentialStatsDoc `json:"stats,omitempty"`
+	Thm34Upper         Float              `json:"thm34_upper"`
+	Thm36Applies       bool               `json:"thm36_applies"`
+	Thm36Upper         Float              `json:"thm36_upper"`
+	Thm38Upper         Float              `json:"thm38_upper"`
+	Thm39Lower         Float              `json:"thm39_lower"`
+	HasDominantProfile bool               `json:"has_dominant_profile"`
+	Thm42Upper         Float              `json:"thm42_upper"`
+}
+
+func fromBounds(b *mixing.BoundsReport) *BoundsDoc {
+	if b == nil {
+		return nil
+	}
+	return &BoundsDoc{
+		Stats:              fromStats(b.Stats),
+		Thm34Upper:         Float(b.Thm34Upper),
+		Thm36Applies:       b.Thm36Applies,
+		Thm36Upper:         Float(b.Thm36Upper),
+		Thm38Upper:         Float(b.Thm38Upper),
+		Thm39Lower:         Float(b.Thm39Lower),
+		HasDominantProfile: b.HasDominantProfile,
+		Thm42Upper:         Float(b.Thm42Upper),
+	}
+}
+
+func (d *BoundsDoc) bounds() *mixing.BoundsReport {
+	if d == nil {
+		return nil
+	}
+	return &mixing.BoundsReport{
+		Stats:              d.Stats.stats(),
+		Thm34Upper:         float64(d.Thm34Upper),
+		Thm36Applies:       d.Thm36Applies,
+		Thm36Upper:         float64(d.Thm36Upper),
+		Thm38Upper:         float64(d.Thm38Upper),
+		Thm39Lower:         float64(d.Thm39Lower),
+		HasDominantProfile: d.HasDominantProfile,
+		Thm42Upper:         float64(d.Thm42Upper),
+	}
+}
+
+// WelfareDoc mirrors mixing.WelfareReport.
+type WelfareDoc struct {
+	Expected   Float `json:"expected"`
+	Optimum    Float `json:"optimum"`
+	OptProfile []int `json:"opt_profile,omitempty"`
+	// WorstNash is NaN when the game has no pure Nash equilibrium.
+	WorstNash Float `json:"worst_nash"`
+}
+
+func fromWelfare(w *mixing.WelfareReport) *WelfareDoc {
+	if w == nil {
+		return nil
+	}
+	return &WelfareDoc{
+		Expected:   Float(w.Expected),
+		Optimum:    Float(w.Optimum),
+		OptProfile: w.OptProfile,
+		WorstNash:  Float(w.WorstNash),
+	}
+}
+
+func (d *WelfareDoc) welfare() *mixing.WelfareReport {
+	if d == nil {
+		return nil
+	}
+	return &mixing.WelfareReport{
+		Expected:   float64(d.Expected),
+		Optimum:    float64(d.Optimum),
+		OptProfile: d.OptProfile,
+		WorstNash:  float64(d.WorstNash),
+	}
+}
+
+// ReportDoc is the wire form of a full core.Report. Every field of the
+// report survives encode→decode.
+type ReportDoc struct {
+	Version int    `json:"version"`
+	Game    string `json:"game,omitempty"`
+	// Eps is the total-variation target the report was computed for.
+	Eps             Float              `json:"eps,omitempty"`
+	Beta            Float              `json:"beta"`
+	NumProfiles     int                `json:"num_profiles"`
+	MixingTime      int64              `json:"mixing_time"`
+	RelaxationTime  Float              `json:"relaxation_time"`
+	LambdaStar      Float              `json:"lambda_star"`
+	MinEigenvalue   Float              `json:"min_eigenvalue"`
+	Stationary      []float64          `json:"stationary,omitempty"`
+	IsPotentialGame bool               `json:"is_potential_game"`
+	Stats           *PotentialStatsDoc `json:"stats,omitempty"`
+	Bounds          *BoundsDoc         `json:"bounds,omitempty"`
+	PureNash        []int              `json:"pure_nash,omitempty"`
+	DominantProfile []int              `json:"dominant_profile,omitempty"`
+	Welfare         *WelfareDoc        `json:"welfare,omitempty"`
+}
+
+// FromReport converts a core.Report into its wire document.
+func FromReport(rep *core.Report, gameName string, eps float64) ReportDoc {
+	return ReportDoc{
+		Version:         Version,
+		Game:            gameName,
+		Eps:             Float(eps),
+		Beta:            Float(rep.Beta),
+		NumProfiles:     rep.NumProfiles,
+		MixingTime:      rep.MixingTime,
+		RelaxationTime:  Float(rep.RelaxationTime),
+		LambdaStar:      Float(rep.LambdaStar),
+		MinEigenvalue:   Float(rep.MinEigenvalue),
+		Stationary:      rep.Stationary,
+		IsPotentialGame: rep.IsPotentialGame,
+		Stats:           fromStats(rep.Stats),
+		Bounds:          fromBounds(rep.Bounds),
+		PureNash:        rep.PureNash,
+		DominantProfile: rep.DominantProfile,
+		Welfare:         fromWelfare(rep.Welfare),
+	}
+}
+
+// Report rebuilds the core.Report the document was encoded from.
+func (d ReportDoc) Report() *core.Report {
+	return &core.Report{
+		Beta:            float64(d.Beta),
+		NumProfiles:     d.NumProfiles,
+		MixingTime:      d.MixingTime,
+		RelaxationTime:  float64(d.RelaxationTime),
+		LambdaStar:      float64(d.LambdaStar),
+		MinEigenvalue:   float64(d.MinEigenvalue),
+		Stationary:      d.Stationary,
+		IsPotentialGame: d.IsPotentialGame,
+		Stats:           d.Stats.stats(),
+		Bounds:          d.Bounds.bounds(),
+		PureNash:        d.PureNash,
+		DominantProfile: d.DominantProfile,
+		Welfare:         d.Welfare.welfare(),
+	}
+}
+
+// EncodeReport writes a report document.
+func EncodeReport(w io.Writer, doc ReportDoc) error {
+	doc.Version = Version
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeReport reads a report document.
+func DecodeReport(r io.Reader) (ReportDoc, error) {
+	var doc ReportDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return ReportDoc{}, fmt.Errorf("serialize: %w", err)
+	}
+	if doc.Version != Version {
+		return ReportDoc{}, fmt.Errorf("serialize: unsupported version %d", doc.Version)
+	}
+	return doc, nil
+}
+
+// SimulationDoc archives one trajectory simulation: the empirical occupancy
+// measure and its total-variation distance to the Gibbs prediction (NaN
+// when no closed-form Gibbs measure exists).
+type SimulationDoc struct {
+	Version     int       `json:"version"`
+	Game        string    `json:"game,omitempty"`
+	Beta        Float     `json:"beta"`
+	Steps       int       `json:"steps"`
+	Seed        uint64    `json:"seed"`
+	NumProfiles int       `json:"num_profiles"`
+	Start       []int     `json:"start,omitempty"`
+	Empirical   []float64 `json:"empirical"`
+	TVGibbs     Float     `json:"tv_gibbs"`
+}
+
+// EncodeSimulation writes a simulation document.
+func EncodeSimulation(w io.Writer, doc SimulationDoc) error {
+	doc.Version = Version
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeSimulation reads a simulation document.
+func DecodeSimulation(r io.Reader) (SimulationDoc, error) {
+	var doc SimulationDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return SimulationDoc{}, fmt.Errorf("serialize: %w", err)
+	}
+	if doc.Version != Version {
+		return SimulationDoc{}, fmt.Errorf("serialize: unsupported version %d", doc.Version)
+	}
+	return doc, nil
+}
+
+// CutwidthDoc archives one cutwidth computation. ClosedForm and Exact are
+// nil when no closed form is known / the exact DP was skipped.
+type CutwidthDoc struct {
+	Version           int    `json:"version"`
+	Graph             string `json:"graph"`
+	N                 int    `json:"n"`
+	M                 int    `json:"m"`
+	MaxDegree         int    `json:"max_degree"`
+	Connected         bool   `json:"connected"`
+	ClosedForm        *int   `json:"closed_form,omitempty"`
+	Exact             *int   `json:"exact,omitempty"`
+	ExactOrdering     []int  `json:"exact_ordering,omitempty"`
+	Heuristic         int    `json:"heuristic"`
+	HeuristicOrdering []int  `json:"heuristic_ordering,omitempty"`
+}
+
+// EncodeCutwidth writes a cutwidth document.
+func EncodeCutwidth(w io.Writer, doc CutwidthDoc) error {
+	doc.Version = Version
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeCutwidth reads a cutwidth document.
+func DecodeCutwidth(r io.Reader) (CutwidthDoc, error) {
+	var doc CutwidthDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return CutwidthDoc{}, fmt.Errorf("serialize: %w", err)
+	}
+	if doc.Version != Version {
+		return CutwidthDoc{}, fmt.Errorf("serialize: unsupported version %d", doc.Version)
+	}
+	return doc, nil
+}

@@ -1,0 +1,285 @@
+package serialize
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"logitdyn/internal/core"
+	"logitdyn/internal/game"
+	"logitdyn/internal/mixing"
+)
+
+// mixingWelfareNaN is a welfare report for a game without pure Nash
+// equilibria (WorstNash is NaN).
+var mixingWelfareNaN = mixing.WelfareReport{
+	Expected:   1.5,
+	Optimum:    2,
+	OptProfile: []int{0, 1},
+	WorstNash:  math.NaN(),
+}
+
+// floatEq treats NaN as equal to NaN, so non-finite report fields can be
+// compared after a round trip.
+func floatEq(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+func sliceEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !floatEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// requireReportEq checks every core.Report field.
+func requireReportEq(t *testing.T, got, want *core.Report) {
+	t.Helper()
+	if !floatEq(got.Beta, want.Beta) {
+		t.Errorf("Beta: %v vs %v", got.Beta, want.Beta)
+	}
+	if got.NumProfiles != want.NumProfiles {
+		t.Errorf("NumProfiles: %d vs %d", got.NumProfiles, want.NumProfiles)
+	}
+	if got.MixingTime != want.MixingTime {
+		t.Errorf("MixingTime: %d vs %d", got.MixingTime, want.MixingTime)
+	}
+	if !floatEq(got.RelaxationTime, want.RelaxationTime) {
+		t.Errorf("RelaxationTime: %v vs %v", got.RelaxationTime, want.RelaxationTime)
+	}
+	if !floatEq(got.LambdaStar, want.LambdaStar) {
+		t.Errorf("LambdaStar: %v vs %v", got.LambdaStar, want.LambdaStar)
+	}
+	if !floatEq(got.MinEigenvalue, want.MinEigenvalue) {
+		t.Errorf("MinEigenvalue: %v vs %v", got.MinEigenvalue, want.MinEigenvalue)
+	}
+	if !sliceEq(got.Stationary, want.Stationary) {
+		t.Error("Stationary drifted")
+	}
+	if got.IsPotentialGame != want.IsPotentialGame {
+		t.Error("IsPotentialGame drifted")
+	}
+	if (got.Stats == nil) != (want.Stats == nil) {
+		t.Fatalf("Stats presence: %v vs %v", got.Stats != nil, want.Stats != nil)
+	}
+	if want.Stats != nil {
+		if !sliceEq(got.Stats.Phi, want.Stats.Phi) ||
+			!floatEq(got.Stats.PhiMin, want.Stats.PhiMin) ||
+			!floatEq(got.Stats.PhiMax, want.Stats.PhiMax) ||
+			!floatEq(got.Stats.DeltaPhi, want.Stats.DeltaPhi) ||
+			!floatEq(got.Stats.SmallDeltaPhi, want.Stats.SmallDeltaPhi) ||
+			!floatEq(got.Stats.Zeta, want.Stats.Zeta) {
+			t.Error("Stats drifted")
+		}
+	}
+	if (got.Bounds == nil) != (want.Bounds == nil) {
+		t.Fatalf("Bounds presence: %v vs %v", got.Bounds != nil, want.Bounds != nil)
+	}
+	if want.Bounds != nil {
+		gb, wb := got.Bounds, want.Bounds
+		if (gb.Stats == nil) != (wb.Stats == nil) {
+			t.Error("Bounds.Stats presence drifted")
+		}
+		if wb.Stats != nil && !floatEq(gb.Stats.Zeta, wb.Stats.Zeta) {
+			t.Error("Bounds.Stats drifted")
+		}
+		if !floatEq(gb.Thm34Upper, wb.Thm34Upper) ||
+			gb.Thm36Applies != wb.Thm36Applies ||
+			!floatEq(gb.Thm36Upper, wb.Thm36Upper) ||
+			!floatEq(gb.Thm38Upper, wb.Thm38Upper) ||
+			!floatEq(gb.Thm39Lower, wb.Thm39Lower) ||
+			gb.HasDominantProfile != wb.HasDominantProfile ||
+			!floatEq(gb.Thm42Upper, wb.Thm42Upper) {
+			t.Error("Bounds drifted")
+		}
+	}
+	if !intsEq(got.PureNash, want.PureNash) {
+		t.Errorf("PureNash: %v vs %v", got.PureNash, want.PureNash)
+	}
+	if !intsEq(got.DominantProfile, want.DominantProfile) {
+		t.Errorf("DominantProfile: %v vs %v", got.DominantProfile, want.DominantProfile)
+	}
+	if (got.Welfare == nil) != (want.Welfare == nil) {
+		t.Fatalf("Welfare presence: %v vs %v", got.Welfare != nil, want.Welfare != nil)
+	}
+	if want.Welfare != nil {
+		if !floatEq(got.Welfare.Expected, want.Welfare.Expected) ||
+			!floatEq(got.Welfare.Optimum, want.Welfare.Optimum) ||
+			!intsEq(got.Welfare.OptProfile, want.Welfare.OptProfile) ||
+			!floatEq(got.Welfare.WorstNash, want.Welfare.WorstNash) {
+			t.Error("Welfare drifted")
+		}
+	}
+}
+
+func roundTrip(t *testing.T, rep *core.Report, name string, eps float64) *core.Report {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeReport(&buf, FromReport(rep, name, eps)); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := DecodeReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Game != name || float64(doc.Eps) != eps {
+		t.Fatalf("labels drifted: %q/%v", doc.Game, doc.Eps)
+	}
+	return doc.Report()
+}
+
+func TestReportRoundTripPotentialGame(t *testing.T) {
+	// A double well exercises Stats, Bounds (positive ζ) and Welfare.
+	g, err := game.NewDoubleWell(5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.AnalyzeGame(g, 1.5, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats == nil || rep.Bounds == nil || rep.Welfare == nil {
+		t.Fatal("fixture must exercise Stats, Bounds and Welfare")
+	}
+	requireReportEq(t, roundTrip(t, rep, "doublewell", 0.25), rep)
+}
+
+func TestReportRoundTripDominantGame(t *testing.T) {
+	// A dominant-diagonal game exercises DominantProfile and the Thm 4.2
+	// branch of the bounds.
+	g, err := game.NewDominantDiagonal(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.AnalyzeGame(g, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DominantProfile == nil {
+		t.Fatal("fixture must have a dominant profile")
+	}
+	if rep.Bounds == nil || !rep.Bounds.HasDominantProfile {
+		t.Fatal("fixture must exercise the dominant-profile bound")
+	}
+	requireReportEq(t, roundTrip(t, rep, "dominant", 0.25), rep)
+}
+
+func TestReportRoundTripNonFiniteFields(t *testing.T) {
+	// Non-potential chains report NaN spectral fields, and a game without
+	// pure Nash equilibria has WorstNash = NaN; all must survive JSON.
+	rep := &core.Report{
+		Beta:           1,
+		NumProfiles:    4,
+		MixingTime:     7,
+		RelaxationTime: math.Inf(1),
+		LambdaStar:     math.NaN(),
+		MinEigenvalue:  math.NaN(),
+		Stationary:     []float64{0.25, 0.25, 0.25, 0.25},
+		Welfare:        &mixingWelfareNaN,
+	}
+	var buf bytes.Buffer
+	if err := EncodeReport(&buf, FromReport(rep, "", 0.25)); err != nil {
+		t.Fatalf("NaN fields must encode: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"NaN"`) || !strings.Contains(buf.String(), `"+Inf"`) {
+		t.Fatalf("non-finite markers missing from %s", buf.String())
+	}
+	doc, err := DecodeReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireReportEq(t, doc.Report(), rep)
+}
+
+func TestReportDecodeRejectsBadDocs(t *testing.T) {
+	if _, err := DecodeReport(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("bad version must be rejected")
+	}
+	if _, err := DecodeReport(strings.NewReader(`{"version": 1, "beta": "nonsense"}`)); err == nil {
+		t.Fatal("bad float marker must be rejected")
+	}
+	if _, err := DecodeReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestSimulationRoundTrip(t *testing.T) {
+	in := SimulationDoc{
+		Game: "ising", Beta: 0.5, Steps: 1000, Seed: 9, NumProfiles: 4,
+		Start: []int{0, 0}, Empirical: []float64{0.4, 0.1, 0.1, 0.4},
+		TVGibbs: Float(math.NaN()),
+	}
+	var buf bytes.Buffer
+	if err := EncodeSimulation(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSimulation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Game != in.Game || out.Steps != in.Steps || out.Seed != in.Seed ||
+		out.NumProfiles != in.NumProfiles || !intsEq(out.Start, in.Start) ||
+		!sliceEq(out.Empirical, in.Empirical) ||
+		!floatEq(float64(out.TVGibbs), float64(in.TVGibbs)) {
+		t.Fatalf("round trip drifted: %+v vs %+v", out, in)
+	}
+}
+
+func TestCutwidthRoundTrip(t *testing.T) {
+	cf, ex := 2, 2
+	in := CutwidthDoc{
+		Graph: "ring", N: 8, M: 8, MaxDegree: 2, Connected: true,
+		ClosedForm: &cf, Exact: &ex, ExactOrdering: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		Heuristic: 2, HeuristicOrdering: []int{7, 6, 5, 4, 3, 2, 1, 0},
+	}
+	var buf bytes.Buffer
+	if err := EncodeCutwidth(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeCutwidth(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Graph != in.Graph || out.N != in.N || out.M != in.M ||
+		out.MaxDegree != in.MaxDegree || out.Connected != in.Connected ||
+		*out.ClosedForm != *in.ClosedForm || *out.Exact != *in.Exact ||
+		!intsEq(out.ExactOrdering, in.ExactOrdering) ||
+		out.Heuristic != in.Heuristic ||
+		!intsEq(out.HeuristicOrdering, in.HeuristicOrdering) {
+		t.Fatalf("round trip drifted: %+v vs %+v", out, in)
+	}
+	// Absent optional fields stay absent.
+	in2 := CutwidthDoc{Graph: "er", N: 5, Heuristic: 3}
+	buf.Reset()
+	if err := EncodeCutwidth(&buf, in2); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := DecodeCutwidth(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.ClosedForm != nil || out2.Exact != nil {
+		t.Fatal("absent optionals must decode as nil")
+	}
+}

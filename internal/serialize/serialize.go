@@ -30,9 +30,9 @@ type GameDoc struct {
 	Phi []float64 `json:"phi,omitempty"`
 }
 
-// EncodeGame materializes g (tabulating its potential if it exposes one)
-// and writes the JSON document.
-func EncodeGame(w io.Writer, g game.Game, name string) error {
+// NewGameDoc materializes g (tabulating its potential if it exposes one)
+// into its wire document.
+func NewGameDoc(g game.Game, name string) GameDoc {
 	t := game.Materialize(g)
 	sp := t.Space()
 	doc := GameDoc{
@@ -54,21 +54,20 @@ func EncodeGame(w io.Writer, g game.Game, name string) error {
 			doc.Phi[idx] = t.PhiIndexed(idx)
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return doc
 }
 
-// DecodeGame reads a JSON document and rebuilds the table game. The
-// potential table, if present, is verified against the utilities before
-// installation so a corrupted document cannot smuggle in a wrong Gibbs
-// measure.
-func DecodeGame(r io.Reader) (*game.TableGame, error) {
-	var doc GameDoc
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("serialize: %w", err)
-	}
+// EncodeGame materializes g and writes the JSON document.
+func EncodeGame(w io.Writer, g game.Game, name string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewGameDoc(g, name))
+}
+
+// Build validates the document and rebuilds the table game. The potential
+// table, if present, is verified against the utilities before installation
+// so a corrupted document cannot smuggle in a wrong Gibbs measure.
+func (doc GameDoc) Build() (*game.TableGame, error) {
 	if doc.Version != Version {
 		return nil, fmt.Errorf("serialize: unsupported version %d", doc.Version)
 	}
@@ -105,6 +104,25 @@ func DecodeGame(r io.Reader) (*game.TableGame, error) {
 		}
 	}
 	return t, nil
+}
+
+// DecodeGameDoc reads a JSON game document without building it, so
+// callers can inspect its name and shape first.
+func DecodeGameDoc(r io.Reader) (GameDoc, error) {
+	var doc GameDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return GameDoc{}, fmt.Errorf("serialize: %w", err)
+	}
+	return doc, nil
+}
+
+// DecodeGame reads a JSON document and rebuilds the table game.
+func DecodeGame(r io.Reader) (*game.TableGame, error) {
+	doc, err := DecodeGameDoc(r)
+	if err != nil {
+		return nil, err
+	}
+	return doc.Build()
 }
 
 // ResultDoc archives one analysis result.

@@ -1,0 +1,128 @@
+// An LRU report cache with singleflight deduplication: concurrent requests
+// for the same key trigger exactly one analysis, later requests for a hot
+// key are served from memory, and the least-recently-used report is
+// evicted once the cache is full.
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"logitdyn/internal/core"
+)
+
+type cacheEntry struct {
+	key string
+	rep *core.Report
+}
+
+// inflightCall tracks one in-progress analysis; waiters block on done and
+// then read rep/err.
+type inflightCall struct {
+	done chan struct{}
+	rep  *core.Report
+	err  error
+}
+
+// Cache is a bounded LRU of analysis reports keyed by canonical game hash,
+// with singleflight deduplication of concurrent misses. The zero value is
+// not usable; construct with NewCache.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*inflightCall
+
+	hits, misses, evictions, dedups uint64
+}
+
+// NewCache builds a cache holding at most capacity reports; capacity < 1
+// is treated as 1 so the singleflight layer always has a backing store.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*inflightCall),
+	}
+}
+
+// Do returns the cached report for key, or runs fn exactly once — however
+// many goroutines ask concurrently — to compute, cache and share it.
+// cached reports whether the result was served without running fn in this
+// call (a memory hit or a singleflight join). Errors are not cached: a
+// failed analysis is retried by the next request.
+func (c *Cache) Do(key string, fn func() (*core.Report, error)) (rep *core.Report, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		rep = el.Value.(*cacheEntry).rep
+		c.mu.Unlock()
+		return rep, true, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.dedups++
+		c.mu.Unlock()
+		<-call.done
+		return call.rep, true, call.err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.misses++
+	c.mu.Unlock()
+
+	call.rep, call.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, rep: call.rep})
+		if c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.rep, false, call.err
+}
+
+// CacheMetrics is a point-in-time snapshot of cache behavior.
+type CacheMetrics struct {
+	Capacity int `json:"capacity"`
+	Size     int `json:"size"`
+	// Hits counts requests served straight from memory; Misses counts
+	// analyses the cache had to run; SingleflightWaits counts requests
+	// that joined an analysis already in flight.
+	Hits              uint64 `json:"hits"`
+	Misses            uint64 `json:"misses"`
+	Evictions         uint64 `json:"evictions"`
+	SingleflightWaits uint64 `json:"singleflight_waits"`
+	// HitRate is (Hits + SingleflightWaits) / all lookups, 0 when idle.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Metrics snapshots the counters.
+func (c *Cache) Metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := CacheMetrics{
+		Capacity:          c.capacity,
+		Size:              c.ll.Len(),
+		Hits:              c.hits,
+		Misses:            c.misses,
+		Evictions:         c.evictions,
+		SingleflightWaits: c.dedups,
+	}
+	if total := m.Hits + m.Misses + m.SingleflightWaits; total > 0 {
+		m.HitRate = float64(m.Hits+m.SingleflightWaits) / float64(total)
+	}
+	return m
+}

@@ -1,0 +1,47 @@
+// A bounded worker pool for heavy analyses and simulations: a counting
+// semaphore caps how many run at once so a burst of requests cannot
+// exhaust the host, mirroring internal/sim's bounded fan-out (which the
+// batch endpoint reuses directly for in-order results).
+package service
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Pool bounds concurrent heavy work across all requests.
+type Pool struct {
+	sem      chan struct{}
+	inFlight atomic.Int64
+	done     atomic.Uint64
+}
+
+// NewPool builds a pool with the given concurrency; workers <= 0 selects
+// GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Run blocks until a slot is free, then runs fn.
+func (p *Pool) Run(fn func()) {
+	p.sem <- struct{}{}
+	p.inFlight.Add(1)
+	defer func() {
+		p.inFlight.Add(-1)
+		p.done.Add(1)
+		<-p.sem
+	}()
+	fn()
+}
+
+// Workers is the concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// InFlight is the number of tasks currently holding a slot.
+func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
+// Completed is the number of tasks that have finished.
+func (p *Pool) Completed() uint64 { return p.done.Load() }

@@ -1,0 +1,510 @@
+// Package service turns the logitdyn library into a long-running analysis
+// system: an HTTP JSON API over internal/core with canonical game hashing,
+// an LRU report cache with singleflight deduplication, and a bounded
+// worker pool, so heavy traffic of structurally identical requests costs
+// one eigendecomposition instead of one per caller.
+//
+// Endpoints:
+//
+//	POST /v1/analyze        one game spec → full analysis report
+//	POST /v1/analyze/batch  a β-sweep or explicit request list, fanned out
+//	POST /v1/simulate       trajectory sampling via logit.Dynamics
+//	GET  /healthz           liveness
+//	GET  /metrics           request counts, cache hit rate, in-flight work
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"logitdyn/internal/core"
+	"logitdyn/internal/game"
+	"logitdyn/internal/logit"
+	"logitdyn/internal/markov"
+	"logitdyn/internal/rng"
+	"logitdyn/internal/serialize"
+	"logitdyn/internal/sim"
+	"logitdyn/internal/spec"
+)
+
+// maxRequestBytes bounds request bodies; an explicit 4096-profile table
+// game for 24 players is well under this.
+const maxRequestBytes = 16 << 20
+
+// Config tunes a Service.
+type Config struct {
+	// CacheSize is the report-cache capacity; 0 means 256.
+	CacheSize int
+	// Workers bounds concurrent analyses/simulations; 0 means GOMAXPROCS.
+	Workers int
+	// MaxBatch caps items per batch request; 0 means 256.
+	MaxBatch int
+	// Limits bounds request sizes; the zero value means spec.DefaultLimits.
+	Limits spec.Limits
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.Limits == (spec.Limits{}) {
+		c.Limits = spec.DefaultLimits()
+	}
+	return c
+}
+
+// Service is the request-serving layer over core.Analyzer.
+type Service struct {
+	cfg   Config
+	cache *Cache
+	pool  *Pool
+	start time.Time
+
+	reqAnalyze, reqBatch, reqSimulate atomic.Uint64
+	reqHealthz, reqMetrics            atomic.Uint64
+	analyses, simulations             atomic.Uint64
+}
+
+// New builds a Service from the config.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheSize),
+		pool:  NewPool(cfg.Workers),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return recoverJSON(mux)
+}
+
+// recoverJSON converts any handler panic into a JSON 500 instead of a
+// dropped connection; known constructor panics are already converted to
+// 400s further down.
+func recoverJSON(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// AnalyzeRequest asks for the full analysis of one (game, β) pair. The
+// game comes from exactly one of Spec (a named family) or Game (an
+// explicit table document).
+type AnalyzeRequest struct {
+	Spec *spec.Spec         `json:"spec,omitempty"`
+	Game *serialize.GameDoc `json:"game,omitempty"`
+	// Name labels the report; defaults to the spec's family name.
+	Name string  `json:"name,omitempty"`
+	Beta float64 `json:"beta"`
+	// Eps is the total-variation target; 0 means the paper's 1/4.
+	Eps float64 `json:"eps,omitempty"`
+	// MaxT caps the measurable mixing time; 0 means effectively unbounded.
+	MaxT int64 `json:"max_t,omitempty"`
+}
+
+// AnalyzeResponse wraps the report with its cache identity.
+type AnalyzeResponse struct {
+	// Key is the canonical content hash the report is cached under.
+	Key string `json:"key"`
+	// Cached reports whether this call was served without running a new
+	// analysis (memory hit or singleflight join).
+	Cached bool                `json:"cached"`
+	Report serialize.ReportDoc `json:"report"`
+}
+
+// BatchRequest fans many analyses out across the worker pool. Either
+// Items lists explicit requests, or Spec/Game plus Betas describes a
+// β-sweep of one game; results always come back in input order.
+type BatchRequest struct {
+	Items []AnalyzeRequest `json:"items,omitempty"`
+
+	Spec  *spec.Spec         `json:"spec,omitempty"`
+	Game  *serialize.GameDoc `json:"game,omitempty"`
+	Name  string             `json:"name,omitempty"`
+	Betas []float64          `json:"betas,omitempty"`
+	Eps   float64            `json:"eps,omitempty"`
+	MaxT  int64              `json:"max_t,omitempty"`
+}
+
+// BatchItemResult is one slot of a batch response; exactly one of Error
+// or the response fields is meaningful.
+type BatchItemResult struct {
+	*AnalyzeResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse lists per-item results in input order.
+type BatchResponse struct {
+	Results []BatchItemResult `json:"results"`
+}
+
+// SimulateRequest samples a logit-dynamics trajectory.
+type SimulateRequest struct {
+	Spec *spec.Spec         `json:"spec,omitempty"`
+	Game *serialize.GameDoc `json:"game,omitempty"`
+	Name string             `json:"name,omitempty"`
+	Beta float64            `json:"beta"`
+	// Steps is the trajectory length.
+	Steps int `json:"steps"`
+	// Seed makes the trajectory reproducible.
+	Seed uint64 `json:"seed,omitempty"`
+	// Start is the initial profile; nil means all-zeros.
+	Start []int `json:"start,omitempty"`
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorDoc{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// buildSafely runs a game constructor, converting constructor panics
+// (graph.Ring on n < 3, negative random-potential scales, …) into request
+// errors instead of dropped connections.
+func buildSafely(build func() (game.Game, error)) (g game.Game, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("invalid game: %v", r)
+		}
+	}()
+	return build()
+}
+
+// buildGame resolves the request's game source against the limits. It
+// never mutates its arguments: batch items may share one doc across
+// concurrently-running goroutines.
+func (s *Service) buildGame(sp *spec.Spec, doc *serialize.GameDoc, name string) (game.Game, string, error) {
+	switch {
+	case sp != nil && doc != nil:
+		return nil, "", errors.New("give either \"spec\" or \"game\", not both")
+	case sp != nil:
+		if err := s.cfg.Limits.CheckSpec(*sp); err != nil {
+			return nil, "", err
+		}
+		g, err := buildSafely(sp.Build)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := s.cfg.Limits.CheckGame(g); err != nil {
+			return nil, "", err
+		}
+		if name == "" {
+			name = sp.Game
+		}
+		return g, name, nil
+	case doc != nil:
+		if err := s.cfg.Limits.CheckSizes(doc.Sizes); err != nil {
+			return nil, "", err
+		}
+		d := *doc
+		if d.Version == 0 {
+			d.Version = serialize.Version
+		}
+		g, err := buildSafely(func() (game.Game, error) { return d.Build() })
+		if err != nil {
+			return nil, "", err
+		}
+		if name == "" {
+			name = d.Name
+		}
+		return g, name, nil
+	default:
+		return nil, "", errors.New("missing game: give \"spec\" or \"game\"")
+	}
+}
+
+// analyzeOne serves one analysis through the cache, pool and singleflight
+// layers.
+func (s *Service) analyzeOne(req AnalyzeRequest) (*AnalyzeResponse, error) {
+	g, name, err := s.buildGame(req.Spec, req.Game, req.Name)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize once and analyze the table, so the digest and the
+	// analysis don't each re-evaluate every lazy utility.
+	table := game.Materialize(g)
+	return s.analyzeBuilt(table, GameDigest(table), name, req.Beta, req.Eps, req.MaxT)
+}
+
+// analyzeBuilt is the shared serving path once the game is built and
+// digested; β-sweeps reuse one digest across all their items.
+func (s *Service) analyzeBuilt(g game.Game, digest [32]byte, name string, beta, eps float64, maxT int64) (*AnalyzeResponse, error) {
+	if err := s.cfg.Limits.CheckBeta(beta); err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		Eps:            eps,
+		MaxT:           maxT,
+		MaxExactStates: s.cfg.Limits.MaxProfiles,
+	}.Normalized()
+	key := KeyFrom(digest, beta, opts)
+	rep, cached, err := s.cache.Do(key, func() (*core.Report, error) {
+		var rep *core.Report
+		var aerr error
+		s.pool.Run(func() {
+			s.analyses.Add(1)
+			rep, aerr = core.AnalyzeGame(g, beta, opts)
+		})
+		if aerr != nil {
+			aerr = fmt.Errorf("%w: %v", errAnalysis, aerr)
+		}
+		return rep, aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AnalyzeResponse{
+		Key:    key,
+		Cached: cached,
+		Report: serialize.FromReport(rep, name, opts.Eps),
+	}, nil
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.reqAnalyze.Add(1)
+	var req AnalyzeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.analyzeOne(req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.reqBatch.Add(1)
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Items) > 0 && (req.Spec != nil || req.Game != nil || len(req.Betas) > 0) {
+		writeError(w, http.StatusBadRequest,
+			errors.New("give either \"items\" or a sweep (\"spec\"/\"game\" + \"betas\"), not both"))
+		return
+	}
+	if n := max(len(req.Items), len(req.Betas)); n > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds the limit %d", n, s.cfg.MaxBatch))
+		return
+	}
+
+	// sim.Map returns results in input order regardless of scheduling; the
+	// pool semaphore inside the analyze path is the real concurrency bound.
+	var results []BatchItemResult
+	switch {
+	case len(req.Items) > 0:
+		results = sim.Map(req.Items, 0, s.pool.Workers(), func(_ int, it AnalyzeRequest, _ *rng.RNG) BatchItemResult {
+			resp, err := s.analyzeOne(it)
+			if err != nil {
+				return BatchItemResult{Error: err.Error()}
+			}
+			return BatchItemResult{AnalyzeResponse: resp}
+		})
+	case len(req.Betas) > 0:
+		// A β-sweep shares one game: build, materialize and digest it once
+		// instead of once per β. The materialized table is read-only, so
+		// concurrent analyses can share it.
+		g, name, err := s.buildGame(req.Spec, req.Game, req.Name)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		table := game.Materialize(g)
+		digest := GameDigest(table)
+		results = sim.Map(req.Betas, 0, s.pool.Workers(), func(_ int, beta float64, _ *rng.RNG) BatchItemResult {
+			resp, err := s.analyzeBuilt(table, digest, name, beta, req.Eps, req.MaxT)
+			if err != nil {
+				return BatchItemResult{Error: err.Error()}
+			}
+			return BatchItemResult{AnalyzeResponse: resp}
+		})
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("empty batch: give \"items\" or \"betas\""))
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.reqSimulate.Add(1)
+	var req SimulateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	doc, err := s.simulate(req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Service) simulate(req SimulateRequest) (*serialize.SimulationDoc, error) {
+	if err := s.cfg.Limits.CheckBeta(req.Beta); err != nil {
+		return nil, err
+	}
+	if err := s.cfg.Limits.CheckSteps(req.Steps); err != nil {
+		return nil, err
+	}
+	g, name, err := s.buildGame(req.Spec, req.Game, req.Name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := logit.New(g, req.Beta)
+	if err != nil {
+		return nil, err
+	}
+	space := d.Space()
+	start := req.Start
+	if start == nil {
+		start = make([]int, space.Players())
+	}
+	if len(start) != space.Players() {
+		return nil, fmt.Errorf("start profile has %d entries for %d players", len(start), space.Players())
+	}
+	for i, v := range start {
+		if v < 0 || v >= space.Strategies(i) {
+			return nil, fmt.Errorf("start[%d] = %d out of range [0, %d)", i, v, space.Strategies(i))
+		}
+	}
+	doc := &serialize.SimulationDoc{
+		Version:     serialize.Version,
+		Game:        name,
+		Beta:        serialize.Float(req.Beta),
+		Steps:       req.Steps,
+		Seed:        req.Seed,
+		NumProfiles: space.Size(),
+		Start:       start,
+	}
+	s.pool.Run(func() {
+		s.simulations.Add(1)
+		counts := d.Trajectory(start, req.Steps, rng.New(req.Seed))
+		emp := make([]float64, len(counts))
+		for i, c := range counts {
+			emp[i] = float64(c) / float64(req.Steps+1)
+		}
+		doc.Empirical = emp
+		if gibbs, gerr := d.Gibbs(); gerr == nil {
+			doc.TVGibbs = serialize.Float(markov.TVDistance(emp, gibbs))
+		} else {
+			doc.TVGibbs = serialize.Float(math.NaN())
+		}
+	})
+	return doc, nil
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.reqHealthz.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// RequestMetrics counts requests per endpoint.
+type RequestMetrics struct {
+	Analyze  uint64 `json:"analyze"`
+	Batch    uint64 `json:"batch"`
+	Simulate uint64 `json:"simulate"`
+	Healthz  uint64 `json:"healthz"`
+	Metrics  uint64 `json:"metrics"`
+}
+
+// WorkMetrics counts heavy work through the pool.
+type WorkMetrics struct {
+	// AnalysesPerformed counts actual eigendecomposition runs; cache hits
+	// and singleflight joins do not increment it.
+	AnalysesPerformed uint64 `json:"analyses_performed"`
+	Simulations       uint64 `json:"simulations"`
+	InFlight          int64  `json:"in_flight"`
+	Workers           int    `json:"workers"`
+}
+
+// MetricsDoc is the /metrics response.
+type MetricsDoc struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Requests      RequestMetrics `json:"requests"`
+	Cache         CacheMetrics   `json:"cache"`
+	Work          WorkMetrics    `json:"work"`
+}
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() MetricsDoc {
+	return MetricsDoc{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests: RequestMetrics{
+			Analyze:  s.reqAnalyze.Load(),
+			Batch:    s.reqBatch.Load(),
+			Simulate: s.reqSimulate.Load(),
+			Healthz:  s.reqHealthz.Load(),
+			Metrics:  s.reqMetrics.Load(),
+		},
+		Cache: s.cache.Metrics(),
+		Work: WorkMetrics{
+			AnalysesPerformed: s.analyses.Load(),
+			Simulations:       s.simulations.Load(),
+			InFlight:          s.pool.InFlight(),
+			Workers:           s.pool.Workers(),
+		},
+	}
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reqMetrics.Add(1)
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// statusFor maps analysis failures to 422 (the request was well-formed but
+// the analysis could not run) and everything else to 400.
+func statusFor(err error) int {
+	if errors.Is(err, errAnalysis) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
+var errAnalysis = errors.New("analysis failed")

@@ -1,0 +1,168 @@
+package spec
+
+import (
+	"fmt"
+	"math"
+
+	"logitdyn/internal/game"
+)
+
+// Limits bounds what a request may ask for, so a serving layer (or any
+// other untrusted entry point) cannot be driven into allocating a profile
+// space it can never analyze. Checks are split in two phases: CheckSpec /
+// CheckSizes run before any game is constructed and reject shapes whose
+// profile count would overflow or exhaust memory; CheckGame runs after
+// construction and enforces the exact caps.
+type Limits struct {
+	// MaxPlayers caps the number of players (graph vertices).
+	MaxPlayers int
+	// MaxStrategies caps any single player's strategy count.
+	MaxStrategies int
+	// MaxProfiles caps |S|, the profile-space size subject to exact
+	// analysis.
+	MaxProfiles int
+	// MaxBeta caps the inverse noise β.
+	MaxBeta float64
+	// MaxSteps caps simulation trajectory lengths.
+	MaxSteps int
+}
+
+// DefaultLimits matches core.Options' exact-analysis defaults.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxPlayers:    24,
+		MaxStrategies: 64,
+		MaxProfiles:   4096,
+		MaxBeta:       1e6,
+		MaxSteps:      10_000_000,
+	}
+}
+
+// CheckBeta rejects negative, non-finite or over-cap inverse noise.
+func (l Limits) CheckBeta(beta float64) error {
+	if math.IsNaN(beta) || math.IsInf(beta, 0) {
+		return fmt.Errorf("spec: beta must be finite, got %v", beta)
+	}
+	if beta < 0 {
+		return fmt.Errorf("spec: beta must be nonnegative, got %v", beta)
+	}
+	if l.MaxBeta > 0 && beta > l.MaxBeta {
+		return fmt.Errorf("spec: beta %v exceeds the limit %v", beta, l.MaxBeta)
+	}
+	return nil
+}
+
+// CheckSteps rejects non-positive or over-cap trajectory lengths.
+func (l Limits) CheckSteps(steps int) error {
+	if steps <= 0 {
+		return fmt.Errorf("spec: steps must be positive, got %d", steps)
+	}
+	if l.MaxSteps > 0 && steps > l.MaxSteps {
+		return fmt.Errorf("spec: %d steps exceed the limit %d", steps, l.MaxSteps)
+	}
+	return nil
+}
+
+// specUsesGraph reports whether the family consults Spec.Graph.
+func specUsesGraph(g string) bool {
+	switch g {
+	case "graphical", "ising", "weighted":
+		return true
+	}
+	return false
+}
+
+// CheckSpec rejects specs whose construction would already be too large,
+// before Build is called. It intentionally over-approximates: anything it
+// passes is cheap to construct, and CheckGame then enforces the exact
+// profile-space cap.
+func (l Limits) CheckSpec(s Spec) error {
+	players := s.N
+	if specUsesGraph(s.Game) {
+		switch s.Graph {
+		case "tree":
+			// N is the number of levels: 2^N − 1 vertices.
+			if s.N < 1 || s.N > 20 {
+				return fmt.Errorf("spec: tree needs 1..20 levels, got %d", s.N)
+			}
+			players = (1 << s.N) - 1
+		case "hypercube":
+			// N is the dimension: 2^N vertices.
+			if s.N < 1 || s.N > 20 {
+				return fmt.Errorf("spec: hypercube needs dimension 1..20, got %d", s.N)
+			}
+			players = 1 << s.N
+		case "grid", "torus":
+			if s.Rows < 0 || s.Cols < 0 {
+				return fmt.Errorf("spec: negative grid shape %dx%d", s.Rows, s.Cols)
+			}
+			if s.Rows > l.MaxPlayers || s.Cols > l.MaxPlayers {
+				return fmt.Errorf("spec: grid shape %dx%d exceeds the player limit %d", s.Rows, s.Cols, l.MaxPlayers)
+			}
+			players = s.Rows * s.Cols
+		}
+	}
+	if s.Game == "coordination" {
+		players = 2
+	}
+	if l.MaxPlayers > 0 && players > l.MaxPlayers {
+		return fmt.Errorf("spec: %d players exceed the limit %d", players, l.MaxPlayers)
+	}
+	if l.MaxStrategies > 0 && s.M > l.MaxStrategies {
+		return fmt.Errorf("spec: %d strategies exceed the limit %d", s.M, l.MaxStrategies)
+	}
+	// Families like "random" and "dominant" tabulate eagerly at Build
+	// time, so the profile-space cap must hold before construction — a
+	// post-hoc CheckGame would run after the allocation already happened.
+	perPlayer := 2
+	switch s.Game {
+	case "dominant", "congestion", "random":
+		perPlayer = s.M
+	}
+	if players >= 1 && perPlayer >= 1 && l.MaxProfiles > 0 {
+		profiles := 1
+		for i := 0; i < players; i++ {
+			profiles *= perPlayer
+			if profiles > l.MaxProfiles {
+				return fmt.Errorf("spec: profile space %d^%d exceeds the limit %d", perPlayer, players, l.MaxProfiles)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSizes validates an explicit per-player strategy-count vector (e.g.
+// from a serialized game document) without constructing anything. The
+// incremental product check makes overflow impossible.
+func (l Limits) CheckSizes(sizes []int) error {
+	if len(sizes) == 0 {
+		return fmt.Errorf("spec: empty strategy-count vector")
+	}
+	if l.MaxPlayers > 0 && len(sizes) > l.MaxPlayers {
+		return fmt.Errorf("spec: %d players exceed the limit %d", len(sizes), l.MaxPlayers)
+	}
+	profiles := 1
+	for i, m := range sizes {
+		if m < 1 {
+			return fmt.Errorf("spec: player %d has %d strategies", i, m)
+		}
+		if l.MaxStrategies > 0 && m > l.MaxStrategies {
+			return fmt.Errorf("spec: player %d's %d strategies exceed the limit %d", i, m, l.MaxStrategies)
+		}
+		profiles *= m
+		if l.MaxProfiles > 0 && profiles > l.MaxProfiles {
+			return fmt.Errorf("spec: profile space exceeds the limit %d", l.MaxProfiles)
+		}
+	}
+	return nil
+}
+
+// CheckGame enforces the exact caps on a constructed game.
+func (l Limits) CheckGame(g game.Game) error {
+	sp := game.SpaceOf(g)
+	sizes := make([]int, sp.Players())
+	for i := range sizes {
+		sizes[i] = sp.Strategies(i)
+	}
+	return l.CheckSizes(sizes)
+}

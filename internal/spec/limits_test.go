@@ -1,0 +1,103 @@
+package spec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultLimitsAcceptTypicalSpecs(t *testing.T) {
+	l := DefaultLimits()
+	ok := []Spec{
+		{Game: "coordination", Delta0: 3, Delta1: 2},
+		{Game: "ising", Graph: "ring", N: 10, Delta1: 1},
+		{Game: "doublewell", N: 8, C: 3, Delta1: 1},
+		{Game: "dominant", N: 3, M: 3},
+		{Game: "graphical", Graph: "grid", Rows: 3, Cols: 4, Delta0: 3, Delta1: 2},
+		{Game: "ising", Graph: "hypercube", N: 3, Delta1: 1},
+	}
+	for _, s := range ok {
+		if err := l.CheckSpec(s); err != nil {
+			t.Errorf("%+v rejected: %v", s, err)
+		}
+		g, err := s.Build()
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		if err := l.CheckGame(g); err != nil {
+			t.Errorf("%+v game rejected: %v", s, err)
+		}
+	}
+}
+
+func TestCheckSpecRejectsOversizedShapes(t *testing.T) {
+	l := DefaultLimits()
+	bad := []Spec{
+		{Game: "doublewell", N: 100, C: 3, Delta1: 1},
+		{Game: "ising", Graph: "tree", N: 25, Delta1: 1},
+		{Game: "ising", Graph: "hypercube", N: 25, Delta1: 1},
+		{Game: "ising", Graph: "hypercube", N: 10, Delta1: 1},
+		{Game: "graphical", Graph: "grid", Rows: 100, Cols: 100, Delta0: 1, Delta1: 1},
+		{Game: "random", N: 4, M: 1000},
+		// Eager tabulation at Build time: must be rejected pre-build even
+		// though players and per-player strategies are individually legal.
+		{Game: "random", N: 10, M: 8},
+		{Game: "dominant", N: 13, M: 2},
+		// Negative shape parameters must error, not panic on a negative
+		// shift.
+		{Game: "ising", Graph: "tree", N: -1, Delta1: 1},
+		{Game: "ising", Graph: "hypercube", N: -1, Delta1: 1},
+	}
+	for _, s := range bad {
+		if err := l.CheckSpec(s); err == nil {
+			t.Errorf("%+v must be rejected before construction", s)
+		}
+	}
+}
+
+func TestCheckSizesOverflowSafe(t *testing.T) {
+	l := DefaultLimits()
+	// 24 players × 64 strategies would overflow a naive product; the
+	// incremental check must reject it without wrapping.
+	sizes := make([]int, 24)
+	for i := range sizes {
+		sizes[i] = 64
+	}
+	if err := l.CheckSizes(sizes); err == nil {
+		t.Fatal("overflowing profile space must be rejected")
+	}
+	if err := l.CheckSizes([]int{2, 2, 2}); err != nil {
+		t.Fatalf("small space rejected: %v", err)
+	}
+	if err := l.CheckSizes(nil); err == nil {
+		t.Fatal("empty sizes must be rejected")
+	}
+	if err := l.CheckSizes([]int{2, 0}); err == nil {
+		t.Fatal("zero strategies must be rejected")
+	}
+}
+
+func TestCheckBeta(t *testing.T) {
+	l := DefaultLimits()
+	for _, beta := range []float64{0, 0.5, 1e6} {
+		if err := l.CheckBeta(beta); err != nil {
+			t.Errorf("beta %v rejected: %v", beta, err)
+		}
+	}
+	for _, beta := range []float64{-1, math.NaN(), math.Inf(1), 1e7} {
+		if err := l.CheckBeta(beta); err == nil {
+			t.Errorf("beta %v must be rejected", beta)
+		}
+	}
+}
+
+func TestCheckSteps(t *testing.T) {
+	l := DefaultLimits()
+	if err := l.CheckSteps(1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{0, -5, l.MaxSteps + 1} {
+		if err := l.CheckSteps(s); err == nil {
+			t.Errorf("steps %d must be rejected", s)
+		}
+	}
+}

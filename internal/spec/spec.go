@@ -11,32 +11,36 @@ import (
 	"logitdyn/internal/rng"
 )
 
-// Spec describes a game to construct.
+// Spec describes a game to construct. The JSON tags define the request
+// wire format shared by the cmd/ binaries and internal/service.
 type Spec struct {
 	// Game selects the family: coordination, graphical, ising, doublewell,
 	// asymwell, dominant, congestion, random.
-	Game string
+	Game string `json:"game"`
 	// Graph selects the social graph for graphical/ising games: ring, path,
 	// clique, star, grid, torus.
-	Graph string
+	Graph string `json:"graph,omitempty"`
 	// N is the number of players (vertices); for grid/torus the shape is
 	// Rows×Cols instead.
-	N int
+	N int `json:"n,omitempty"`
 	// M is the strategies-per-player count for dominant/random/congestion.
-	M int
+	M int `json:"m,omitempty"`
 	// C is the double-well barrier location.
-	C int
+	C int `json:"c,omitempty"`
 	// Delta0, Delta1 are the coordination payoff gaps (δ0, δ1); Delta1
 	// doubles as the Ising coupling δ.
-	Delta0, Delta1 float64
+	Delta0 float64 `json:"delta0,omitempty"`
+	Delta1 float64 `json:"delta1,omitempty"`
 	// Depth, Shallow parameterize the asymmetric double well.
-	Depth, Shallow float64
+	Depth   float64 `json:"depth,omitempty"`
+	Shallow float64 `json:"shallow,omitempty"`
 	// Scale is the random-potential amplitude.
-	Scale float64
+	Scale float64 `json:"scale,omitempty"`
 	// Rows, Cols shape grid/torus graphs.
-	Rows, Cols int
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
 	// Seed drives random constructions.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // BuildGraph constructs the social graph named by the spec.
