@@ -13,7 +13,9 @@ import (
 	"logitdyn/internal/core"
 	"logitdyn/internal/game"
 	"logitdyn/internal/graph"
+	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
+	"logitdyn/internal/mixing"
 	"logitdyn/internal/service"
 	"logitdyn/internal/spec"
 	"logitdyn/internal/spectral"
@@ -206,4 +208,89 @@ func TestRegenerateAllQuickTables(t *testing.T) {
 		}
 	}
 	fmt.Println("regenerated all 12 quick tables")
+}
+
+// Operator-backend benchmarks: the same transition mat-vec through the
+// dense, CSR sparse and matrix-free backends at growing profile-space
+// sizes. Dense is skipped above the exact-analysis cap, where its O(N²)
+// table stops fitting — which is exactly the regime the sparse backends
+// exist for.
+
+func benchRingDynamics(b *testing.B, players int) *logit.Dynamics {
+	b.Helper()
+	g, err := game.NewIsing(graph.Ring(players), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := logit.New(g, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func benchMatVec(b *testing.B, op linalg.Operator) {
+	rows, cols := op.Dims()
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = 1 / float64(cols)
+	}
+	dst := make([]float64, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.MatVec(dst, x)
+	}
+}
+
+func BenchmarkOperatorMatVec(b *testing.B) {
+	for _, players := range []int{10, 12, 14} {
+		d := benchRingDynamics(b, players)
+		size := d.Space().Size()
+		if size <= 4096 {
+			b.Run(fmt.Sprintf("dense/N=%d", size), func(b *testing.B) {
+				benchMatVec(b, d.TransitionDense())
+			})
+		}
+		b.Run(fmt.Sprintf("sparse/N=%d", size), func(b *testing.B) {
+			benchMatVec(b, d.TransitionCSR())
+		})
+		b.Run(fmt.Sprintf("matfree/N=%d", size), func(b *testing.B) {
+			benchMatVec(b, d.MatFree())
+		})
+	}
+}
+
+// BenchmarkRelaxationBackends measures the full λ*/t_rel pipeline (operator
+// construction + Lanczos) per backend on a chain above the dense cap.
+func BenchmarkRelaxationBackends(b *testing.B) {
+	d := benchRingDynamics(b, 13) // 8192 profiles
+	for _, backend := range []logit.Backend{logit.BackendSparse, logit.BackendMatFree} {
+		b.Run(string(backend), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mixing.RelaxationSandwich(d, backend, 0.25, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServiceColdSparseAnalyze is the cache-cold serving cost of a
+// game above the old dense cap (8192 profiles): every request pays a full
+// sparse Lanczos analysis. Compare with BenchmarkServiceColdAnalyze, the
+// dense-path equivalent at 64 profiles.
+func BenchmarkServiceColdSparseAnalyze(b *testing.B) {
+	srv := httptest.NewServer(service.New(service.Config{CacheSize: 4 * 1024}).Handler())
+	defer srv.Close()
+	req := service.AnalyzeRequest{
+		Spec: &spec.Spec{Game: "doublewell", N: 13, C: 4, Delta1: 1},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A distinct β per iteration defeats the cache.
+		req.Beta = 1 + float64(i)*1e-9
+		servicePost(b, srv, "/v1/analyze", req)
+	}
 }

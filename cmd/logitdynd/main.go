@@ -29,13 +29,17 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "report-cache capacity (reports)")
 	workers := flag.Int("workers", 0, "max concurrent analyses (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("maxbatch", 256, "max items per batch request")
-	maxProfiles := flag.Int("maxprofiles", 0, "max profile-space size per request (0 = default)")
+	maxProfiles := flag.Int("maxprofiles", 0, "max profile-space size per request on the dense backend (0 = default)")
+	maxSparseProfiles := flag.Int("maxsparseprofiles", 0, "max profile-space size per request on the sparse/matfree backends (0 = default)")
 	maxBeta := flag.Float64("maxbeta", 0, "max inverse noise β per request (0 = default)")
 	flag.Parse()
 
 	limits := spec.DefaultLimits()
 	if *maxProfiles > 0 {
 		limits.MaxProfiles = *maxProfiles
+	}
+	if *maxSparseProfiles > 0 {
+		limits.MaxSparseProfiles = *maxSparseProfiles
 	}
 	if *maxBeta > 0 {
 		limits.MaxBeta = *maxBeta
@@ -58,8 +62,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("logitdynd listening on %s (cache=%d workers=%d maxprofiles=%d)",
-		*addr, *cacheSize, *workers, limits.MaxProfiles)
+	log.Printf("logitdynd listening on %s (cache=%d workers=%d maxprofiles=%d maxsparseprofiles=%d)",
+		*addr, *cacheSize, *workers, limits.MaxProfiles, limits.MaxSparseProfiles)
 
 	select {
 	case err := <-errc:

@@ -13,8 +13,10 @@ import (
 	"os"
 	"sort"
 
+	"logitdyn/internal/core"
 	"logitdyn/internal/logit"
 	"logitdyn/internal/markov"
+	"logitdyn/internal/mixing"
 	"logitdyn/internal/plot"
 	"logitdyn/internal/rng"
 	"logitdyn/internal/serialize"
@@ -39,6 +41,8 @@ func main() {
 	steps := flag.Int("steps", 100000, "simulation steps")
 	top := flag.Int("top", 8, "profiles to print")
 	jsonOut := flag.Bool("json", false, "emit the simulation as JSON on stdout (the service wire format)")
+	spectralOut := flag.Bool("spectral", false, "also report λ*/t_rel of the chain via the selected backend")
+	backendFlag := flag.String("backend", "auto", "linear-algebra backend for -spectral: auto|dense|sparse|matfree")
 	flag.Parse()
 
 	g, err := s.Build()
@@ -83,10 +87,25 @@ func main() {
 
 	fmt.Printf("simulated %d logit steps at β=%g on %q (|S|=%d)\n", *steps, *beta, s.Game, sp.Size())
 	if gerr == nil {
-		fmt.Printf("TV(empirical, Gibbs) = %.4f\n\n", markov.TVDistance(emp, gibbs))
+		fmt.Printf("TV(empirical, Gibbs) = %.4f\n", markov.TVDistance(emp, gibbs))
 	} else {
-		fmt.Printf("no closed-form Gibbs measure (%v)\n\n", gerr)
+		fmt.Printf("no closed-form Gibbs measure (%v)\n", gerr)
 	}
+	if *spectralOut {
+		b, err := logit.ParseBackend(*backendFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "logitsim: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := mixing.RelaxationSandwich(d, b.Resolve(sp.Size(), core.DefaultMaxExactStates), mixing.DefaultEps, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "logitsim: -spectral: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("lambda* = %.6g, t_rel = %.4g, t_mix(1/4) in [%.4g, %.4g] (backend %s)\n",
+			res.LambdaStar, res.RelaxationTime, res.SpectralLower, res.SpectralUpper, res.Backend)
+	}
+	fmt.Println()
 
 	idx := make([]int, len(emp))
 	for i := range idx {

@@ -37,6 +37,7 @@ func main() {
 	flag.Uint64Var(&s.Seed, "seed", 1, "seed for random games")
 	beta := flag.Float64("beta", 1, "inverse noise β")
 	eps := flag.Float64("eps", 0.25, "total-variation target ε")
+	backend := flag.String("backend", "auto", "linear-algebra backend: auto|dense|sparse|matfree")
 	loadGame := flag.String("loadgame", "", "read the game from a JSON file instead of -game flags")
 	saveGame := flag.String("savegame", "", "write the constructed game as JSON")
 	saveResult := flag.String("saveresult", "", "write the analysis result as JSON")
@@ -86,7 +87,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mixtime: %v\n", err)
 		os.Exit(2)
 	}
-	rep, err := a.Analyze(core.Options{Eps: *eps})
+	rep, err := a.Analyze(core.Options{Eps: *eps, Backend: *backend})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mixtime: %v\n", err)
 		os.Exit(1)
@@ -127,7 +128,17 @@ func main() {
 
 	fmt.Printf("game            %s (|S| = %d profiles)\n", gameName, rep.NumProfiles)
 	fmt.Printf("beta            %g\n", rep.Beta)
-	fmt.Printf("t_mix(%g)      %d steps\n", *eps, rep.MixingTime)
+	fmt.Printf("backend         %s\n", rep.Backend)
+	if rep.MixingTimeExact {
+		fmt.Printf("t_mix(%g)      %d steps\n", *eps, rep.MixingTime)
+	} else {
+		fmt.Printf("t_mix(%g)      in [%.4g, %.4g] (Theorem 2.3 sandwich; exact d(t) needs the dense backend)\n",
+			*eps, rep.SpectralLower, rep.SpectralUpper)
+		if !rep.SpectralConverged {
+			fmt.Printf("WARNING         Lanczos hit its iteration cap before the Ritz values stabilized;\n")
+			fmt.Printf("                lambda*, t_rel and the sandwich are lower bounds, not measurements\n")
+		}
+	}
 	fmt.Printf("t_rel           %.4g\n", rep.RelaxationTime)
 	fmt.Printf("lambda*         %.6g   lambda_min %.6g\n", rep.LambdaStar, rep.MinEigenvalue)
 	fmt.Printf("pure Nash       %d profiles\n", len(rep.PureNash))

@@ -9,6 +9,39 @@
 // coupling, CFTP), and an experiment harness that regenerates every
 // theorem-level result (E1–E12 in DESIGN.md).
 //
+// # Operator backends
+//
+// The analysis stack is built on linalg.Operator (Dims, MatVec,
+// MatVecTrans), with three interchangeable backends for the transition
+// matrix of Mβ(G):
+//
+//   - dense: the materialized N×N matrix. O(N²) memory; full
+//     eigendecomposition; exact worst-case TV distance d(t) and exact
+//     t_mix(ε).
+//   - sparse: the CSR form holding only the 1 + Σᵢ(|Sᵢ|−1) non-zeros per
+//     row. O(N·n·m) memory; λ* and the relaxation time via Lanczos with
+//     full reorthogonalization and Ritz early stopping.
+//   - matfree: nothing is stored at all — transition rows are regenerated
+//     from the game's utilities on every mat-vec (logit.RowGen). The only
+//     O(N) state is the solver's vectors (for Lanczos, the k·N Krylov
+//     basis with k bounded by the Ritz early stop); slowest per
+//     iteration; reaches the largest profile spaces.
+//
+// The auto backend (the default everywhere: core.Options, the HTTP API,
+// the CLIs) picks dense at or below the exact-analysis cap
+// (core.Options.MaxExactStates, default 4096) and sparse above it. On the
+// iterative backends the exact d(t) is unavailable, so reports carry the
+// Theorem 2.3 sandwich
+//
+//	(t_rel − 1)·log(1/2ε) <= t_mix(ε) <= t_rel·log(1/(ε·π_min))
+//
+// in place of the exact mixing time, and the response says which backend
+// ran. Parity tests pin the three backends to each other within 1e-9 on
+// every built-in game family. Request limits are backend-specific:
+// spec.Limits.MaxProfiles caps the dense path and MaxSparseProfiles
+// (default 64× larger) caps the sparse/matfree paths, which is how the
+// service analyzes profile spaces the dense limits used to reject.
+//
 // Entry points:
 //
 //   - internal/core      — the Analyzer facade (mixing time, spectrum, bounds)

@@ -41,7 +41,7 @@ func runE15(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := mixing.StationaryWelfare(d)
+		rep, err := mixing.StationaryWelfare(d, nil)
 		if err != nil {
 			return nil, err
 		}

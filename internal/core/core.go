@@ -44,15 +44,25 @@ func NewAnalyzer(g game.Game, beta float64) (*Analyzer, error) {
 // Dynamics exposes the underlying logit dynamics.
 func (a *Analyzer) Dynamics() *logit.Dynamics { return a.dyn }
 
+// DefaultMaxExactStates is the default dense threshold: the largest profile
+// space the exact eigendecomposition route takes on. Every entry point that
+// needs the auto-selection rule (CLIs, the service) references this one
+// constant so their routing never diverges.
+const DefaultMaxExactStates = 4096
+
 // Options tunes Analyze.
 type Options struct {
 	// Eps is the total-variation target; 0 means the paper's 1/4.
 	Eps float64
 	// MaxT caps the measurable mixing time; 0 means 2^62.
 	MaxT int64
-	// MaxExactStates refuses exact spectral analysis above this profile
-	// count; 0 means 4096.
+	// MaxExactStates is the dense threshold: at or below it the exact
+	// eigendecomposition (and exact d(t) mixing time) runs; above it the
+	// auto backend switches to the sparse Lanczos route. 0 means 4096.
 	MaxExactStates int
+	// Backend selects the linear-algebra backend: "auto" (default, dense
+	// up to MaxExactStates then sparse), "dense", "sparse" or "matfree".
+	Backend string
 }
 
 func (o Options) withDefaults() Options {
@@ -63,7 +73,10 @@ func (o Options) withDefaults() Options {
 		o.MaxT = 1 << 62
 	}
 	if o.MaxExactStates == 0 {
-		o.MaxExactStates = 4096
+		o.MaxExactStates = DefaultMaxExactStates
+	}
+	if o.Backend == "" {
+		o.Backend = string(logit.BackendAuto)
 	}
 	return o
 }
@@ -78,12 +91,30 @@ type Report struct {
 	Beta float64
 	// NumProfiles is |S|.
 	NumProfiles int
-	// MixingTime is the exact t_mix(ε).
+	// Backend names the linear-algebra backend that ran: "dense", "sparse"
+	// or "matfree" (auto resolves before the analysis starts).
+	Backend string
+	// MixingTimeExact reports whether MixingTime holds the exact t_mix(ε).
+	// On the sparse/matfree Lanczos route it is false, MixingTime is 0, and
+	// [SpectralLower, SpectralUpper] is the Theorem 2.3 answer.
+	MixingTimeExact bool
+	// MixingTime is the exact t_mix(ε) when MixingTimeExact.
 	MixingTime int64
+	// SpectralLower and SpectralUpper are the Theorem 2.3 mixing-time
+	// sandwich derived from the relaxation time (NaN when the chain is not
+	// reversible and no spectral route ran).
+	SpectralLower, SpectralUpper float64
 	// RelaxationTime is 1/(1−λ*).
 	RelaxationTime float64
 	// LambdaStar and MinEigenvalue describe the spectrum.
 	LambdaStar, MinEigenvalue float64
+	// LanczosIterations is the Krylov dimension the iterative route used
+	// (0 on the dense path).
+	LanczosIterations int
+	// SpectralConverged reports whether the spectral estimates stabilized.
+	// Always true on the dense path; false when the Lanczos iteration cap
+	// ran out first, in which case λ* and the sandwich are lower bounds.
+	SpectralConverged bool
 	// Stationary is the stationary distribution (Gibbs for potential games).
 	Stationary []float64
 	// IsPotentialGame reports whether an exact potential was available (or
@@ -103,45 +134,113 @@ type Report struct {
 	Welfare *mixing.WelfareReport
 }
 
-// Analyze runs the exact pipeline: stationary distribution, spectrum,
-// mixing time, potential statistics, paper bounds, equilibrium structure.
+// Analyze runs the analysis pipeline through the selected backend.
+//
+// The dense backend (auto's choice at or below MaxExactStates) runs the
+// exact route: full eigendecomposition, exact t_mix(ε) from d(t), plus the
+// Theorem 2.3 sandwich for reference. Above the threshold — or when sparse
+// or matfree is requested explicitly — the Lanczos route measures λ* and
+// the relaxation time through the chosen operator backend and reports the
+// Theorem 2.3 sandwich in place of the exact mixing time; this requires a
+// potential game (reversible chain with closed-form Gibbs π). Either way
+// the report carries potential statistics, paper bounds, equilibrium
+// structure and stationary welfare. Above the dense threshold the O(|S|)
+// payload vectors (stationary distribution, potential table) are elided
+// from the report to keep it serializable.
 func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	sp := a.dyn.Space()
-	if sp.Size() > opts.MaxExactStates {
-		return nil, fmt.Errorf("core: %d profiles exceed the exact-analysis cap %d; use simulation entry points",
-			sp.Size(), opts.MaxExactStates)
-	}
-	rep := &Report{Beta: a.dyn.Beta(), NumProfiles: sp.Size()}
-
-	if res, err := mixing.ExactMixingTime(a.dyn, opts.Eps, opts.MaxT); err == nil {
-		rep.MixingTime = res.MixingTime
-		rep.RelaxationTime = res.RelaxationTime
-		rep.LambdaStar = res.LambdaStar
-		rep.MinEigenvalue = res.MinEigenvalue
-	} else {
-		// Non-reversible chains (non-potential games) have no symmetric
-		// spectral decomposition; measure by brute-force evolution instead
-		// and mark the spectral fields unavailable.
-		maxEvo := opts.MaxT
-		if maxEvo > 1<<20 {
-			maxEvo = 1 << 20
-		}
-		tm, evoErr := mixing.EvolutionMixingTime(a.dyn, opts.Eps, int(maxEvo))
-		if evoErr != nil {
-			return nil, fmt.Errorf("core: spectral route failed (%v) and evolution fallback failed (%v)", err, evoErr)
-		}
-		rep.MixingTime = tm
-		rep.RelaxationTime = math.NaN()
-		rep.LambdaStar = math.NaN()
-		rep.MinEigenvalue = math.NaN()
-	}
-
-	pi, err := a.dyn.Stationary()
+	size := sp.Size()
+	requested, err := logit.ParseBackend(opts.Backend)
 	if err != nil {
 		return nil, err
 	}
-	rep.Stationary = pi
+	backend := requested.Resolve(size, opts.MaxExactStates)
+	if backend == logit.BackendDense && size > opts.MaxExactStates {
+		return nil, fmt.Errorf("core: %d profiles exceed the dense exact-analysis cap %d; use backend \"sparse\", \"matfree\" or \"auto\"",
+			size, opts.MaxExactStates)
+	}
+	rep := &Report{Beta: a.dyn.Beta(), NumProfiles: size, Backend: string(backend)}
+
+	// The stationary distribution is shared by the spectral route, the
+	// report payload and the welfare pass; compute it once. reconPhi holds
+	// a reconstructed potential table when the game is an exact potential
+	// game that doesn't declare one, so the stats pass doesn't redo the
+	// reconstruction.
+	var pi []float64
+	var reconPhi []float64
+
+	if backend == logit.BackendDense {
+		if res, err := mixing.ExactMixingTime(a.dyn, opts.Eps, opts.MaxT); err == nil {
+			rep.MixingTimeExact = true
+			rep.SpectralConverged = true
+			rep.MixingTime = res.MixingTime
+			rep.RelaxationTime = res.RelaxationTime
+			rep.LambdaStar = res.LambdaStar
+			rep.MinEigenvalue = res.MinEigenvalue
+			rep.SpectralLower = res.SpectralLower
+			rep.SpectralUpper = res.SpectralUpper
+		} else {
+			// Non-reversible chains (non-potential games) have no symmetric
+			// spectral decomposition; measure by brute-force evolution instead
+			// and mark the spectral fields unavailable.
+			maxEvo := opts.MaxT
+			if maxEvo > 1<<20 {
+				maxEvo = 1 << 20
+			}
+			tm, evoErr := mixing.EvolutionMixingTime(a.dyn, opts.Eps, int(maxEvo))
+			if evoErr != nil {
+				return nil, fmt.Errorf("core: spectral route failed (%v) and evolution fallback failed (%v)", err, evoErr)
+			}
+			rep.MixingTimeExact = true
+			rep.SpectralConverged = true
+			rep.MixingTime = tm
+			rep.RelaxationTime = math.NaN()
+			rep.LambdaStar = math.NaN()
+			rep.MinEigenvalue = math.NaN()
+			rep.SpectralLower = math.NaN()
+			rep.SpectralUpper = math.NaN()
+		}
+	} else {
+		gibbs, gerr := a.dyn.Gibbs()
+		if gerr != nil {
+			// A game can be an exact potential game without declaring Φ
+			// (e.g. a utility-table document): reconstruct the potential —
+			// the same O(N·n·m) integration the dense route runs for its
+			// stats — and build the Gibbs measure from it.
+			phi, ok := game.ReconstructPotential(a.dyn.Game(), 1e-9)
+			if !ok {
+				return nil, fmt.Errorf("core: the %s backend needs a potential game (reversible chain with closed-form π): %w", backend, gerr)
+			}
+			reconPhi = phi
+			gibbs = gibbsFromPhi(phi, a.dyn.Beta())
+		}
+		pi = gibbs
+		res, lerr := mixing.RelaxationSandwich(a.dyn, backend, opts.Eps, pi)
+		if lerr != nil {
+			return nil, lerr
+		}
+		rep.RelaxationTime = res.RelaxationTime
+		rep.LambdaStar = res.LambdaStar
+		rep.MinEigenvalue = res.MinEigenvalue
+		rep.SpectralLower = res.SpectralLower
+		rep.SpectralUpper = res.SpectralUpper
+		rep.LanczosIterations = res.LanczosIterations
+		rep.SpectralConverged = res.Converged
+	}
+
+	if pi == nil {
+		pi, err = a.dyn.Stationary()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Above the dense threshold the full vector payloads would dominate
+	// every response; the scalar summaries carry the analysis.
+	large := size > opts.MaxExactStates
+	if !large {
+		rep.Stationary = pi
+	}
 
 	g := a.dyn.Game()
 	if p, ok := game.AsPotential(g); ok {
@@ -154,11 +253,27 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-	} else if phi, ok := game.ReconstructPotential(g, 1e-9); ok {
-		rep.IsPotentialGame = true
-		rep.Stats, err = mixing.AnalyzePhiTable(sp, phi)
-		if err != nil {
-			return nil, err
+	} else {
+		phi := reconPhi
+		if phi == nil {
+			if p2, ok := game.ReconstructPotential(g, 1e-9); ok {
+				phi = p2
+			}
+		}
+		if phi != nil {
+			rep.IsPotentialGame = true
+			rep.Stats, err = mixing.AnalyzePhiTable(sp, phi)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if large {
+		if rep.Stats != nil {
+			rep.Stats.Phi = nil
+		}
+		if rep.Bounds != nil && rep.Bounds.Stats != nil {
+			rep.Bounds.Stats.Phi = nil
 		}
 	}
 
@@ -166,11 +281,32 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 	if prof, ok := game.DominantProfile(g, 1e-12); ok {
 		rep.DominantProfile = prof
 	}
-	rep.Welfare, err = mixing.StationaryWelfare(a.dyn)
+	rep.Welfare, err = mixing.StationaryWelfare(a.dyn, pi)
 	if err != nil {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// gibbsFromPhi builds π(x) ∝ exp(−β·Φ(x)) from an explicit potential
+// table, with the minimum-potential shift so large β cannot overflow.
+func gibbsFromPhi(phi []float64, beta float64) []float64 {
+	minPhi := math.Inf(1)
+	for _, v := range phi {
+		if v < minPhi {
+			minPhi = v
+		}
+	}
+	pi := make([]float64, len(phi))
+	total := 0.0
+	for i, v := range phi {
+		pi[i] = math.Exp(-beta * (v - minPhi))
+		total += pi[i]
+	}
+	for i := range pi {
+		pi[i] /= total
+	}
+	return pi
 }
 
 // AnalyzeGame is the one-shot entry point: build the analyzer for (g, β)

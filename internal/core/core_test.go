@@ -161,7 +161,7 @@ func TestAnalyzeReconstructsUndeclaredPotential(t *testing.T) {
 	}
 }
 
-func TestAnalyzeRefusesHugeSpaces(t *testing.T) {
+func TestAnalyzeDenseBackendRefusesHugeSpaces(t *testing.T) {
 	g, err := game.NewDoubleWell(20, 5, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -170,9 +170,98 @@ func TestAnalyzeRefusesHugeSpaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = a.Analyze(Options{})
-	if err == nil || !strings.Contains(err.Error(), "exceed") {
-		t.Fatalf("expected cap error, got %v", err)
+	_, err = a.Analyze(Options{Backend: "dense"})
+	if err == nil || !strings.Contains(err.Error(), "exceed") || !strings.Contains(err.Error(), "dense") {
+		t.Fatalf("expected dense cap error, got %v", err)
+	}
+}
+
+func TestAnalyzeAutoRoutesLargeSpacesToSparse(t *testing.T) {
+	// 2^13 = 8192 profiles: over the dense cap, so auto must take the
+	// sparse Lanczos route and report the Theorem 2.3 sandwich instead of
+	// an exact mixing time.
+	g, err := game.NewDoubleWell(13, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Analyze(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != "sparse" {
+		t.Fatalf("backend = %q, want sparse", rep.Backend)
+	}
+	if rep.MixingTimeExact {
+		t.Fatal("Lanczos route must not claim an exact mixing time")
+	}
+	if !(rep.RelaxationTime > 1) || math.IsInf(rep.RelaxationTime, 0) {
+		t.Fatalf("relaxation time = %g", rep.RelaxationTime)
+	}
+	if !(rep.SpectralLower >= 0) || !(rep.SpectralUpper > rep.SpectralLower) {
+		t.Fatalf("sandwich [%g, %g] is not a valid envelope", rep.SpectralLower, rep.SpectralUpper)
+	}
+	if rep.LanczosIterations <= 0 {
+		t.Fatalf("LanczosIterations = %d", rep.LanczosIterations)
+	}
+	if rep.Stationary != nil {
+		t.Fatal("large reports must elide the stationary vector")
+	}
+	if rep.Stats == nil || rep.Stats.Phi != nil {
+		t.Fatal("large reports must keep scalar potential stats but elide the Φ table")
+	}
+	if rep.Welfare == nil || len(rep.PureNash) == 0 {
+		t.Fatal("welfare and equilibrium structure must survive the sparse route")
+	}
+}
+
+func TestAnalyzeSparseRouteReconstructsUndeclaredPotential(t *testing.T) {
+	// A utility-table copy of a potential game above the dense cap: no Φ
+	// is declared, so the sparse route must reconstruct it to get a Gibbs
+	// measure instead of rejecting the game.
+	dw, err := game.NewDoubleWell(13, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := game.SpaceOf(dw)
+	sizes := make([]int, sp.Players())
+	for i := range sizes {
+		sizes[i] = sp.Strategies(i)
+	}
+	bare := game.NewTableGame(sizes)
+	x := make([]int, sp.Players())
+	for idx := 0; idx < sp.Size(); idx++ {
+		sp.Decode(idx, x)
+		for i := 0; i < sp.Players(); i++ {
+			bare.SetUtilityIndexed(i, idx, dw.Utility(i, x))
+		}
+	}
+	if _, ok := game.AsPotential(bare); ok {
+		t.Fatal("test setup: the bare table must not declare a potential")
+	}
+
+	rep, err := AnalyzeGame(bare, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != "sparse" || !rep.IsPotentialGame {
+		t.Fatalf("backend %q, potential %v; want sparse route with reconstructed potential",
+			rep.Backend, rep.IsPotentialGame)
+	}
+
+	// The reconstructed-π analysis must match the declared-Φ one.
+	declared, err := AnalyzeGame(dw, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(rep.LambdaStar - declared.LambdaStar); diff > 1e-9 {
+		t.Fatalf("λ* via reconstructed potential differs by %g", diff)
+	}
+	if diff := math.Abs(rep.Stats.DeltaPhi - declared.Stats.DeltaPhi); diff > 1e-9 {
+		t.Fatalf("ΔΦ via reconstructed potential differs by %g", diff)
 	}
 }
 

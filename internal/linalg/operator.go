@@ -1,0 +1,164 @@
+package linalg
+
+import "fmt"
+
+// Operator is the shared abstraction the whole analysis stack is built on:
+// anything that can apply a linear map (and its transpose) to a vector.
+// Three backends implement it — the dense matrix below, the CSR sparse
+// matrix, and the matrix-free logit transition operator in internal/logit
+// that generates rows on the fly from the game — so every algorithm written
+// against Operator (power iteration, Lanczos, distribution evolution) runs
+// unchanged on all of them.
+//
+// For a row-stochastic transition matrix P, MatVec computes P·v (the
+// function-averaging direction used by the symmetrized spectral operator)
+// and MatVecTrans computes Pᵀ·μ = μP (the distribution-evolution step).
+type Operator interface {
+	// Dims returns the (rows, cols) shape of the operator.
+	Dims() (rows, cols int)
+	// MatVec computes dst = A·x. dst and x must not alias; len(x) == cols,
+	// len(dst) == rows.
+	MatVec(dst, x []float64)
+	// MatVecTrans computes dst = Aᵀ·x. dst and x must not alias;
+	// len(x) == rows, len(dst) == cols.
+	MatVecTrans(dst, x []float64)
+}
+
+// Dims makes *Dense an Operator.
+func (m *Dense) Dims() (rows, cols int) { return m.Rows, m.Cols }
+
+// MatVec computes dst = m·x (alias of MulVec, satisfying Operator).
+func (m *Dense) MatVec(dst, x []float64) { m.MulVec(dst, x) }
+
+// MatVecTrans computes dst = mᵀ·x (alias of VecMul, satisfying Operator).
+func (m *Dense) MatVecTrans(dst, x []float64) { m.VecMul(dst, x) }
+
+var _ Operator = (*Dense)(nil)
+
+// CSR is a compressed-sparse-row matrix: row i's non-zeros are
+// Col[RowPtr[i]:RowPtr[i+1]] / Val[RowPtr[i]:RowPtr[i+1]]. Duplicate column
+// indices within a row are legal and accumulate. Logit transition matrices
+// have at most 1 + Σᵢ(|Sᵢ|−1) non-zeros per row, so CSR holds chains whose
+// dense form could never be allocated.
+type CSR struct {
+	NRows, NCols int
+	RowPtr       []int // len NRows+1, non-decreasing
+	Col          []int // len NNZ
+	Val          []float64
+}
+
+// NewCSR validates the structure and returns the matrix. It panics on
+// malformed inputs (the constructors in this repository build the arrays
+// programmatically; a panic is a bug, not bad user input).
+func NewCSR(rows, cols int, rowPtr, col []int, val []float64) *CSR {
+	if rows <= 0 || cols <= 0 {
+		panic("linalg: NewCSR with non-positive shape")
+	}
+	if len(rowPtr) != rows+1 || rowPtr[0] != 0 || rowPtr[rows] != len(col) || len(col) != len(val) {
+		panic("linalg: NewCSR with inconsistent structure")
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			panic(fmt.Sprintf("linalg: NewCSR row pointer decreases at row %d", i))
+		}
+	}
+	for _, c := range col {
+		if c < 0 || c >= cols {
+			panic(fmt.Sprintf("linalg: NewCSR column %d out of range [0,%d)", c, cols))
+		}
+	}
+	return &CSR{NRows: rows, NCols: cols, RowPtr: rowPtr, Col: col, Val: val}
+}
+
+// CSRFromDense compresses a dense matrix, dropping exact zeros.
+func CSRFromDense(d *Dense) *CSR {
+	rowPtr := make([]int, d.Rows+1)
+	var col []int
+	var val []float64
+	for i := 0; i < d.Rows; i++ {
+		for j, v := range d.Row(i) {
+			if v != 0 {
+				col = append(col, j)
+				val = append(val, v)
+			}
+		}
+		rowPtr[i+1] = len(col)
+	}
+	return NewCSR(d.Rows, d.Cols, rowPtr, col, val)
+}
+
+// Dims returns the matrix shape.
+func (c *CSR) Dims() (rows, cols int) { return c.NRows, c.NCols }
+
+// NNZ returns the number of stored entries.
+func (c *CSR) NNZ() int { return len(c.Col) }
+
+// At returns element (i, j) by scanning row i (rows are short for the
+// chains this repository builds).
+func (c *CSR) At(i, j int) float64 {
+	s := 0.0
+	for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+		if c.Col[k] == j {
+			s += c.Val[k]
+		}
+	}
+	return s
+}
+
+// Dense materializes the matrix; duplicate entries accumulate.
+func (c *CSR) Dense() *Dense {
+	d := NewDense(c.NRows, c.NCols)
+	for i := 0; i < c.NRows; i++ {
+		row := d.Row(i)
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			row[c.Col[k]] += c.Val[k]
+		}
+	}
+	return d
+}
+
+// MatVec computes dst = c·x, parallelized over row chunks.
+func (c *CSR) MatVec(dst, x []float64) {
+	if len(x) != c.NCols || len(dst) != c.NRows {
+		panic("linalg: CSR.MatVec size mismatch")
+	}
+	parallelFor(c.NRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := 0.0
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				acc += c.Val[k] * x[c.Col[k]]
+			}
+			dst[i] = acc
+		}
+	})
+}
+
+// MatVecTrans computes dst = cᵀ·x by row scatter. The write pattern is
+// column-indexed, so this direction runs serially.
+func (c *CSR) MatVecTrans(dst, x []float64) {
+	if len(x) != c.NRows || len(dst) != c.NCols {
+		panic("linalg: CSR.MatVecTrans size mismatch")
+	}
+	Fill(dst, 0)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+			dst[c.Col[k]] += xi * c.Val[k]
+		}
+	}
+}
+
+var _ Operator = (*CSR)(nil)
+
+// RowSums returns the vector of row sums (A·1), the stochasticity check
+// quantity for transition matrices in any backend.
+func RowSums(op Operator) []float64 {
+	rows, cols := op.Dims()
+	ones := make([]float64, cols)
+	Fill(ones, 1)
+	dst := make([]float64, rows)
+	op.MatVec(dst, ones)
+	return dst
+}

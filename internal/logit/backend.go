@@ -1,0 +1,49 @@
+package logit
+
+import "fmt"
+
+// Backend selects the linear-algebra representation of the transition
+// matrix Mβ(G). The same analyses run on every backend; they differ only in
+// memory footprint and in which solver the spectral layer routes to.
+//
+//   - BackendDense materializes the full N×N matrix: O(N²) memory, exact
+//     eigendecomposition, exact mixing time d(t).
+//   - BackendSparse stores only the 1 + Σᵢ(|Sᵢ|−1) non-zeros per row in CSR
+//     form: O(N·n·m) memory, Lanczos relaxation time, Theorem 2.3 sandwich.
+//   - BackendMatFree stores nothing: rows are regenerated from the game on
+//     every mat-vec. Slowest per iteration but with O(N) memory for the
+//     vectors only, it reaches the largest profile spaces.
+//   - BackendAuto picks dense below the exact-analysis cap and sparse above
+//     it.
+type Backend string
+
+const (
+	BackendAuto    Backend = "auto"
+	BackendDense   Backend = "dense"
+	BackendSparse  Backend = "sparse"
+	BackendMatFree Backend = "matfree"
+)
+
+// ParseBackend validates a backend name; the empty string means auto.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "":
+		return BackendAuto, nil
+	case BackendAuto, BackendDense, BackendSparse, BackendMatFree:
+		return Backend(s), nil
+	}
+	return "", fmt.Errorf("logit: unknown backend %q (auto|dense|sparse|matfree)", s)
+}
+
+// Resolve turns auto into a concrete backend: dense when the profile space
+// fits under the exact-analysis cap, sparse otherwise. Concrete backends
+// resolve to themselves.
+func (b Backend) Resolve(size, denseCap int) Backend {
+	if b != BackendAuto && b != "" {
+		return b
+	}
+	if denseCap <= 0 || size <= denseCap {
+		return BackendDense
+	}
+	return BackendSparse
+}

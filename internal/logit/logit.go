@@ -55,13 +55,22 @@ func (d *Dynamics) Beta() float64 { return d.beta }
 func (d *Dynamics) Space() *game.Space { return d.space }
 
 // UpdateProbs returns σ_i(· | x), the logit update distribution of player i
-// at profile x (Eq. 2), reusing dst when it has the right length.
+// at profile x (Eq. 2), reusing dst when it has the right length. x is not
+// modified.
 func (d *Dynamics) UpdateProbs(i int, x []int, dst []float64) []float64 {
+	return d.updateProbsAt(i, append([]int(nil), x...), dst)
+}
+
+// updateProbsAt is the allocation-free core of UpdateProbs: it mutates
+// y[i] while sweeping player i's strategies and restores it before
+// returning, so hot paths (row generation) can pass their own scratch
+// profile instead of copying per call.
+func (d *Dynamics) updateProbsAt(i int, y []int, dst []float64) []float64 {
 	m := d.g.Strategies(i)
 	if len(dst) != m {
 		dst = make([]float64, m)
 	}
-	y := append([]int(nil), x...)
+	orig := y[i]
 	maxU := math.Inf(-1)
 	for v := 0; v < m; v++ {
 		y[i] = v
@@ -71,6 +80,7 @@ func (d *Dynamics) UpdateProbs(i int, x []int, dst []float64) []float64 {
 			maxU = u
 		}
 	}
+	y[i] = orig
 	total := 0.0
 	for v := 0; v < m; v++ {
 		dst[v] = math.Exp(d.beta * (dst[v] - maxU))
@@ -82,43 +92,135 @@ func (d *Dynamics) UpdateProbs(i int, x []int, dst []float64) []float64 {
 	return dst
 }
 
+// RowGen generates sparse transition rows of the Eq. (3) chain one state at
+// a time, owning the per-row scratch. It is the single source of transition
+// rows for every backend: TransitionSparse tabulates rows through it and the
+// matrix-free operator calls it on the fly. A RowGen is not safe for
+// concurrent use; give each goroutine its own.
+type RowGen struct {
+	d *Dynamics
+	x []int
+	// probs holds one reusable σ_i buffer per player, so heterogeneous
+	// strategy counts never force a reallocation inside the row loop.
+	probs [][]float64
+}
+
+// NewRowGen returns a row generator for the dynamics.
+func (d *Dynamics) NewRowGen() *RowGen {
+	n := d.space.Players()
+	probs := make([][]float64, n)
+	for i := range probs {
+		probs[i] = make([]float64, d.g.Strategies(i))
+	}
+	return &RowGen{d: d, x: make([]int, n), probs: probs}
+}
+
+// AppendRow appends the sparse transition row of the profile with the given
+// index to row and returns it: one entry per improving (player, strategy)
+// deviation plus the diagonal self-loop accumulating Σ_i σ_i(x_i | x)/n.
+// It performs no allocations beyond growing row.
+func (g *RowGen) AppendRow(idx int, row []markov.Entry) []markov.Entry {
+	d := g.d
+	n := d.space.Players()
+	d.space.Decode(idx, g.x)
+	self := 0.0
+	for i := 0; i < n; i++ {
+		probs := d.updateProbsAt(i, g.x, g.probs[i])
+		for v, p := range probs {
+			if v == g.x[i] {
+				self += p
+				continue
+			}
+			if p == 0 {
+				continue
+			}
+			row = append(row, markov.Entry{To: d.space.WithDigit(idx, i, v), P: p / float64(n)})
+		}
+	}
+	return append(row, markov.Entry{To: idx, P: self / float64(n)})
+}
+
 // TransitionSparse builds the Eq. (3) transition matrix in sparse row form:
 // each state has one entry per (player, strategy) pair, with the diagonal
-// accumulating the self-loop mass Σ_i σ_i(x_i | x)/n.
+// accumulating the self-loop mass Σ_i σ_i(x_i | x)/n. This is the primary
+// representation; the dense and CSR forms are derived from it.
 func (d *Dynamics) TransitionSparse() *markov.Sparse {
-	n := d.space.Players()
 	size := d.space.Size()
 	s := markov.NewSparse(size)
 	linalg.ParallelFor(size, func(lo, hi int) {
-		x := make([]int, n)
-		var probs []float64
+		gen := d.NewRowGen()
 		for idx := lo; idx < hi; idx++ {
-			d.space.Decode(idx, x)
-			row := make([]markov.Entry, 0, 1+n)
-			self := 0.0
-			for i := 0; i < n; i++ {
-				probs = d.UpdateProbs(i, x, probs)
-				for v, p := range probs {
-					if v == x[i] {
-						self += p
-						continue
-					}
-					if p == 0 {
-						continue
-					}
-					row = append(row, markov.Entry{To: d.space.WithDigit(idx, i, v), P: p / float64(n)})
-				}
-			}
-			row = append(row, markov.Entry{To: idx, P: self / float64(n)})
-			s.Rows[idx] = row
+			s.Rows[idx] = gen.AppendRow(idx, make([]markov.Entry, 0, 1+d.space.Players()))
 		}
 	})
 	return s
 }
 
-// TransitionDense materializes the Eq. (3) transition matrix densely.
+// TransitionCSR builds the transition matrix in compressed-sparse-row form,
+// the representation the sparse analysis backend iterates. Rows are written
+// directly into width-padded CSR arrays in parallel (every row has at most
+// W = 1 + Σᵢ(|Sᵢ|−1) entries), so no intermediate row-list — with its one
+// slice header per state — is ever materialized; a compaction pass runs
+// only when some update probability underflowed to zero.
+func (d *Dynamics) TransitionCSR() *linalg.CSR {
+	size := d.space.Size()
+	w := 1
+	for i := 0; i < d.space.Players(); i++ {
+		w += d.space.Strategies(i) - 1
+	}
+	col := make([]int, size*w)
+	val := make([]float64, size*w)
+	counts := make([]int, size)
+	linalg.ParallelFor(size, func(lo, hi int) {
+		gen := d.NewRowGen()
+		row := make([]markov.Entry, 0, w)
+		for idx := lo; idx < hi; idx++ {
+			row = gen.AppendRow(idx, row[:0])
+			base := idx * w
+			for j, e := range row {
+				col[base+j] = e.To
+				val[base+j] = e.P
+			}
+			counts[idx] = len(row)
+		}
+	})
+	rowPtr := make([]int, size+1)
+	for i, c := range counts {
+		rowPtr[i+1] = rowPtr[i] + c
+	}
+	if nnz := rowPtr[size]; nnz < size*w {
+		// Some rows came up short (zero-probability entries were skipped);
+		// compact in place — reads always stay at or ahead of writes.
+		for i, c := range counts {
+			copy(col[rowPtr[i]:rowPtr[i+1]], col[i*w:i*w+c])
+			copy(val[rowPtr[i]:rowPtr[i+1]], val[i*w:i*w+c])
+		}
+		col = col[:nnz]
+		val = val[:nnz]
+	}
+	return linalg.NewCSR(size, size, rowPtr, col, val)
+}
+
+// TransitionDense materializes the Eq. (3) transition matrix densely — a
+// view over the sparse-first construction, for the exact eigendecomposition
+// path.
 func (d *Dynamics) TransitionDense() *linalg.Dense {
 	return d.TransitionSparse().Dense()
+}
+
+// Operator returns the transition matrix as a linalg.Operator in the
+// requested concrete backend (auto must be resolved by the caller first,
+// since the dense threshold is a policy of the analysis layer).
+func (d *Dynamics) Operator(b Backend) (linalg.Operator, error) {
+	switch b {
+	case BackendDense:
+		return d.TransitionDense(), nil
+	case BackendSparse:
+		return d.TransitionCSR(), nil
+	case BackendMatFree:
+		return d.MatFree(), nil
+	}
+	return nil, fmt.Errorf("logit: no concrete operator for backend %q", b)
 }
 
 // Gibbs returns the Gibbs measure π(x) ∝ exp(−β·Φ(x)) (Eq. 4) when the game

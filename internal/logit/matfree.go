@@ -1,0 +1,73 @@
+package logit
+
+import (
+	"logitdyn/internal/linalg"
+	"logitdyn/internal/markov"
+)
+
+// MatFree is the matrix-free transition operator: no part of the Eq. (3)
+// matrix is ever tabulated. Every mat-vec regenerates each row from the
+// game's utilities via RowGen, so the operator itself holds no O(N·n·m)
+// arrays at all — the memory a run needs is whatever vectors the solver
+// keeps (for Lanczos with full reorthogonalization, the k·N Krylov basis,
+// with k bounded by the Ritz early stop). It trades per-iteration time
+// (one UpdateProbs sweep per row per product) for the smallest possible
+// operator footprint, which is what lets the Lanczos route reach profile
+// spaces where even the CSR arrays are unwelcome.
+type MatFree struct {
+	d *Dynamics
+	n int
+}
+
+// MatFree returns the matrix-free view of the dynamics' transition matrix.
+func (d *Dynamics) MatFree() *MatFree {
+	return &MatFree{d: d, n: d.space.Size()}
+}
+
+// Dims returns the N×N shape.
+func (m *MatFree) Dims() (rows, cols int) { return m.n, m.n }
+
+// MatVec computes dst = P·x, regenerating rows on the fly in parallel row
+// chunks (each worker owns a RowGen and a row buffer).
+func (m *MatFree) MatVec(dst, x []float64) {
+	if len(x) != m.n || len(dst) != m.n {
+		panic("logit: MatFree.MatVec size mismatch")
+	}
+	players := m.d.space.Players()
+	linalg.ParallelFor(m.n, func(lo, hi int) {
+		gen := m.d.NewRowGen()
+		row := make([]markov.Entry, 0, 1+players)
+		for idx := lo; idx < hi; idx++ {
+			row = gen.AppendRow(idx, row[:0])
+			acc := 0.0
+			for _, e := range row {
+				acc += e.P * x[e.To]
+			}
+			dst[idx] = acc
+		}
+	})
+}
+
+// MatVecTrans computes dst = Pᵀ·x = xP. The scatter writes are
+// column-indexed, so this direction runs serially; it exists for parity
+// checks and distribution evolution, while the large-N spectral route needs
+// only MatVec.
+func (m *MatFree) MatVecTrans(dst, x []float64) {
+	if len(x) != m.n || len(dst) != m.n {
+		panic("logit: MatFree.MatVecTrans size mismatch")
+	}
+	linalg.Fill(dst, 0)
+	gen := m.d.NewRowGen()
+	row := make([]markov.Entry, 0, 1+m.d.space.Players())
+	for idx, mass := range x {
+		if mass == 0 {
+			continue
+		}
+		row = gen.AppendRow(idx, row[:0])
+		for _, e := range row {
+			dst[e.To] += mass * e.P
+		}
+	}
+}
+
+var _ linalg.Operator = (*MatFree)(nil)

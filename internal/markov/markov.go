@@ -67,19 +67,30 @@ func StationaryDirect(p *linalg.Dense) ([]float64, error) {
 // StationaryPower computes the stationary distribution by repeated
 // right-multiplication μ ← μP until successive iterates differ by less than
 // tol in total variation, or maxIter steps elapse. It is the cross-check for
-// StationaryDirect and the only practical route for large sparse chains.
+// StationaryDirect on the dense backend.
 func StationaryPower(p *linalg.Dense, tol float64, maxIter int) ([]float64, error) {
 	if err := CheckStochastic(p, 1e-9); err != nil {
 		return nil, err
 	}
-	n := p.Rows
+	return StationaryPowerOp(p, tol, maxIter)
+}
+
+// StationaryPowerOp runs the same power iteration against any transition
+// operator — dense, CSR, the row-list Sparse, or the matrix-free logit
+// operator — using only MatVecTrans (μ ← μP). The caller is responsible for
+// the operator being row-stochastic.
+func StationaryPowerOp(p linalg.Operator, tol float64, maxIter int) ([]float64, error) {
+	n, cols := p.Dims()
+	if n != cols {
+		return nil, errors.New("markov: StationaryPowerOp needs a square operator")
+	}
 	mu := make([]float64, n)
 	next := make([]float64, n)
 	for i := range mu {
 		mu[i] = 1 / float64(n)
 	}
 	for iter := 0; iter < maxIter; iter++ {
-		p.VecMul(next, mu)
+		p.MatVecTrans(next, mu)
 		if TVDistance(mu, next) < tol {
 			copy(mu, next)
 			return mu, nil

@@ -51,7 +51,8 @@ func (s *Sparse) CheckStochastic(tol float64) error {
 }
 
 // Dense materializes the sparse chain; entries targeting the same state
-// accumulate.
+// accumulate. The dense form is a view of the sparse-first representation,
+// needed only by the full eigendecomposition path.
 func (s *Sparse) Dense() *linalg.Dense {
 	d := linalg.NewDense(s.N, s.N)
 	for i, row := range s.Rows {
@@ -61,6 +62,55 @@ func (s *Sparse) Dense() *linalg.Dense {
 	}
 	return d
 }
+
+// CSR compresses the row lists into a linalg.CSR matrix, the cache-friendly
+// form the sparse analysis backend iterates.
+func (s *Sparse) CSR() *linalg.CSR {
+	nnz := 0
+	for _, row := range s.Rows {
+		nnz += len(row)
+	}
+	rowPtr := make([]int, s.N+1)
+	col := make([]int, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for i, row := range s.Rows {
+		for _, e := range row {
+			col = append(col, e.To)
+			val = append(val, e.P)
+		}
+		rowPtr[i+1] = len(col)
+	}
+	return linalg.NewCSR(s.N, s.N, rowPtr, col, val)
+}
+
+// Dims makes *Sparse a linalg.Operator.
+func (s *Sparse) Dims() (rows, cols int) { return s.N, s.N }
+
+// MatVec computes dst = P·x, parallelized over row chunks.
+func (s *Sparse) MatVec(dst, x []float64) {
+	if len(x) != s.N || len(dst) != s.N {
+		panic("markov: Sparse.MatVec size mismatch")
+	}
+	linalg.ParallelFor(s.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := 0.0
+			for _, e := range s.Rows[i] {
+				acc += e.P * x[e.To]
+			}
+			dst[i] = acc
+		}
+	})
+}
+
+// MatVecTrans computes dst = Pᵀ·x = xP, the distribution-evolution step.
+func (s *Sparse) MatVecTrans(dst, x []float64) {
+	if len(x) != s.N || len(dst) != s.N {
+		panic("markov: Sparse.MatVecTrans size mismatch")
+	}
+	s.Evolve(dst, x)
+}
+
+var _ linalg.Operator = (*Sparse)(nil)
 
 // Evolve computes dst = src·P (one distribution step). dst and src must not
 // alias and must have length N.
@@ -92,20 +142,11 @@ func (s *Sparse) EvolveT(src []float64, t int) []float64 {
 
 // StationaryPower runs power iteration on the sparse chain.
 func (s *Sparse) StationaryPower(tol float64, maxIter int) ([]float64, error) {
-	mu := make([]float64, s.N)
-	next := make([]float64, s.N)
-	for i := range mu {
-		mu[i] = 1 / float64(s.N)
+	mu, err := StationaryPowerOp(s, tol, maxIter)
+	if err != nil {
+		return nil, errors.New("markov: sparse power iteration did not converge")
 	}
-	for iter := 0; iter < maxIter; iter++ {
-		s.Evolve(next, mu)
-		if TVDistance(mu, next) < tol {
-			copy(mu, next)
-			return mu, nil
-		}
-		mu, next = next, mu
-	}
-	return nil, errors.New("markov: sparse power iteration did not converge")
+	return mu, nil
 }
 
 // At returns P(x, y) by scanning row x (rows are short for logit chains).

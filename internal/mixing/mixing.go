@@ -8,21 +8,36 @@ import (
 	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
 	"logitdyn/internal/markov"
+	"logitdyn/internal/rng"
 	"logitdyn/internal/spectral"
 )
 
 // DefaultEps is the paper's convention t_mix = t_mix(1/4).
 const DefaultEps = 0.25
 
-// Result bundles the exact spectral measurements for one (game, β) pair.
+// Result bundles the spectral measurements for one (game, β) pair.
 type Result struct {
-	Beta           float64
+	Beta float64
+	// Backend names the linear-algebra backend that produced the result
+	// (dense, sparse or matfree).
+	Backend logit.Backend
+	// Exact reports whether MixingTime is the exact t_mix(ε). On the
+	// Lanczos (sparse/matfree) route it is false and the Theorem 2.3
+	// sandwich [SpectralLower, SpectralUpper] is the mixing-time answer.
+	Exact          bool
 	MixingTime     int64
 	RelaxationTime float64
 	LambdaStar     float64
 	MinEigenvalue  float64
 	// SpectralLower/SpectralUpper are the Theorem 2.3 sandwich at ε.
 	SpectralLower, SpectralUpper float64
+	// LanczosIterations is the Krylov dimension used (0 on the dense path).
+	LanczosIterations int
+	// Converged reports whether the spectral estimates are trustworthy:
+	// always true on the dense path; on the Lanczos path it is false when
+	// the iteration cap ran out before the Ritz values stabilized, in
+	// which case λ* (and the sandwich derived from it) are lower bounds.
+	Converged bool
 }
 
 // ExactMixingTime decomposes the logit chain of d and returns the exact
@@ -44,12 +59,88 @@ func ExactMixingTime(d *logit.Dynamics, eps float64, maxT int64) (*Result, error
 	lo, hi := dec.MixingTimeBoundsFromRelaxation(eps)
 	return &Result{
 		Beta:           d.Beta(),
+		Backend:        logit.BackendDense,
+		Exact:          true,
+		Converged:      true,
 		MixingTime:     tm,
 		RelaxationTime: dec.RelaxationTime(),
 		LambdaStar:     dec.LambdaStar(),
 		MinEigenvalue:  dec.MinEigenvalue(),
 		SpectralLower:  lo,
 		SpectralUpper:  hi,
+	}, nil
+}
+
+// lanczosSeed fixes the Lanczos start vector so repeated analyses of the
+// same (game, β) pair — and therefore cached service responses — agree bit
+// for bit.
+const lanczosSeed = 0x1a9c205
+
+// lanczosMaxIter caps the Krylov dimension. The Ritz early-stop usually
+// exits within a few dozen steps; full reorthogonalization keeps the whole
+// Krylov basis, so this cap also bounds the k·N basis memory.
+const lanczosMaxIter = 256
+
+// RelaxationSandwich measures λ* and the relaxation time through the
+// requested backend without ever materializing a dense matrix (unless the
+// dense backend itself is requested), and converts t_rel into the Theorem
+// 2.3 mixing-time sandwich. The chain must be reversible with a
+// closed-form stationary distribution, i.e. the game must be an exact
+// potential game — that is what makes the symmetrized operator symmetric
+// and the Gibbs measure available without a dense solve. A caller that
+// already holds the Gibbs measure passes it as pi (it is not re-verified);
+// pi == nil computes it here.
+func RelaxationSandwich(d *logit.Dynamics, backend logit.Backend, eps float64, pi []float64) (*Result, error) {
+	if backend == logit.BackendAuto || backend == "" {
+		return nil, fmt.Errorf("mixing: RelaxationSandwich needs a concrete backend")
+	}
+	if pi == nil {
+		var err error
+		pi, err = d.Gibbs()
+		if err != nil {
+			return nil, fmt.Errorf("mixing: the %s backend needs a potential game (reversible chain with closed-form π): %w", backend, err)
+		}
+	}
+	if backend == logit.BackendDense {
+		dec, derr := spectral.Decompose(d.TransitionDense(), pi)
+		if derr != nil {
+			return nil, derr
+		}
+		lo, hi := dec.MixingTimeBoundsFromRelaxation(eps)
+		return &Result{
+			Beta:           d.Beta(),
+			Backend:        logit.BackendDense,
+			Converged:      true,
+			RelaxationTime: dec.RelaxationTime(),
+			LambdaStar:     dec.LambdaStar(),
+			MinEigenvalue:  dec.MinEigenvalue(),
+			SpectralLower:  lo,
+			SpectralUpper:  hi,
+		}, nil
+	}
+	p, err := d.Operator(backend)
+	if err != nil {
+		return nil, err
+	}
+	op, err := spectral.NewSymOperator(p, pi)
+	if err != nil {
+		return nil, err
+	}
+	res, err := spectral.Lanczos(op, lanczosMaxIter, 1e-12, rng.New(lanczosSeed))
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := spectral.MixingTimeSandwich(res.RelaxationTime(), pi, eps)
+	return &Result{
+		Beta:              d.Beta(),
+		Backend:           backend,
+		Converged:         res.Converged,
+		RelaxationTime:    res.RelaxationTime(),
+		LambdaStar:        res.LambdaStar(),
+		MinEigenvalue:     res.LambdaMin,
+		SpectralLower:     lo,
+		SpectralUpper:     hi,
+		LanczosIterations: res.Iterations,
 	}, nil
 }
 

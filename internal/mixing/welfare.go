@@ -38,11 +38,16 @@ type WelfareReport struct {
 }
 
 // StationaryWelfare computes the welfare report for the logit dynamics of g
-// at the dynamics' β. The profile space must be materializable.
-func StationaryWelfare(d *logit.Dynamics) (*WelfareReport, error) {
-	pi, err := d.Stationary()
-	if err != nil {
-		return nil, err
+// at the dynamics' β. The profile space must be materializable. A caller
+// that already holds the stationary distribution passes it as pi; pi == nil
+// computes it here.
+func StationaryWelfare(d *logit.Dynamics, pi []float64) (*WelfareReport, error) {
+	if pi == nil {
+		var err error
+		pi, err = d.Stationary()
+		if err != nil {
+			return nil, err
+		}
 	}
 	g := d.Game()
 	sp := d.Space()

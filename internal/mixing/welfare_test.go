@@ -23,7 +23,7 @@ func TestStationaryWelfareLimits(t *testing.T) {
 	// β = 0: uniform over the 4 profiles → E[SW] = (6+2·0+4)/4 = 2.5.
 	g, _ := game.NewCoordination2x2(3, 2, 0, 0)
 	d0, _ := logit.New(g, 0)
-	rep, err := StationaryWelfare(d0)
+	rep, err := StationaryWelfare(d0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestStationaryWelfareLimits(t *testing.T) {
 	// Large β: the Gibbs measure sits on the potential minimizer (0,0),
 	// which here is also the welfare optimum.
 	dInf, _ := logit.New(g, 25)
-	repInf, err := StationaryWelfare(dInf)
+	repInf, err := StationaryWelfare(dInf, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestStationaryWelfareMonotoneInBetaForAlignedGame(t *testing.T) {
 	prev := math.Inf(-1)
 	for _, beta := range []float64{0, 0.5, 1, 2, 4} {
 		d, _ := logit.New(g, beta)
-		rep, err := StationaryWelfare(d)
+		rep, err := StationaryWelfare(d, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +86,7 @@ func TestStationaryWelfareNoNash(t *testing.T) {
 		g.SetUtilityIndexed(1, idx, -v)
 	}
 	d, _ := logit.New(g, 0.7)
-	rep, err := StationaryWelfare(d)
+	rep, err := StationaryWelfare(d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -182,60 +182,87 @@ type ReportDoc struct {
 	Version int    `json:"version"`
 	Game    string `json:"game,omitempty"`
 	// Eps is the total-variation target the report was computed for.
-	Eps             Float              `json:"eps,omitempty"`
-	Beta            Float              `json:"beta"`
-	NumProfiles     int                `json:"num_profiles"`
-	MixingTime      int64              `json:"mixing_time"`
-	RelaxationTime  Float              `json:"relaxation_time"`
-	LambdaStar      Float              `json:"lambda_star"`
-	MinEigenvalue   Float              `json:"min_eigenvalue"`
-	Stationary      []float64          `json:"stationary,omitempty"`
-	IsPotentialGame bool               `json:"is_potential_game"`
-	Stats           *PotentialStatsDoc `json:"stats,omitempty"`
-	Bounds          *BoundsDoc         `json:"bounds,omitempty"`
-	PureNash        []int              `json:"pure_nash,omitempty"`
-	DominantProfile []int              `json:"dominant_profile,omitempty"`
-	Welfare         *WelfareDoc        `json:"welfare,omitempty"`
+	Eps         Float `json:"eps,omitempty"`
+	Beta        Float `json:"beta"`
+	NumProfiles int   `json:"num_profiles"`
+	// Backend names the linear-algebra backend that produced the report:
+	// "dense" (exact eigendecomposition), "sparse" (CSR Lanczos) or
+	// "matfree" (rows regenerated from the game on every mat-vec).
+	Backend string `json:"backend,omitempty"`
+	// MixingTimeExact reports whether MixingTime is the exact t_mix(ε); on
+	// the Lanczos route it is false and [SpectralLower, SpectralUpper] is
+	// the Theorem 2.3 mixing-time sandwich.
+	MixingTimeExact   bool  `json:"mixing_time_exact"`
+	MixingTime        int64 `json:"mixing_time"`
+	SpectralLower     Float `json:"spectral_lower"`
+	SpectralUpper     Float `json:"spectral_upper"`
+	RelaxationTime    Float `json:"relaxation_time"`
+	LambdaStar        Float `json:"lambda_star"`
+	MinEigenvalue     Float `json:"min_eigenvalue"`
+	LanczosIterations int   `json:"lanczos_iterations,omitempty"`
+	// SpectralConverged is false only when the Lanczos iteration cap ran
+	// out before the Ritz values stabilized; λ* and the sandwich are then
+	// lower bounds rather than measurements.
+	SpectralConverged bool               `json:"spectral_converged"`
+	Stationary        []float64          `json:"stationary,omitempty"`
+	IsPotentialGame   bool               `json:"is_potential_game"`
+	Stats             *PotentialStatsDoc `json:"stats,omitempty"`
+	Bounds            *BoundsDoc         `json:"bounds,omitempty"`
+	PureNash          []int              `json:"pure_nash,omitempty"`
+	DominantProfile   []int              `json:"dominant_profile,omitempty"`
+	Welfare           *WelfareDoc        `json:"welfare,omitempty"`
 }
 
 // FromReport converts a core.Report into its wire document.
 func FromReport(rep *core.Report, gameName string, eps float64) ReportDoc {
 	return ReportDoc{
-		Version:         Version,
-		Game:            gameName,
-		Eps:             Float(eps),
-		Beta:            Float(rep.Beta),
-		NumProfiles:     rep.NumProfiles,
-		MixingTime:      rep.MixingTime,
-		RelaxationTime:  Float(rep.RelaxationTime),
-		LambdaStar:      Float(rep.LambdaStar),
-		MinEigenvalue:   Float(rep.MinEigenvalue),
-		Stationary:      rep.Stationary,
-		IsPotentialGame: rep.IsPotentialGame,
-		Stats:           fromStats(rep.Stats),
-		Bounds:          fromBounds(rep.Bounds),
-		PureNash:        rep.PureNash,
-		DominantProfile: rep.DominantProfile,
-		Welfare:         fromWelfare(rep.Welfare),
+		Version:           Version,
+		Game:              gameName,
+		Eps:               Float(eps),
+		Beta:              Float(rep.Beta),
+		NumProfiles:       rep.NumProfiles,
+		Backend:           rep.Backend,
+		MixingTimeExact:   rep.MixingTimeExact,
+		MixingTime:        rep.MixingTime,
+		SpectralLower:     Float(rep.SpectralLower),
+		SpectralUpper:     Float(rep.SpectralUpper),
+		RelaxationTime:    Float(rep.RelaxationTime),
+		LambdaStar:        Float(rep.LambdaStar),
+		MinEigenvalue:     Float(rep.MinEigenvalue),
+		LanczosIterations: rep.LanczosIterations,
+		SpectralConverged: rep.SpectralConverged,
+		Stationary:        rep.Stationary,
+		IsPotentialGame:   rep.IsPotentialGame,
+		Stats:             fromStats(rep.Stats),
+		Bounds:            fromBounds(rep.Bounds),
+		PureNash:          rep.PureNash,
+		DominantProfile:   rep.DominantProfile,
+		Welfare:           fromWelfare(rep.Welfare),
 	}
 }
 
 // Report rebuilds the core.Report the document was encoded from.
 func (d ReportDoc) Report() *core.Report {
 	return &core.Report{
-		Beta:            float64(d.Beta),
-		NumProfiles:     d.NumProfiles,
-		MixingTime:      d.MixingTime,
-		RelaxationTime:  float64(d.RelaxationTime),
-		LambdaStar:      float64(d.LambdaStar),
-		MinEigenvalue:   float64(d.MinEigenvalue),
-		Stationary:      d.Stationary,
-		IsPotentialGame: d.IsPotentialGame,
-		Stats:           d.Stats.stats(),
-		Bounds:          d.Bounds.bounds(),
-		PureNash:        d.PureNash,
-		DominantProfile: d.DominantProfile,
-		Welfare:         d.Welfare.welfare(),
+		Beta:              float64(d.Beta),
+		NumProfiles:       d.NumProfiles,
+		Backend:           d.Backend,
+		MixingTimeExact:   d.MixingTimeExact,
+		MixingTime:        d.MixingTime,
+		SpectralLower:     float64(d.SpectralLower),
+		SpectralUpper:     float64(d.SpectralUpper),
+		RelaxationTime:    float64(d.RelaxationTime),
+		LambdaStar:        float64(d.LambdaStar),
+		MinEigenvalue:     float64(d.MinEigenvalue),
+		LanczosIterations: d.LanczosIterations,
+		SpectralConverged: d.SpectralConverged,
+		Stationary:        d.Stationary,
+		IsPotentialGame:   d.IsPotentialGame,
+		Stats:             d.Stats.stats(),
+		Bounds:            d.Bounds.bounds(),
+		PureNash:          d.PureNash,
+		DominantProfile:   d.DominantProfile,
+		Welfare:           d.Welfare.welfare(),
 	}
 }
 
@@ -247,7 +274,11 @@ func EncodeReport(w io.Writer, doc ReportDoc) error {
 	return enc.Encode(doc)
 }
 
-// DecodeReport reads a report document.
+// DecodeReport reads a report document. Documents written before the
+// operator-backend refactor carry no backend field; they were all produced
+// by the dense exact route, so the backend-era fields are defaulted
+// accordingly (with an unknown, NaN, sandwich) instead of decoding as a
+// degenerate inexact report.
 func DecodeReport(r io.Reader) (ReportDoc, error) {
 	var doc ReportDoc
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
@@ -256,6 +287,13 @@ func DecodeReport(r io.Reader) (ReportDoc, error) {
 	if doc.Version != Version {
 		return ReportDoc{}, fmt.Errorf("serialize: unsupported version %d", doc.Version)
 	}
+	if doc.Backend == "" {
+		doc.Backend = "dense"
+		doc.MixingTimeExact = true
+		doc.SpectralConverged = true
+		doc.SpectralLower = Float(math.NaN())
+		doc.SpectralUpper = Float(math.NaN())
+	}
 	return doc, nil
 }
 
@@ -263,15 +301,19 @@ func DecodeReport(r io.Reader) (ReportDoc, error) {
 // measure and its total-variation distance to the Gibbs prediction (NaN
 // when no closed-form Gibbs measure exists).
 type SimulationDoc struct {
-	Version     int       `json:"version"`
-	Game        string    `json:"game,omitempty"`
-	Beta        Float     `json:"beta"`
-	Steps       int       `json:"steps"`
-	Seed        uint64    `json:"seed"`
-	NumProfiles int       `json:"num_profiles"`
-	Start       []int     `json:"start,omitempty"`
-	Empirical   []float64 `json:"empirical"`
-	TVGibbs     Float     `json:"tv_gibbs"`
+	Version     int    `json:"version"`
+	Game        string `json:"game,omitempty"`
+	Beta        Float  `json:"beta"`
+	Steps       int    `json:"steps"`
+	Seed        uint64 `json:"seed"`
+	NumProfiles int    `json:"num_profiles"`
+	Start       []int  `json:"start,omitempty"`
+	// Empirical is the occupancy measure over profile indices. Serving
+	// layers elide it above the dense profile cap so a large-space
+	// simulation doesn't return megabytes of vector; TVGibbs carries the
+	// summary either way.
+	Empirical []float64 `json:"empirical,omitempty"`
+	TVGibbs   Float     `json:"tv_gibbs"`
 }
 
 // EncodeSimulation writes a simulation document.

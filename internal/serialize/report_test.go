@@ -283,3 +283,26 @@ func TestCutwidthRoundTrip(t *testing.T) {
 		t.Fatal("absent optionals must decode as nil")
 	}
 }
+
+// Pre-backend-era report documents carry no backend field; DecodeReport
+// must default them to the dense exact route rather than a degenerate
+// inexact report with a [0, 0] sandwich.
+func TestDecodeReportLegacyDocDefaultsToDenseExact(t *testing.T) {
+	legacy := `{"version":1,"game":"doublewell","beta":1.5,"num_profiles":64,"mixing_time":29,
+		"relaxation_time":19.8,"lambda_star":0.949,"min_eigenvalue":0.01,"is_potential_game":true}`
+	doc, err := DecodeReport(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Backend != "dense" || !doc.MixingTimeExact || !doc.SpectralConverged {
+		t.Fatalf("legacy doc decoded as backend=%q exact=%v converged=%v, want dense/true/true",
+			doc.Backend, doc.MixingTimeExact, doc.SpectralConverged)
+	}
+	if doc.MixingTime != 29 {
+		t.Fatalf("mixing_time = %d, want 29", doc.MixingTime)
+	}
+	if !math.IsNaN(float64(doc.SpectralLower)) || !math.IsNaN(float64(doc.SpectralUpper)) {
+		t.Fatalf("legacy sandwich must decode as unknown (NaN), got [%v, %v]",
+			doc.SpectralLower, doc.SpectralUpper)
+	}
+}

@@ -80,7 +80,8 @@ func GameDigest(g game.Game) [32]byte {
 }
 
 // KeyFrom combines a game digest with β and the normalized options into a
-// cache key.
+// cache key. The backend is part of the key: a dense exact report and a
+// sparse sandwich report of the same (game, β) pair are different answers.
 func KeyFrom(digest [32]byte, beta float64, opts core.Options) string {
 	opts = opts.Normalized()
 	hs := &hasher{sum: sha256.New()}
@@ -88,6 +89,8 @@ func KeyFrom(digest [32]byte, beta float64, opts core.Options) string {
 	hs.f64(beta)
 	hs.f64(opts.Eps)
 	hs.u64(uint64(opts.MaxT))
+	hs.u64(uint64(len(opts.Backend)))
+	hs.sum.Write([]byte(opts.Backend))
 	return hex.EncodeToString(hs.sum.Sum(nil))
 }
 

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -292,5 +293,139 @@ func TestServiceHealthz(t *testing.T) {
 	}
 	if m := getMetrics(t, srv.URL); m.Requests.Healthz != 1 {
 		t.Fatalf("healthz request count = %d", m.Requests.Healthz)
+	}
+}
+
+// The acceptance criterion of the operator-backend refactor: a potential
+// game with ≥ 50,000 profiles — rejected outright by the old dense-only
+// limits — completes /v1/analyze through the sparse Lanczos path, returns a
+// finite relaxation time plus the Theorem 2.3 mixing-time sandwich, reports
+// which backend ran, and shows up in the per-backend /metrics counters.
+func TestServiceAnalyzeLargeGameViaSparseBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("65536-profile Lanczos analysis takes about a second")
+	}
+	srv := startServer(t, service.Config{})
+	req := service.AnalyzeRequest{
+		// 2^16 = 65536 profiles.
+		Spec: &spec.Spec{Game: "doublewell", N: 16, C: 5, Delta1: 1},
+		Beta: 1,
+	}
+
+	// The same request pinned to the dense backend must be rejected with
+	// the dense-specific cap in the message.
+	denseReq := req
+	denseReq.Backend = "dense"
+	status, raw := postJSON(t, srv.URL+"/v1/analyze", denseReq, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("dense backend on 65536 profiles: status %d (%s), want 400", status, raw)
+	}
+	if !strings.Contains(raw, "dense-backend cap") {
+		t.Fatalf("dense rejection must name the dense-backend cap, got: %s", raw)
+	}
+
+	var resp service.AnalyzeResponse
+	status, raw = postJSON(t, srv.URL+"/v1/analyze", req, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("analyze: status %d: %s", status, raw)
+	}
+	rep := resp.Report
+	if rep.NumProfiles != 1<<16 {
+		t.Fatalf("num_profiles = %d, want %d", rep.NumProfiles, 1<<16)
+	}
+	if rep.Backend != "sparse" {
+		t.Fatalf("backend = %q, want sparse (auto routes above the dense cap)", rep.Backend)
+	}
+	if rep.MixingTimeExact {
+		t.Fatal("sparse route must not claim an exact mixing time")
+	}
+	trel := float64(rep.RelaxationTime)
+	if !(trel > 1) || math.IsInf(trel, 0) || math.IsNaN(trel) {
+		t.Fatalf("relaxation_time = %g", trel)
+	}
+	lo, hi := float64(rep.SpectralLower), float64(rep.SpectralUpper)
+	if !(lo >= 0) || !(hi > lo) || math.IsInf(hi, 0) {
+		t.Fatalf("sandwich [%g, %g] is not a usable envelope", lo, hi)
+	}
+	if rep.LanczosIterations <= 0 {
+		t.Fatalf("lanczos_iterations = %d", rep.LanczosIterations)
+	}
+	if !rep.SpectralConverged {
+		t.Fatal("Lanczos must converge on this chain; the response flags truncation otherwise")
+	}
+	if len(rep.Stationary) != 0 {
+		t.Fatal("large responses must elide the 65536-entry stationary vector")
+	}
+	if rep.Stats == nil || float64(rep.Stats.DeltaPhi) <= 0 {
+		t.Fatal("scalar potential statistics must survive the sparse route")
+	}
+
+	// A repeat of the identical request must be a cache hit — and so must
+	// an explicit "sparse" spelling, because keys are derived from the
+	// resolved backend, not the requested one.
+	var again service.AnalyzeResponse
+	if status, raw := postJSON(t, srv.URL+"/v1/analyze", req, &again); status != http.StatusOK {
+		t.Fatalf("repeat analyze: status %d: %s", status, raw)
+	}
+	if !again.Cached || again.Key != resp.Key {
+		t.Fatalf("repeat must hit the cache under the same key (cached=%v)", again.Cached)
+	}
+	explicit := req
+	explicit.Backend = "sparse"
+	var pinned service.AnalyzeResponse
+	if status, raw := postJSON(t, srv.URL+"/v1/analyze", explicit, &pinned); status != http.StatusOK {
+		t.Fatalf("explicit sparse analyze: status %d: %s", status, raw)
+	}
+	if !pinned.Cached || pinned.Key != resp.Key {
+		t.Fatalf("auto and its resolved backend must share one cache slot (cached=%v, keys %s vs %s)",
+			pinned.Cached, pinned.Key, resp.Key)
+	}
+	m := getMetrics(t, srv.URL)
+	if m.Work.AnalysesByBackend.Sparse != 1 {
+		t.Fatalf("analyses_by_backend.sparse = %d, want 1", m.Work.AnalysesByBackend.Sparse)
+	}
+}
+
+// An explicit matfree request on a mid-size game must run the matrix-free
+// operator and agree with the sparse answer (same Lanczos seed, same
+// spectrum), cached under a distinct key.
+func TestServiceMatFreeBackend(t *testing.T) {
+	srv := startServer(t, service.Config{})
+	base := service.AnalyzeRequest{
+		Spec: &spec.Spec{Game: "doublewell", N: 13, C: 4, Delta1: 1},
+		Beta: 1,
+	}
+	sparseReq, matfreeReq := base, base
+	sparseReq.Backend = "sparse"
+	matfreeReq.Backend = "matfree"
+
+	var sparse, matfree service.AnalyzeResponse
+	if status, raw := postJSON(t, srv.URL+"/v1/analyze", sparseReq, &sparse); status != http.StatusOK {
+		t.Fatalf("sparse: %d: %s", status, raw)
+	}
+	if status, raw := postJSON(t, srv.URL+"/v1/analyze", matfreeReq, &matfree); status != http.StatusOK {
+		t.Fatalf("matfree: %d: %s", status, raw)
+	}
+	if matfree.Report.Backend != "matfree" || sparse.Report.Backend != "sparse" {
+		t.Fatalf("backends = %q/%q", sparse.Report.Backend, matfree.Report.Backend)
+	}
+	if matfree.Key == sparse.Key {
+		t.Fatal("different backends must cache under different keys")
+	}
+	if diff := math.Abs(float64(matfree.Report.LambdaStar) - float64(sparse.Report.LambdaStar)); diff > 1e-9 {
+		t.Fatalf("λ* differs between sparse and matfree by %g", diff)
+	}
+	m := getMetrics(t, srv.URL)
+	if m.Work.AnalysesByBackend.Sparse != 1 || m.Work.AnalysesByBackend.MatFree != 1 {
+		t.Fatalf("backend split = %+v", m.Work.AnalysesByBackend)
+	}
+}
+
+// spec sits below core in the import graph and restates the dense
+// threshold; this pin keeps the two defaults from drifting apart.
+func TestDefaultLimitsMatchCoreDenseThreshold(t *testing.T) {
+	if spec.DefaultLimits().MaxProfiles != core.DefaultMaxExactStates {
+		t.Fatalf("spec.DefaultLimits().MaxProfiles = %d, core.DefaultMaxExactStates = %d — keep them in sync",
+			spec.DefaultLimits().MaxProfiles, core.DefaultMaxExactStates)
 	}
 }

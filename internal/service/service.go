@@ -71,6 +71,10 @@ type Service struct {
 	reqAnalyze, reqBatch, reqSimulate atomic.Uint64
 	reqHealthz, reqMetrics            atomic.Uint64
 	analyses, simulations             atomic.Uint64
+	// Per-backend analysis counters: which linear-algebra backend actually
+	// ran each performed (non-cached) analysis.
+	analysesDense, analysesSparse, analysesMatFree atomic.Uint64
+	analysesFailed                                 atomic.Uint64
 }
 
 // New builds a Service from the config.
@@ -122,6 +126,12 @@ type AnalyzeRequest struct {
 	Eps float64 `json:"eps,omitempty"`
 	// MaxT caps the measurable mixing time; 0 means effectively unbounded.
 	MaxT int64 `json:"max_t,omitempty"`
+	// Backend selects the linear-algebra backend: "auto" (default; dense
+	// up to the dense profile cap, sparse Lanczos above it), "dense",
+	// "sparse" or "matfree". The sparse and matfree caps admit profile
+	// spaces far beyond the dense limit; the response reports which
+	// backend ran.
+	Backend string `json:"backend,omitempty"`
 }
 
 // AnalyzeResponse wraps the report with its cache identity.
@@ -140,12 +150,13 @@ type AnalyzeResponse struct {
 type BatchRequest struct {
 	Items []AnalyzeRequest `json:"items,omitempty"`
 
-	Spec  *spec.Spec         `json:"spec,omitempty"`
-	Game  *serialize.GameDoc `json:"game,omitempty"`
-	Name  string             `json:"name,omitempty"`
-	Betas []float64          `json:"betas,omitempty"`
-	Eps   float64            `json:"eps,omitempty"`
-	MaxT  int64              `json:"max_t,omitempty"`
+	Spec    *spec.Spec         `json:"spec,omitempty"`
+	Game    *serialize.GameDoc `json:"game,omitempty"`
+	Name    string             `json:"name,omitempty"`
+	Betas   []float64          `json:"betas,omitempty"`
+	Eps     float64            `json:"eps,omitempty"`
+	MaxT    int64              `json:"max_t,omitempty"`
+	Backend string             `json:"backend,omitempty"`
 }
 
 // BatchItemResult is one slot of a batch response; exactly one of Error
@@ -211,22 +222,30 @@ func buildSafely(build func() (game.Game, error)) (g game.Game, err error) {
 	return build()
 }
 
-// buildGame resolves the request's game source against the limits. It
-// never mutates its arguments: batch items may share one doc across
-// concurrently-running goroutines.
-func (s *Service) buildGame(sp *spec.Spec, doc *serialize.GameDoc, name string) (game.Game, string, error) {
+// buildGame resolves the request's game source against the limits of the
+// requested backend (the sparse/matfree caps admit much larger profile
+// spaces than the dense one). It never mutates its arguments: batch items
+// may share one doc across concurrently-running goroutines.
+func (s *Service) buildGame(sp *spec.Spec, doc *serialize.GameDoc, name, backend string) (game.Game, string, error) {
+	// Normalize before the cap checks: an empty backend means auto, which
+	// may route to sparse and therefore deserves the sparse cap.
+	b, err := logit.ParseBackend(backend)
+	if err != nil {
+		return nil, "", err
+	}
+	backend = string(b)
 	switch {
 	case sp != nil && doc != nil:
 		return nil, "", errors.New("give either \"spec\" or \"game\", not both")
 	case sp != nil:
-		if err := s.cfg.Limits.CheckSpec(*sp); err != nil {
+		if err := s.cfg.Limits.CheckSpecFor(*sp, backend); err != nil {
 			return nil, "", err
 		}
 		g, err := buildSafely(sp.Build)
 		if err != nil {
 			return nil, "", err
 		}
-		if err := s.cfg.Limits.CheckGame(g); err != nil {
+		if err := s.cfg.Limits.CheckGameFor(g, backend); err != nil {
 			return nil, "", err
 		}
 		if name == "" {
@@ -234,7 +253,7 @@ func (s *Service) buildGame(sp *spec.Spec, doc *serialize.GameDoc, name string) 
 		}
 		return g, name, nil
 	case doc != nil:
-		if err := s.cfg.Limits.CheckSizes(doc.Sizes); err != nil {
+		if err := s.cfg.Limits.CheckSizesFor(doc.Sizes, backend); err != nil {
 			return nil, "", err
 		}
 		d := *doc
@@ -257,39 +276,52 @@ func (s *Service) buildGame(sp *spec.Spec, doc *serialize.GameDoc, name string) 
 // analyzeOne serves one analysis through the cache, pool and singleflight
 // layers.
 func (s *Service) analyzeOne(req AnalyzeRequest) (*AnalyzeResponse, error) {
-	g, name, err := s.buildGame(req.Spec, req.Game, req.Name)
+	g, name, err := s.buildGame(req.Spec, req.Game, req.Name, req.Backend)
 	if err != nil {
 		return nil, err
 	}
 	// Materialize once and analyze the table, so the digest and the
 	// analysis don't each re-evaluate every lazy utility.
 	table := game.Materialize(g)
-	return s.analyzeBuilt(table, GameDigest(table), name, req.Beta, req.Eps, req.MaxT)
+	return s.analyzeBuilt(table, GameDigest(table), name, req.Beta, req.Eps, req.MaxT, req.Backend)
 }
 
 // analyzeBuilt is the shared serving path once the game is built and
 // digested; β-sweeps reuse one digest across all their items.
-func (s *Service) analyzeBuilt(g game.Game, digest [32]byte, name string, beta, eps float64, maxT int64) (*AnalyzeResponse, error) {
+func (s *Service) analyzeBuilt(g game.Game, digest [32]byte, name string, beta, eps float64, maxT int64, backend string) (*AnalyzeResponse, error) {
 	if err := s.cfg.Limits.CheckBeta(beta); err != nil {
 		return nil, err
 	}
+	// Resolve auto before keying: an omitted backend and the explicit
+	// backend it resolves to are the same analysis (the fixed Lanczos seed
+	// makes the reports bit-identical), so they must share one cache slot.
+	b, err := logit.ParseBackend(backend)
+	if err != nil {
+		return nil, err
+	}
+	resolved := b.Resolve(game.SpaceOf(g).Size(), s.cfg.Limits.MaxProfiles)
 	opts := core.Options{
 		Eps:            eps,
 		MaxT:           maxT,
 		MaxExactStates: s.cfg.Limits.MaxProfiles,
+		Backend:        string(resolved),
 	}.Normalized()
 	key := KeyFrom(digest, beta, opts)
 	rep, cached, err := s.cache.Do(key, func() (*core.Report, error) {
 		var rep *core.Report
 		var aerr error
 		s.pool.Run(func() {
-			s.analyses.Add(1)
 			rep, aerr = core.AnalyzeGame(g, beta, opts)
 		})
 		if aerr != nil {
-			aerr = fmt.Errorf("%w: %v", errAnalysis, aerr)
+			s.analysesFailed.Add(1)
+			return rep, fmt.Errorf("%w: %v", errAnalysis, aerr)
 		}
-		return rep, aerr
+		// Count completed analyses only, so the per-backend split always
+		// sums to the total.
+		s.analyses.Add(1)
+		s.countBackend(rep.Backend)
+		return rep, nil
 	})
 	if err != nil {
 		return nil, err
@@ -299,6 +331,18 @@ func (s *Service) analyzeBuilt(g game.Game, digest [32]byte, name string, beta, 
 		Cached: cached,
 		Report: serialize.FromReport(rep, name, opts.Eps),
 	}, nil
+}
+
+// countBackend attributes one performed analysis to the backend that ran.
+func (s *Service) countBackend(backend string) {
+	switch logit.Backend(backend) {
+	case logit.BackendDense:
+		s.analysesDense.Add(1)
+	case logit.BackendSparse:
+		s.analysesSparse.Add(1)
+	case logit.BackendMatFree:
+		s.analysesMatFree.Add(1)
+	}
 }
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -350,7 +394,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// A β-sweep shares one game: build, materialize and digest it once
 		// instead of once per β. The materialized table is read-only, so
 		// concurrent analyses can share it.
-		g, name, err := s.buildGame(req.Spec, req.Game, req.Name)
+		g, name, err := s.buildGame(req.Spec, req.Game, req.Name, req.Backend)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -358,7 +402,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		table := game.Materialize(g)
 		digest := GameDigest(table)
 		results = sim.Map(req.Betas, 0, s.pool.Workers(), func(_ int, beta float64, _ *rng.RNG) BatchItemResult {
-			resp, err := s.analyzeBuilt(table, digest, name, beta, req.Eps, req.MaxT)
+			resp, err := s.analyzeBuilt(table, digest, name, beta, req.Eps, req.MaxT, req.Backend)
 			if err != nil {
 				return BatchItemResult{Error: err.Error()}
 			}
@@ -393,7 +437,8 @@ func (s *Service) simulate(req SimulateRequest) (*serialize.SimulationDoc, error
 	if err := s.cfg.Limits.CheckSteps(req.Steps); err != nil {
 		return nil, err
 	}
-	g, name, err := s.buildGame(req.Spec, req.Game, req.Name)
+	// Simulation never materializes a matrix, so the sparse caps govern.
+	g, name, err := s.buildGame(req.Spec, req.Game, req.Name, string(logit.BackendSparse))
 	if err != nil {
 		return nil, err
 	}
@@ -430,7 +475,13 @@ func (s *Service) simulate(req SimulateRequest) (*serialize.SimulationDoc, error
 		for i, c := range counts {
 			emp[i] = float64(c) / float64(req.Steps+1)
 		}
-		doc.Empirical = emp
+		// Above the dense cap the occupancy vector would dominate the
+		// response (the sparse caps admit spaces 64× larger); keep the
+		// TV-to-Gibbs summary and elide the vector, mirroring the analyze
+		// path's payload policy.
+		if space.Size() <= s.cfg.Limits.MaxProfiles {
+			doc.Empirical = emp
+		}
 		if gibbs, gerr := d.Gibbs(); gerr == nil {
 			doc.TVGibbs = serialize.Float(markov.TVDistance(emp, gibbs))
 		} else {
@@ -456,12 +507,26 @@ type RequestMetrics struct {
 
 // WorkMetrics counts heavy work through the pool.
 type WorkMetrics struct {
-	// AnalysesPerformed counts actual eigendecomposition runs; cache hits
-	// and singleflight joins do not increment it.
+	// AnalysesPerformed counts completed analysis runs; cache hits,
+	// singleflight joins and failed runs do not increment it.
 	AnalysesPerformed uint64 `json:"analyses_performed"`
-	Simulations       uint64 `json:"simulations"`
-	InFlight          int64  `json:"in_flight"`
-	Workers           int    `json:"workers"`
+	// AnalysesByBackend splits the performed analyses by the
+	// linear-algebra backend that ran (dense eigendecomposition vs the
+	// sparse/matfree Lanczos routes); the three always sum to
+	// AnalysesPerformed.
+	AnalysesByBackend BackendMetrics `json:"analyses_by_backend"`
+	// AnalysesFailed counts analysis attempts that errored.
+	AnalysesFailed uint64 `json:"analyses_failed"`
+	Simulations    uint64 `json:"simulations"`
+	InFlight       int64  `json:"in_flight"`
+	Workers        int    `json:"workers"`
+}
+
+// BackendMetrics counts performed analyses per backend.
+type BackendMetrics struct {
+	Dense   uint64 `json:"dense"`
+	Sparse  uint64 `json:"sparse"`
+	MatFree uint64 `json:"matfree"`
 }
 
 // MetricsDoc is the /metrics response.
@@ -486,9 +551,15 @@ func (s *Service) Metrics() MetricsDoc {
 		Cache: s.cache.Metrics(),
 		Work: WorkMetrics{
 			AnalysesPerformed: s.analyses.Load(),
-			Simulations:       s.simulations.Load(),
-			InFlight:          s.pool.InFlight(),
-			Workers:           s.pool.Workers(),
+			AnalysesByBackend: BackendMetrics{
+				Dense:   s.analysesDense.Load(),
+				Sparse:  s.analysesSparse.Load(),
+				MatFree: s.analysesMatFree.Load(),
+			},
+			AnalysesFailed: s.analysesFailed.Load(),
+			Simulations:    s.simulations.Load(),
+			InFlight:       s.pool.InFlight(),
+			Workers:        s.pool.Workers(),
 		},
 	}
 }

@@ -18,23 +18,51 @@ type Limits struct {
 	MaxPlayers int
 	// MaxStrategies caps any single player's strategy count.
 	MaxStrategies int
-	// MaxProfiles caps |S|, the profile-space size subject to exact
-	// analysis.
+	// MaxProfiles caps |S| for the dense backend: the profile-space size
+	// subject to exact eigendecomposition.
 	MaxProfiles int
+	// MaxSparseProfiles caps |S| for the sparse and matrix-free backends
+	// (the Lanczos route), which hold only O(|S|·n·m) — or O(|S|) — state
+	// and therefore admit far larger spaces than the dense cap.
+	MaxSparseProfiles int
 	// MaxBeta caps the inverse noise β.
 	MaxBeta float64
 	// MaxSteps caps simulation trajectory lengths.
 	MaxSteps int
 }
 
-// DefaultLimits matches core.Options' exact-analysis defaults.
+// DefaultLimits matches core.Options' analysis defaults: the dense cap
+// mirrors core.DefaultMaxExactStates (spec sits below core in the import
+// graph, so the value is restated here and pinned by a test), and the
+// sparse cap is 64× larger because the Lanczos route's footprint grows
+// only linearly in |S|.
 func DefaultLimits() Limits {
 	return Limits{
-		MaxPlayers:    24,
-		MaxStrategies: 64,
-		MaxProfiles:   4096,
-		MaxBeta:       1e6,
-		MaxSteps:      10_000_000,
+		MaxPlayers:        24,
+		MaxStrategies:     64,
+		MaxProfiles:       4096,
+		MaxSparseProfiles: 64 * 4096,
+		MaxBeta:           1e6,
+		MaxSteps:          10_000_000,
+	}
+}
+
+// ProfileCap returns the profile-space cap that governs the given backend
+// together with a human-readable label for error messages. The sparse,
+// matfree and auto backends (auto may route to sparse) are bounded by
+// MaxSparseProfiles, never less than the dense cap. Everything else —
+// dense, the empty string, and any unrecognized name — fails closed onto
+// the conservative dense cap.
+func (l Limits) ProfileCap(backend string) (limit int, label string) {
+	switch backend {
+	case "auto", "sparse", "matfree":
+		limit = l.MaxSparseProfiles
+		if limit < l.MaxProfiles {
+			limit = l.MaxProfiles
+		}
+		return limit, "sparse-backend"
+	default:
+		return l.MaxProfiles, "dense-backend"
 	}
 }
 
@@ -72,11 +100,13 @@ func specUsesGraph(g string) bool {
 	return false
 }
 
-// CheckSpec rejects specs whose construction would already be too large,
-// before Build is called. It intentionally over-approximates: anything it
-// passes is cheap to construct, and CheckGame then enforces the exact
-// profile-space cap.
-func (l Limits) CheckSpec(s Spec) error {
+// CheckSpecFor rejects specs whose construction would already be too large
+// for the given backend, before Build is called. It intentionally
+// over-approximates: anything it passes is cheap to construct, and
+// CheckGameFor then enforces the exact profile-space cap. Limit errors name
+// the backend-specific cap that was exceeded.
+func (l Limits) CheckSpecFor(s Spec, backend string) error {
+	profileCap, capLabel := l.ProfileCap(backend)
 	players := s.N
 	if specUsesGraph(s.Game) {
 		switch s.Graph {
@@ -119,28 +149,31 @@ func (l Limits) CheckSpec(s Spec) error {
 	case "dominant", "congestion", "random":
 		perPlayer = s.M
 	}
-	if players >= 1 && perPlayer >= 1 && l.MaxProfiles > 0 {
+	if players >= 1 && perPlayer >= 1 && profileCap > 0 {
 		profiles := 1
 		for i := 0; i < players; i++ {
 			profiles *= perPlayer
-			if profiles > l.MaxProfiles {
-				return fmt.Errorf("spec: profile space %d^%d exceeds the limit %d", perPlayer, players, l.MaxProfiles)
+			if profiles > profileCap {
+				return fmt.Errorf("spec: profile space %d^%d exceeds the %s cap %d", perPlayer, players, capLabel, profileCap)
 			}
 		}
 	}
 	return nil
 }
 
-// CheckSizes validates an explicit per-player strategy-count vector (e.g.
-// from a serialized game document) without constructing anything. The
-// incremental product check makes overflow impossible.
-func (l Limits) CheckSizes(sizes []int) error {
+// CheckSizesFor validates an explicit per-player strategy-count vector (e.g.
+// from a serialized game document) against the given backend's cap, without
+// constructing anything. The incremental product check makes overflow
+// impossible, and limit errors name the backend-specific cap that was
+// exceeded.
+func (l Limits) CheckSizesFor(sizes []int, backend string) error {
 	if len(sizes) == 0 {
 		return fmt.Errorf("spec: empty strategy-count vector")
 	}
 	if l.MaxPlayers > 0 && len(sizes) > l.MaxPlayers {
 		return fmt.Errorf("spec: %d players exceed the limit %d", len(sizes), l.MaxPlayers)
 	}
+	profileCap, capLabel := l.ProfileCap(backend)
 	profiles := 1
 	for i, m := range sizes {
 		if m < 1 {
@@ -150,19 +183,20 @@ func (l Limits) CheckSizes(sizes []int) error {
 			return fmt.Errorf("spec: player %d's %d strategies exceed the limit %d", i, m, l.MaxStrategies)
 		}
 		profiles *= m
-		if l.MaxProfiles > 0 && profiles > l.MaxProfiles {
-			return fmt.Errorf("spec: profile space exceeds the limit %d", l.MaxProfiles)
+		if profileCap > 0 && profiles > profileCap {
+			return fmt.Errorf("spec: profile space exceeds the %s cap %d", capLabel, profileCap)
 		}
 	}
 	return nil
 }
 
-// CheckGame enforces the exact caps on a constructed game.
-func (l Limits) CheckGame(g game.Game) error {
+// CheckGameFor enforces the exact caps of the given backend on a
+// constructed game.
+func (l Limits) CheckGameFor(g game.Game, backend string) error {
 	sp := game.SpaceOf(g)
 	sizes := make([]int, sp.Players())
 	for i := range sizes {
 		sizes[i] = sp.Strategies(i)
 	}
-	return l.CheckSizes(sizes)
+	return l.CheckSizesFor(sizes, backend)
 }

@@ -2,6 +2,7 @@ package spec
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -16,14 +17,14 @@ func TestDefaultLimitsAcceptTypicalSpecs(t *testing.T) {
 		{Game: "ising", Graph: "hypercube", N: 3, Delta1: 1},
 	}
 	for _, s := range ok {
-		if err := l.CheckSpec(s); err != nil {
+		if err := l.CheckSpecFor(s, "dense"); err != nil {
 			t.Errorf("%+v rejected: %v", s, err)
 		}
 		g, err := s.Build()
 		if err != nil {
 			t.Fatalf("%+v: %v", s, err)
 		}
-		if err := l.CheckGame(g); err != nil {
+		if err := l.CheckGameFor(g, "dense"); err != nil {
 			t.Errorf("%+v game rejected: %v", s, err)
 		}
 	}
@@ -48,8 +49,64 @@ func TestCheckSpecRejectsOversizedShapes(t *testing.T) {
 		{Game: "ising", Graph: "hypercube", N: -1, Delta1: 1},
 	}
 	for _, s := range bad {
-		if err := l.CheckSpec(s); err == nil {
+		if err := l.CheckSpecFor(s, "dense"); err == nil {
 			t.Errorf("%+v must be rejected before construction", s)
+		}
+	}
+}
+
+func TestBackendSpecificCaps(t *testing.T) {
+	l := DefaultLimits()
+	// 2^13 = 8192 profiles: over the dense cap, under the sparse cap.
+	mid := Spec{Game: "doublewell", N: 13, C: 4, Delta1: 1}
+	if err := l.CheckSpecFor(mid, "dense"); err == nil {
+		t.Fatal("8192 profiles must exceed the dense cap")
+	} else if !strings.Contains(err.Error(), "dense-backend cap 4096") {
+		t.Fatalf("dense rejection must name the dense-backend cap, got: %v", err)
+	}
+	for _, backend := range []string{"auto", "sparse", "matfree"} {
+		if err := l.CheckSpecFor(mid, backend); err != nil {
+			t.Fatalf("backend %s must admit 8192 profiles: %v", backend, err)
+		}
+	}
+	// 2^24 would exceed even the sparse cap (and the player limit).
+	huge := Spec{Game: "doublewell", N: 20, C: 4, Delta1: 1}
+	if err := l.CheckSpecFor(huge, "sparse"); err == nil {
+		t.Fatal("2^20 profiles must exceed the sparse cap")
+	} else if !strings.Contains(err.Error(), "sparse-backend cap 262144") {
+		t.Fatalf("sparse rejection must name the sparse-backend cap, got: %v", err)
+	}
+
+	sizes := make([]int, 13)
+	for i := range sizes {
+		sizes[i] = 2
+	}
+	if err := l.CheckSizesFor(sizes, "dense"); err == nil {
+		t.Fatal("CheckSizesFor dense must reject 8192 profiles")
+	} else if !strings.Contains(err.Error(), "dense-backend cap 4096") {
+		t.Fatalf("sizes rejection must name the dense-backend cap, got: %v", err)
+	}
+	if err := l.CheckSizesFor(sizes, "sparse"); err != nil {
+		t.Fatalf("CheckSizesFor sparse must admit 8192 profiles: %v", err)
+	}
+}
+
+func TestProfileCapNeverBelowDense(t *testing.T) {
+	l := DefaultLimits()
+	l.MaxSparseProfiles = 16 // misconfigured below the dense cap
+	got, _ := l.ProfileCap("sparse")
+	if got != l.MaxProfiles {
+		t.Fatalf("sparse cap = %d, must floor at the dense cap %d", got, l.MaxProfiles)
+	}
+}
+
+func TestProfileCapFailsClosedOnUnknownBackend(t *testing.T) {
+	l := DefaultLimits()
+	for _, backend := range []string{"", "dense", "spares", "gpu", "matfre"} {
+		got, label := l.ProfileCap(backend)
+		if got != l.MaxProfiles || label != "dense-backend" {
+			t.Fatalf("backend %q got cap %d (%s); unknown names must fail closed onto the dense cap",
+				backend, got, label)
 		}
 	}
 }
@@ -62,16 +119,16 @@ func TestCheckSizesOverflowSafe(t *testing.T) {
 	for i := range sizes {
 		sizes[i] = 64
 	}
-	if err := l.CheckSizes(sizes); err == nil {
+	if err := l.CheckSizesFor(sizes, "dense"); err == nil {
 		t.Fatal("overflowing profile space must be rejected")
 	}
-	if err := l.CheckSizes([]int{2, 2, 2}); err != nil {
+	if err := l.CheckSizesFor([]int{2, 2, 2}, "dense"); err != nil {
 		t.Fatalf("small space rejected: %v", err)
 	}
-	if err := l.CheckSizes(nil); err == nil {
+	if err := l.CheckSizesFor(nil, "dense"); err == nil {
 		t.Fatal("empty sizes must be rejected")
 	}
-	if err := l.CheckSizes([]int{2, 0}); err == nil {
+	if err := l.CheckSizesFor([]int{2, 0}, "dense"); err == nil {
 		t.Fatal("zero strategies must be rejected")
 	}
 }

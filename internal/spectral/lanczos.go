@@ -10,25 +10,35 @@ import (
 	"logitdyn/internal/rng"
 )
 
-// Sparse spectral analysis. Dense decomposition is O(|S|³) and caps exact
-// work near |S| ≈ 4096; the Lanczos iteration below needs only sparse
-// mat-vecs with the symmetrized operator A = D^{1/2} P D^{−1/2}, so the
-// relaxation time of much larger logit chains (|S| in the hundreds of
-// thousands) stays measurable. Theorem 2.3 then converts t_rel into a
-// two-sided mixing-time envelope, which is how the repository scales the
+// Iterative spectral analysis. Dense decomposition is O(|S|³) and caps exact
+// work near |S| ≈ 4096; the Lanczos iteration below needs only mat-vecs with
+// the symmetrized operator A = D^{1/2} P D^{−1/2}, so the relaxation time of
+// much larger logit chains (|S| in the hundreds of thousands) stays
+// measurable. Because SymOperator wraps any linalg.Operator, the same solver
+// runs on the CSR sparse backend and on the matrix-free operator that
+// regenerates logit rows from the game. Theorem 2.3 then converts t_rel into
+// a two-sided mixing-time envelope, which is how the repository scales the
 // ring experiments beyond the dense limit.
 
-// SparseOperator applies the symmetrized chain operator using the sparse
-// transition rows: (A v)[x] = sqrt(π_x) · Σ_y P(x,y) · v[y]/sqrt(π_y).
-type SparseOperator struct {
-	s       *markov.Sparse
+// SymOperator applies the symmetrized chain operator
+// A = D^{1/2} P D^{−1/2} (D = diag π) for any transition-operator backend:
+// (A v)[x] = sqrt(π_x) · Σ_y P(x,y) · v[y]/sqrt(π_y).
+type SymOperator struct {
+	p       linalg.Operator
 	sqrtPi  []float64
 	scratch []float64
 }
 
-// NewSparseOperator validates inputs and precomputes sqrt(π).
-func NewSparseOperator(s *markov.Sparse, pi []float64) (*SparseOperator, error) {
-	if s.N != len(pi) {
+// SparseOperator is the historical name of SymOperator, kept for callers
+// that predate the multi-backend refactor.
+type SparseOperator = SymOperator
+
+// NewSymOperator validates inputs and precomputes sqrt(π). The operator p
+// must be the row-stochastic transition matrix of a chain reversible with
+// respect to π (potential games are, by the paper's Eq. 4).
+func NewSymOperator(p linalg.Operator, pi []float64) (*SymOperator, error) {
+	rows, cols := p.Dims()
+	if rows != cols || rows != len(pi) {
 		return nil, errors.New("spectral: operator size mismatch")
 	}
 	sqrtPi := make([]float64, len(pi))
@@ -38,31 +48,32 @@ func NewSparseOperator(s *markov.Sparse, pi []float64) (*SparseOperator, error) 
 		}
 		sqrtPi[i] = math.Sqrt(v)
 	}
-	return &SparseOperator{s: s, sqrtPi: sqrtPi, scratch: make([]float64, s.N)}, nil
+	return &SymOperator{p: p, sqrtPi: sqrtPi, scratch: make([]float64, rows)}, nil
+}
+
+// NewSparseOperator wraps the row-list sparse chain, preserved as the
+// historical entry point of the Lanczos path.
+func NewSparseOperator(s *markov.Sparse, pi []float64) (*SymOperator, error) {
+	return NewSymOperator(s, pi)
 }
 
 // N returns the state count.
-func (op *SparseOperator) N() int { return op.s.N }
+func (op *SymOperator) N() int { return len(op.sqrtPi) }
 
 // Apply computes dst = A·v. dst and v must not alias.
-func (op *SparseOperator) Apply(dst, v []float64) {
+func (op *SymOperator) Apply(dst, v []float64) {
 	u := op.scratch
 	for i := range u {
 		u[i] = v[i] / op.sqrtPi[i]
 	}
-	linalg.ParallelFor(op.s.N, func(lo, hi int) {
-		for x := lo; x < hi; x++ {
-			acc := 0.0
-			for _, e := range op.s.Rows[x] {
-				acc += e.P * u[e.To]
-			}
-			dst[x] = op.sqrtPi[x] * acc
-		}
-	})
+	op.p.MatVec(dst, u)
+	for i := range dst {
+		dst[i] *= op.sqrtPi[i]
+	}
 }
 
 // TopVector returns ψ1 = sqrt(π), the known unit-λ eigenvector of A.
-func (op *SparseOperator) TopVector() []float64 {
+func (op *SymOperator) TopVector() []float64 {
 	return linalg.Clone(op.sqrtPi)
 }
 
@@ -75,6 +86,12 @@ type LanczosResult struct {
 	LambdaMin float64
 	// Iterations is the Krylov dimension actually used.
 	Iterations int
+	// Converged reports whether the iteration ended because the estimates
+	// stabilized (residual breakdown, Ritz stagnation, or a complete
+	// Krylov space) rather than because maxIter ran out. When false the
+	// extremal eigenvalues — and anything derived from them — are lower
+	// bounds, not measurements.
+	Converged bool
 }
 
 // LambdaStar returns max(|λ2|, |λmin|).
@@ -91,12 +108,37 @@ func (r *LanczosResult) RelaxationTime() float64 {
 	return 1 / gap
 }
 
+// ritzCheckEvery is how many Lanczos steps elapse between Ritz-value
+// convergence checks; each check solves the small tridiagonal eigenproblem.
+const ritzCheckEvery = 10
+
+// ritzExtremes returns the smallest and largest eigenvalue of the
+// tridiagonal matrix with diagonal alphas and off-diagonal betas.
+func ritzExtremes(alphas, betas []float64) (lo, hi float64, err error) {
+	k := len(alphas)
+	tri := linalg.NewDense(k, k)
+	for i := 0; i < k; i++ {
+		tri.Set(i, i, alphas[i])
+		if i+1 < k {
+			tri.Set(i, i+1, betas[i])
+			tri.Set(i+1, i, betas[i])
+		}
+	}
+	es, err := linalg.SymEigen(tri)
+	if err != nil {
+		return 0, 0, err
+	}
+	return es.Values[0], es.Values[k-1], nil
+}
+
 // Lanczos runs the Lanczos iteration with full reorthogonalization (against
-// ψ1 and every previous Krylov vector) for up to maxIter steps, stopping
-// early when the residual β_k falls below tol. The Ritz values of the
-// resulting tridiagonal matrix converge to A's extremal eigenvalues on
-// ψ1⊥ — exactly λ2 and λ_min of the chain.
-func Lanczos(op *SparseOperator, maxIter int, tol float64, r *rng.RNG) (*LanczosResult, error) {
+// ψ1 and every previous Krylov vector) for up to maxIter steps. It stops
+// early when the residual β_k falls below tol, or when the extremal Ritz
+// values — checked every few steps — have stabilized within tol, so large
+// chains pay only as many mat-vecs as their slow modes require. The Ritz
+// values of the resulting tridiagonal matrix converge to A's extremal
+// eigenvalues on ψ1⊥ — exactly λ2 and λ_min of the chain.
+func Lanczos(op *SymOperator, maxIter int, tol float64, r *rng.RNG) (*LanczosResult, error) {
 	n := op.N()
 	if maxIter < 2 {
 		return nil, errors.New("spectral: Lanczos needs maxIter >= 2")
@@ -106,7 +148,7 @@ func Lanczos(op *SparseOperator, maxIter int, tol float64, r *rng.RNG) (*Lanczos
 	}
 	if maxIter < 1 {
 		// One-state chain: the restriction is empty; gap is maximal.
-		return &LanczosResult{Lambda2: 0, LambdaMin: 0, Iterations: 0}, nil
+		return &LanczosResult{Lambda2: 0, LambdaMin: 0, Iterations: 0, Converged: true}, nil
 	}
 	psi1 := op.TopVector()
 	normalize(psi1)
@@ -124,6 +166,8 @@ func Lanczos(op *SparseOperator, maxIter int, tol float64, r *rng.RNG) (*Lanczos
 
 	basis := [][]float64{v}
 	var alphas, betas []float64
+	prevLo, prevHi := math.Inf(-1), math.Inf(1)
+	converged := false
 	w := make([]float64, n)
 	for k := 0; k < maxIter; k++ {
 		vk := basis[len(basis)-1]
@@ -141,7 +185,19 @@ func Lanczos(op *SparseOperator, maxIter int, tol float64, r *rng.RNG) (*Lanczos
 		}
 		beta := linalg.Norm2(w)
 		if beta < tol {
+			converged = true
 			break
+		}
+		if len(alphas)%ritzCheckEvery == 0 && len(alphas) >= 2*ritzCheckEvery {
+			lo, hi, err := ritzExtremes(alphas, betas)
+			if err != nil {
+				return nil, err
+			}
+			if math.Abs(lo-prevLo) < tol && math.Abs(hi-prevHi) < tol {
+				converged = true
+				break
+			}
+			prevLo, prevHi = lo, hi
 		}
 		betas = append(betas, beta)
 		next := linalg.Clone(w)
@@ -151,22 +207,20 @@ func Lanczos(op *SparseOperator, maxIter int, tol float64, r *rng.RNG) (*Lanczos
 
 	// Ritz values of the tridiagonal (α, β) matrix.
 	k := len(alphas)
-	tri := linalg.NewDense(k, k)
-	for i := 0; i < k; i++ {
-		tri.Set(i, i, alphas[i])
-		if i+1 < k {
-			tri.Set(i, i+1, betas[i])
-			tri.Set(i+1, i, betas[i])
-		}
+	if k == n-1 {
+		// The Krylov space of the restriction is complete: the Ritz values
+		// are its exact spectrum regardless of how the loop ended.
+		converged = true
 	}
-	es, err := linalg.SymEigen(tri)
+	lo, hi, err := ritzExtremes(alphas, betas[:k-1])
 	if err != nil {
 		return nil, err
 	}
 	return &LanczosResult{
-		Lambda2:    es.Values[k-1],
-		LambdaMin:  es.Values[0],
+		Lambda2:    hi,
+		LambdaMin:  lo,
 		Iterations: k,
+		Converged:  converged,
 	}, nil
 }
 

@@ -276,9 +276,15 @@ func (d *Decomposition) MixingTime(eps float64, maxT int64) (int64, error) {
 //
 //	(t_rel − 1)·log(1/2ε)  <=  t_mix(ε)  <=  t_rel·log(1/(ε·π_min)).
 func (d *Decomposition) MixingTimeBoundsFromRelaxation(eps float64) (lower, upper float64) {
-	trel := d.RelaxationTime()
+	return MixingTimeSandwich(d.RelaxationTime(), d.Pi, eps)
+}
+
+// MixingTimeSandwich is the Theorem 2.3 two-sided envelope computed from a
+// relaxation time and stationary distribution alone — the quantity the
+// Lanczos route reports when the chain is too large for the exact d(t).
+func MixingTimeSandwich(trel float64, pi []float64, eps float64) (lower, upper float64) {
 	piMin := math.Inf(1)
-	for _, v := range d.Pi {
+	for _, v := range pi {
 		if v < piMin {
 			piMin = v
 		}
