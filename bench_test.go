@@ -294,3 +294,89 @@ func BenchmarkServiceColdSparseAnalyze(b *testing.B) {
 		servicePost(b, srv, "/v1/analyze", req)
 	}
 }
+
+// Serial-vs-parallel guardrail benchmarks. These are the committed evidence
+// for the parallel layer: the same 65,536-profile sparse analysis and the
+// same 10,000-replica simulation at worker budgets 1 and 4. On a 4+-core
+// machine the workers=4 runs must be ≥2× faster; on any machine the two
+// budgets produce bit-identical outputs (the determinism tests pin that).
+// CI runs them with -benchtime=1x as a build/run guardrail and the measured
+// numbers live in BENCH_parallel.json.
+
+var parallelWorkerBudgets = []int{1, 4}
+
+func parallelBenchGame(b *testing.B) game.Game {
+	b.Helper()
+	// 2^16 = 65,536 profiles, the acceptance workload of the sparse route.
+	g, err := (spec.Spec{Game: "doublewell", N: 16, C: 5, Delta1: 1}).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkParallelSparseAnalyze65536(b *testing.B) {
+	g := parallelBenchGame(b)
+	for _, w := range parallelWorkerBudgets {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := core.AnalyzeGame(g, 1, core.Options{
+					Backend:  "sparse",
+					Parallel: linalg.ParallelConfig{Workers: w},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.NumProfiles != 1<<16 {
+					b.Fatalf("num profiles %d", rep.NumProfiles)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelSimulate10kReplicas(b *testing.B) {
+	// 10,000 replicas × 1,000 steps on a 1,024-profile ring: the replica
+	// engine's scaling workload (each replica is an independent stream).
+	g, err := game.NewIsing(graph.Ring(10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(g, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := make([]int, 10)
+	for _, w := range parallelWorkerBudgets {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.SimulateReplicas(start, 1_000, 10_000, 7, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelServiceAnalyze65536 is the end-to-end serving variant:
+// the worker-token budget is the service Config knob, so workers=1 runs the
+// analysis serial and workers=4 lets the lone request borrow three extra
+// tokens.
+func BenchmarkParallelServiceAnalyze65536(b *testing.B) {
+	for _, w := range parallelWorkerBudgets {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			srv := httptest.NewServer(service.New(service.Config{Workers: w, CacheSize: 4 * 1024}).Handler())
+			defer srv.Close()
+			req := service.AnalyzeRequest{
+				Spec: &spec.Spec{Game: "doublewell", N: 16, C: 5, Delta1: 1},
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req.Beta = 1 + float64(i)*1e-9 // defeat the cache
+				servicePost(b, srv, "/v1/analyze", req)
+			}
+		})
+	}
+}

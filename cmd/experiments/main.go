@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"logitdyn/internal/bench"
@@ -19,12 +20,13 @@ import (
 
 func main() {
 	var (
-		ids   = flag.String("id", "all", "comma-separated experiment IDs (E1..E15) or 'all'")
-		list  = flag.Bool("list", false, "list registered experiments and exit")
-		quick = flag.Bool("quick", false, "small grids for a fast run")
-		seed  = flag.Uint64("seed", 1, "base RNG seed")
-		eps   = flag.Float64("eps", 0.25, "total-variation target ε")
-		csv   = flag.String("csv", "", "optional directory for per-experiment CSV output")
+		ids     = flag.String("id", "all", "comma-separated experiment IDs (E1..E15) or 'all'")
+		list    = flag.Bool("list", false, "list registered experiments and exit")
+		quick   = flag.Bool("quick", false, "small grids for a fast run")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		eps     = flag.Float64("eps", 0.25, "total-variation target ε")
+		csv     = flag.String("csv", "", "optional directory for per-experiment CSV output")
+		workers = flag.Int("workers", 0, "worker cap for ALL parallel stages (sets GOMAXPROCS; 0 = all cores); never changes table entries")
 	)
 	flag.Parse()
 
@@ -35,7 +37,14 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Seed: *seed, Quick: *quick, Eps: *eps}
+	if *workers > 0 {
+		// The default worker budget everywhere is GOMAXPROCS, so capping it
+		// here bounds every experiment's parallelism, not just the stages
+		// that take an explicit budget. Results are worker-count-invariant
+		// by the linalg determinism contract.
+		runtime.GOMAXPROCS(*workers)
+	}
+	cfg := bench.Config{Seed: *seed, Quick: *quick, Eps: *eps, Workers: *workers}
 	var selected []bench.Experiment
 	if *ids == "all" {
 		selected = bench.All()

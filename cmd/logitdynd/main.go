@@ -27,7 +27,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache", 256, "report-cache capacity (reports)")
-	workers := flag.Int("workers", 0, "max concurrent analyses (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "service-wide worker-token budget: bounds request concurrency and intra-request parallelism together (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("maxbatch", 256, "max items per batch request")
 	maxProfiles := flag.Int("maxprofiles", 0, "max profile-space size per request on the dense backend (0 = default)")
 	maxSparseProfiles := flag.Int("maxsparseprofiles", 0, "max profile-space size per request on the sparse/matfree backends (0 = default)")

@@ -14,12 +14,14 @@ import (
 	"sort"
 
 	"logitdyn/internal/core"
+	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
 	"logitdyn/internal/markov"
 	"logitdyn/internal/mixing"
 	"logitdyn/internal/plot"
 	"logitdyn/internal/rng"
 	"logitdyn/internal/serialize"
+	"logitdyn/internal/sim"
 	"logitdyn/internal/spec"
 )
 
@@ -38,7 +40,9 @@ func main() {
 	flag.IntVar(&s.Cols, "cols", 3, "grid/torus cols")
 	flag.Uint64Var(&s.Seed, "seed", 1, "RNG seed")
 	beta := flag.Float64("beta", 1, "inverse noise β")
-	steps := flag.Int("steps", 100000, "simulation steps")
+	steps := flag.Int("steps", 100000, "simulation steps per replica")
+	replicas := flag.Int("replicas", 1, "independent trajectories to pool (>1: replica r uses stream Split(r) of -seed; 1 keeps the historical direct stream)")
+	workers := flag.Int("workers", 0, "worker budget for replicas and -spectral (0 = GOMAXPROCS); never changes results")
 	top := flag.Int("top", 8, "profiles to print")
 	jsonOut := flag.Bool("json", false, "emit the simulation as JSON on stdout (the service wire format)")
 	spectralOut := flag.Bool("spectral", false, "also report λ*/t_rel of the chain via the selected backend")
@@ -55,12 +59,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "logitsim: %v\n", err)
 		os.Exit(2)
 	}
+	if *replicas < 1 {
+		fmt.Fprintf(os.Stderr, "logitsim: -replicas must be >= 1\n")
+		os.Exit(2)
+	}
 	sp := d.Space()
 	start := make([]int, sp.Players())
-	counts := d.Trajectory(start, *steps, rng.New(s.Seed))
+	var counts []int64
+	if *replicas == 1 {
+		// The historical single-trajectory stream: rng.New(seed) directly.
+		counts = d.Trajectory(start, *steps, rng.New(s.Seed))
+	} else {
+		// Replica r runs on stream Split(r); integer counts merge exactly,
+		// so -workers changes wall-clock time only.
+		counts = sim.SumCounts(*replicas, s.Seed, *workers, sp.Size(),
+			func(_ int, r *rng.RNG, acc []int64) {
+				d.TrajectoryInto(acc, start, *steps, r)
+			})
+	}
 	emp := make([]float64, len(counts))
+	visits := float64(*replicas) * float64(*steps+1)
 	for i, c := range counts {
-		emp[i] = float64(c) / float64(*steps+1)
+		emp[i] = float64(c) / visits
 	}
 
 	gibbs, gerr := d.Gibbs()
@@ -75,6 +95,11 @@ func main() {
 			Empirical:   emp,
 			TVGibbs:     serialize.Float(math.NaN()),
 		}
+		if *replicas > 1 {
+			// Only pooled runs carry the field, so -replicas 1 output stays
+			// byte-identical to the pre-replica format.
+			doc.Replicas = *replicas
+		}
 		if gerr == nil {
 			doc.TVGibbs = serialize.Float(markov.TVDistance(emp, gibbs))
 		}
@@ -85,7 +110,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("simulated %d logit steps at β=%g on %q (|S|=%d)\n", *steps, *beta, s.Game, sp.Size())
+	fmt.Printf("simulated %d logit steps × %d replicas at β=%g on %q (|S|=%d)\n", *steps, *replicas, *beta, s.Game, sp.Size())
 	if gerr == nil {
 		fmt.Printf("TV(empirical, Gibbs) = %.4f\n", markov.TVDistance(emp, gibbs))
 	} else {
@@ -97,7 +122,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "logitsim: %v\n", err)
 			os.Exit(2)
 		}
-		res, err := mixing.RelaxationSandwich(d, b.Resolve(sp.Size(), core.DefaultMaxExactStates), mixing.DefaultEps, nil)
+		res, err := mixing.RelaxationSandwichPar(d, b.Resolve(sp.Size(), core.DefaultMaxExactStates), mixing.DefaultEps, nil,
+			linalg.ParallelConfig{Workers: *workers})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "logitsim: -spectral: %v\n", err)
 			os.Exit(1)

@@ -17,6 +17,7 @@ import (
 
 	"logitdyn/internal/core"
 	"logitdyn/internal/game"
+	"logitdyn/internal/linalg"
 	"logitdyn/internal/serialize"
 	"logitdyn/internal/spec"
 )
@@ -38,6 +39,7 @@ func main() {
 	beta := flag.Float64("beta", 1, "inverse noise β")
 	eps := flag.Float64("eps", 0.25, "total-variation target ε")
 	backend := flag.String("backend", "auto", "linear-algebra backend: auto|dense|sparse|matfree")
+	workers := flag.Int("workers", 0, "worker budget for the analysis (0 = GOMAXPROCS); never changes reported numbers")
 	loadGame := flag.String("loadgame", "", "read the game from a JSON file instead of -game flags")
 	saveGame := flag.String("savegame", "", "write the constructed game as JSON")
 	saveResult := flag.String("saveresult", "", "write the analysis result as JSON")
@@ -87,7 +89,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mixtime: %v\n", err)
 		os.Exit(2)
 	}
-	rep, err := a.Analyze(core.Options{Eps: *eps, Backend: *backend})
+	rep, err := a.Analyze(core.Options{
+		Eps:      *eps,
+		Backend:  *backend,
+		Parallel: linalg.ParallelConfig{Workers: *workers},
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mixtime: %v\n", err)
 		os.Exit(1)

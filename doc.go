@@ -42,6 +42,22 @@
 // (default 64× larger) caps the sparse/matfree paths, which is how the
 // service analyzes profile spaces the dense limits used to reject.
 //
+// # Parallel execution
+//
+// Every hot path runs on a worker budget, linalg.ParallelConfig (worker
+// count plus a min-rows-per-worker inline threshold), threaded through
+// core.Options.Parallel, the service's per-request token borrowing, and
+// the -workers CLI flags down to the row-range-sharded mat-vecs, the
+// Lanczos re-orthogonalization, the analysis sweeps and the simulation
+// replica engine (internal/sim). The budget is a pure wall-clock knob:
+// floating-point reductions accumulate over fixed block boundaries and
+// scatter accumulation uses fixed row shards, so every worker count —
+// including 1 — produces bit-identical reports and simulation documents.
+// The committed golden corpus (testdata/golden, one report per family ×
+// backend, diffed within 1e-12 by go test, regenerated with -update)
+// pins that invariant across PRs, and BENCH_parallel.json records the
+// serial-vs-parallel benchmark results.
+//
 // Entry points:
 //
 //   - internal/core      — the Analyzer facade (mixing time, spectrum, bounds)

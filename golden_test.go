@@ -1,0 +1,256 @@
+package logitdyn_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"logitdyn/internal/core"
+	"logitdyn/internal/linalg"
+	"logitdyn/internal/serialize"
+	"logitdyn/internal/spec"
+)
+
+// The golden-report regression corpus: one committed ReportDoc per (game
+// family, backend) pair, re-analyzed and diffed on every test run. It pins
+// two invariants at once:
+//
+//   - serial-vs-parallel: the corpus was generated through the same code
+//     the parallel layer runs, and the determinism tests assert that worker
+//     count never changes a report — so a golden diff means the NUMBERS
+//     moved, not the scheduling;
+//   - cross-PR numeric stability: any future change to the operators, the
+//     Lanczos path or the bound formulas that shifts a reported value by
+//     more than 1e-12 (relative) fails here and must either be fixed or
+//     deliberately re-golden-ed with -update.
+//
+// Regenerate with:
+//
+//	go test -run TestGoldenReports -update .
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from the current code")
+
+// goldenBeta keeps every family's chain comfortably away from both the
+// trivial β=0 and the frozen large-β regimes.
+const goldenBeta = 0.8
+
+// goldenCases covers all 9 built-in game families at sizes where all three
+// backends run in milliseconds. Sparse/matfree reports exercise the fixed-
+// seed Lanczos route, dense the exact eigendecomposition.
+var goldenCases = []struct {
+	name string
+	s    spec.Spec
+}{
+	{"coordination", spec.Spec{Game: "coordination", Delta0: 3, Delta1: 2}},
+	{"graphical-ring", spec.Spec{Game: "graphical", Graph: "ring", N: 4, Delta0: 3, Delta1: 2}},
+	{"ising-ring", spec.Spec{Game: "ising", Graph: "ring", N: 5, Delta1: 1}},
+	{"weighted-ring", spec.Spec{Game: "weighted", Graph: "ring", N: 4, Seed: 3}},
+	{"doublewell", spec.Spec{Game: "doublewell", N: 6, C: 2, Delta1: 1}},
+	{"asymwell", spec.Spec{Game: "asymwell", N: 6, C: 2, Depth: 3, Shallow: 1}},
+	{"dominant", spec.Spec{Game: "dominant", N: 3, M: 3}},
+	{"congestion", spec.Spec{Game: "congestion", N: 4, M: 3}},
+	{"random", spec.Spec{Game: "random", N: 4, M: 3, Seed: 7}},
+}
+
+var goldenBackends = []string{"dense", "sparse", "matfree"}
+
+func goldenPath(name, backend string) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("%s_%s.json", name, backend))
+}
+
+// analyzeGolden produces the wire document for one corpus slot. The worker
+// budget is deliberately left at the default: the determinism tests prove
+// it cannot influence the document.
+func analyzeGolden(t *testing.T, s spec.Spec, name, backend string) serialize.ReportDoc {
+	t.Helper()
+	g, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.AnalyzeGame(g, goldenBeta, core.Options{Backend: backend})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", name, backend, err)
+	}
+	return serialize.FromReport(rep, name, 0.25)
+}
+
+func TestGoldenReports(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range goldenCases {
+		for _, backend := range goldenBackends {
+			t.Run(c.name+"/"+backend, func(t *testing.T) {
+				got := analyzeGolden(t, c.s, c.name, backend)
+				path := goldenPath(c.name, backend)
+				if *updateGolden {
+					var buf bytes.Buffer
+					if err := serialize.EncodeReport(&buf, got); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				f, err := os.Open(path)
+				if err != nil {
+					t.Fatalf("missing golden (run `go test -run TestGoldenReports -update .`): %v", err)
+				}
+				want, err := serialize.DecodeReport(f)
+				f.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffDocs(t, "", mustJSONTree(t, want), mustJSONTree(t, got))
+			})
+		}
+	}
+}
+
+// mustJSONTree round-trips a document through its wire encoding into a
+// generic tree, so the comparison sees exactly what is committed on disk
+// (including the "NaN"/"±Inf" string markers, which compare as strings).
+func mustJSONTree(t *testing.T, doc serialize.ReportDoc) any {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// goldenTol is the relative tolerance of the corpus: |a−b| must not exceed
+// 1e-12·max(1, |a|, |b|), absorbing FMA-contraction differences across
+// architectures while catching any real numeric drift.
+const goldenTol = 1e-12
+
+func diffDocs(t *testing.T, path string, want, got any) {
+	t.Helper()
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			t.Errorf("%s: golden has an object, got %T", path, got)
+			return
+		}
+		for k := range w {
+			if _, ok := g[k]; !ok {
+				t.Errorf("%s.%s: missing from regenerated report", path, k)
+			}
+		}
+		for k, gv := range g {
+			wv, ok := w[k]
+			if !ok {
+				t.Errorf("%s.%s: not in golden (new field? re-run with -update)", path, k)
+				continue
+			}
+			diffDocs(t, path+"."+k, wv, gv)
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok || len(g) != len(w) {
+			t.Errorf("%s: golden array len %d, got %v", path, len(w), got)
+			return
+		}
+		for i := range w {
+			diffDocs(t, fmt.Sprintf("%s[%d]", path, i), w[i], g[i])
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok {
+			t.Errorf("%s: golden has number %v, got %v", path, w, got)
+			return
+		}
+		scale := math.Max(1, math.Max(math.Abs(w), math.Abs(g)))
+		if math.Abs(w-g) > goldenTol*scale {
+			t.Errorf("%s: %v differs from golden %v by %g (tol %g)", path, g, w, math.Abs(w-g), goldenTol*scale)
+		}
+	default:
+		if want != got {
+			t.Errorf("%s: %v differs from golden %v", path, got, want)
+		}
+	}
+}
+
+// The corpus is only as strong as its coverage: every family must pin all
+// three backends, and the files must actually exist in the tree.
+func TestGoldenCorpusComplete(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating")
+	}
+	for _, c := range goldenCases {
+		for _, backend := range goldenBackends {
+			if _, err := os.Stat(goldenPath(c.name, backend)); err != nil {
+				t.Errorf("corpus hole: %v", err)
+			}
+		}
+	}
+}
+
+// Serial-vs-parallel pin at the corpus level: the exact documents the
+// goldens are diffed against must come out bit-identical whether the
+// analysis runs on 1 worker or 8. (Deeper determinism tests live next to
+// the packages; this one closes the loop on the corpus itself.)
+func TestGoldenReportsWorkerInvariant(t *testing.T) {
+	cases := []struct {
+		name    string
+		backend string
+		s       spec.Spec
+	}{
+		{name: "doublewell", backend: "sparse"},
+		{name: "ising-ring", backend: "matfree"},
+		{name: "random", backend: "dense"},
+		// 8192 profiles puts the Lanczos basis past one reduction block, so
+		// this case exercises the multi-block deterministic dot products —
+		// the part a small corpus game cannot reach.
+		{name: "doublewell-8192", backend: "sparse", s: spec.Spec{Game: "doublewell", N: 13, C: 4, Delta1: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name+"/"+c.backend, func(t *testing.T) {
+			s := c.s
+			for _, gc := range goldenCases {
+				if gc.name == c.name {
+					s = gc.s
+				}
+			}
+			if s.Game == "" {
+				t.Fatalf("no spec for %s", c.name)
+			}
+			if c.name == "doublewell-8192" && testing.Short() {
+				t.Skip("8192-profile Lanczos pair takes a moment")
+			}
+			g, err := s.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			encode := func(workers int) []byte {
+				rep, err := core.AnalyzeGame(g, goldenBeta, core.Options{
+					Backend:  c.backend,
+					Parallel: linalg.ParallelConfig{Workers: workers, MinRows: 1},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := serialize.EncodeReport(&buf, serialize.FromReport(rep, c.name, 0.25)); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			if !bytes.Equal(encode(1), encode(8)) {
+				t.Fatal("workers=1 and workers=8 produced different report bytes")
+			}
+		})
+	}
+}

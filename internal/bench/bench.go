@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+
+	"logitdyn/internal/linalg"
 )
 
 // Config tunes an experiment run.
@@ -24,6 +26,15 @@ type Config struct {
 	Quick bool
 	// Eps is the TV target (0 = the paper's 1/4).
 	Eps float64
+	// Workers is the worker budget handed to the parallel execution layer
+	// (0 = GOMAXPROCS). It changes wall-clock time only, never a table
+	// entry: every parallel reduction uses fixed block boundaries.
+	Workers int
+}
+
+// Par is the linalg worker budget the config describes.
+func (c Config) Par() linalg.ParallelConfig {
+	return linalg.ParallelConfig{Workers: c.Workers}
 }
 
 func (c Config) eps() float64 {

@@ -43,10 +43,11 @@ func runE13(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		op, err := spectral.NewSparseOperator(d.TransitionSparse(), pi)
+		op, err := spectral.NewSymOperator(d.TransitionCSRPar(cfg.Par()), pi)
 		if err != nil {
 			return nil, err
 		}
+		op.WithParallel(cfg.Par())
 		res, err := spectral.Lanczos(op, 400, 1e-12, rng.New(cfg.Seed+uint64(n)))
 		if err != nil {
 			return nil, err

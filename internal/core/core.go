@@ -19,9 +19,11 @@ import (
 	"math"
 
 	"logitdyn/internal/game"
+	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
 	"logitdyn/internal/mixing"
 	"logitdyn/internal/rng"
+	"logitdyn/internal/sim"
 	"logitdyn/internal/spectral"
 )
 
@@ -63,6 +65,13 @@ type Options struct {
 	// Backend selects the linear-algebra backend: "auto" (default, dense
 	// up to MaxExactStates then sparse), "dense", "sparse" or "matfree".
 	Backend string
+	// Parallel is the worker budget for the analysis: operator mat-vecs,
+	// Lanczos re-orthogonalization, the Gibbs/potential/welfare/equilibrium
+	// sweeps. The zero value selects GOMAXPROCS. It NEVER changes any
+	// reported number — every parallel reduction underneath uses fixed
+	// block boundaries — which is why serving layers exclude it from cache
+	// keys and why the golden-report corpus is stable across machines.
+	Parallel linalg.ParallelConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -202,7 +211,7 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 			rep.SpectralUpper = math.NaN()
 		}
 	} else {
-		gibbs, gerr := a.dyn.Gibbs()
+		gibbs, gerr := a.dyn.GibbsPar(opts.Parallel)
 		if gerr != nil {
 			// A game can be an exact potential game without declaring Φ
 			// (e.g. a utility-table document): reconstruct the potential —
@@ -216,7 +225,7 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 			gibbs = gibbsFromPhi(phi, a.dyn.Beta())
 		}
 		pi = gibbs
-		res, lerr := mixing.RelaxationSandwich(a.dyn, backend, opts.Eps, pi)
+		res, lerr := mixing.RelaxationSandwichPar(a.dyn, backend, opts.Eps, pi, opts.Parallel)
 		if lerr != nil {
 			return nil, lerr
 		}
@@ -245,7 +254,7 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 	g := a.dyn.Game()
 	if p, ok := game.AsPotential(g); ok {
 		rep.IsPotentialGame = true
-		rep.Stats, err = mixing.AnalyzePotential(p)
+		rep.Stats, err = mixing.AnalyzePotentialPar(p, opts.Parallel)
 		if err != nil {
 			return nil, err
 		}
@@ -262,7 +271,7 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 		}
 		if phi != nil {
 			rep.IsPotentialGame = true
-			rep.Stats, err = mixing.AnalyzePhiTable(sp, phi)
+			rep.Stats, err = mixing.AnalyzePhiTablePar(sp, phi, opts.Parallel)
 			if err != nil {
 				return nil, err
 			}
@@ -277,11 +286,11 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 		}
 	}
 
-	rep.PureNash = game.PureNashEquilibria(g, 1e-12)
-	if prof, ok := game.DominantProfile(g, 1e-12); ok {
+	rep.PureNash = game.PureNashEquilibriaPar(g, 1e-12, opts.Parallel)
+	if prof, ok := game.DominantProfilePar(g, 1e-12, opts.Parallel); ok {
 		rep.DominantProfile = prof
 	}
-	rep.Welfare, err = mixing.StationaryWelfare(a.dyn, pi)
+	rep.Welfare, err = mixing.StationaryWelfarePar(a.dyn, pi, opts.Parallel)
 	if err != nil {
 		return nil, err
 	}
@@ -361,6 +370,31 @@ func (a *Analyzer) Simulate(start []int, t int, seed uint64) ([]float64, error) 
 	out := make([]float64, len(counts))
 	for i, c := range counts {
 		out[i] = float64(c) / float64(t+1)
+	}
+	return out, nil
+}
+
+// SimulateReplicas runs `replicas` independent t-step trajectories from
+// start on a bounded worker pool and returns the pooled empirical occupancy
+// distribution. Replica r's RNG stream is Split(r) of the base seed, so the
+// sample is reproducible from (seed, replicas) alone; visit counts merge by
+// integer addition, so workers only change wall-clock time — the returned
+// distribution is bit-identical for every worker count, including 1.
+func (a *Analyzer) SimulateReplicas(start []int, t, replicas int, seed uint64, workers int) ([]float64, error) {
+	if t <= 0 {
+		return nil, errors.New("core: SimulateReplicas needs t > 0")
+	}
+	if replicas <= 0 {
+		return nil, errors.New("core: SimulateReplicas needs replicas > 0")
+	}
+	size := a.dyn.Space().Size()
+	counts := sim.SumCounts(replicas, seed, workers, size, func(_ int, r *rng.RNG, acc []int64) {
+		a.dyn.TrajectoryInto(acc, start, t, r)
+	})
+	out := make([]float64, size)
+	visits := float64(replicas) * float64(t+1)
+	for i, c := range counts {
+		out[i] = float64(c) / visits
 	}
 	return out, nil
 }

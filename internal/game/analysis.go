@@ -3,6 +3,11 @@ package game
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"logitdyn/internal/linalg"
 )
 
 // AsPotential reports whether g exposes a usable exact potential. It
@@ -60,17 +65,43 @@ func IsPureNash(g Game, x []int, tol float64) bool {
 	return true
 }
 
-// PureNashEquilibria enumerates all pure Nash equilibria by profile index.
-// Intended for small games (it scans the whole profile space).
+// PureNashEquilibria enumerates all pure Nash equilibria by profile index,
+// in increasing index order. It scans the whole profile space, serially —
+// like every compatibility wrapper here, it spawns no goroutines a caller
+// didn't budget for; pass a budget through PureNashEquilibriaPar instead.
 func PureNashEquilibria(g Game, tol float64) []int {
+	return PureNashEquilibriaPar(g, tol, linalg.Serial)
+}
+
+// PureNashEquilibriaPar is PureNashEquilibria under an explicit worker
+// budget: each chunk collects its equilibria locally, chunk lists sort by
+// starting index and concatenate, so the output is the same increasing
+// index list for every worker count.
+func PureNashEquilibriaPar(g Game, tol float64, par linalg.ParallelConfig) []int {
 	sp := SpaceOf(g)
-	x := make([]int, sp.Players())
-	var out []int
-	for idx := 0; idx < sp.Size(); idx++ {
-		sp.Decode(idx, x)
-		if IsPureNash(g, x, tol) {
-			out = append(out, idx)
+	type chunk struct {
+		lo   int
+		hits []int
+	}
+	var mu sync.Mutex
+	var chunks []chunk
+	par.For(sp.Size(), func(lo, hi int) {
+		x := make([]int, sp.Players())
+		var local []int
+		for idx := lo; idx < hi; idx++ {
+			sp.Decode(idx, x)
+			if IsPureNash(g, x, tol) {
+				local = append(local, idx)
+			}
 		}
+		mu.Lock()
+		chunks = append(chunks, chunk{lo: lo, hits: local})
+		mu.Unlock()
+	})
+	sort.Slice(chunks, func(a, b int) bool { return chunks[a].lo < chunks[b].lo })
+	var out []int
+	for _, c := range chunks {
+		out = append(out, c.hits...)
 	}
 	return out
 }
@@ -79,36 +110,54 @@ func PureNashEquilibria(g Game, tol float64) []int {
 // player i: u_i(s, x_-i) >= u_i(s', x_-i) − tol for every s' and every
 // profile x of the other players, matching the paper's Section 4 definition.
 func IsDominantStrategy(g Game, i, s int, tol float64) bool {
+	return IsDominantStrategyPar(g, i, s, tol, linalg.Serial)
+}
+
+// IsDominantStrategyPar is IsDominantStrategy with the opponent-profile
+// scan sharded over the worker budget. The predicate is a pure conjunction,
+// so any chunking returns the same boolean; a shared flag lets all chunks
+// stop early once one counterexample is found.
+func IsDominantStrategyPar(g Game, i, s int, tol float64, par linalg.ParallelConfig) bool {
 	sp := SpaceOf(g)
-	x := make([]int, sp.Players())
-	for idx := 0; idx < sp.Size(); idx++ {
-		sp.Decode(idx, x)
-		if x[i] != 0 {
-			continue // enumerate each x_-i once, with player i's digit fixed
-		}
-		x[i] = s
-		us := g.Utility(i, x)
-		for v := 0; v < g.Strategies(i); v++ {
-			x[i] = v
-			if g.Utility(i, x) > us+tol {
-				return false
+	var refuted atomic.Bool
+	par.For(sp.Size(), func(lo, hi int) {
+		x := make([]int, sp.Players())
+		for idx := lo; idx < hi && !refuted.Load(); idx++ {
+			sp.Decode(idx, x)
+			if x[i] != 0 {
+				continue // enumerate each x_-i once, with player i's digit fixed
 			}
+			x[i] = s
+			us := g.Utility(i, x)
+			for v := 0; v < g.Strategies(i); v++ {
+				x[i] = v
+				if g.Utility(i, x) > us+tol {
+					refuted.Store(true)
+					return
+				}
+			}
+			x[i] = 0
 		}
-		x[i] = 0
-	}
-	return true
+	})
+	return !refuted.Load()
 }
 
 // DominantProfile returns a profile in which every player plays a dominant
 // strategy, or ok=false if some player has none. When several strategies
 // are dominant for a player the lowest-numbered one is chosen.
 func DominantProfile(g Game, tol float64) (profile []int, ok bool) {
+	return DominantProfilePar(g, tol, linalg.Serial)
+}
+
+// DominantProfilePar is DominantProfile under an explicit worker budget
+// (the per-player scans shard over opponent profiles).
+func DominantProfilePar(g Game, tol float64, par linalg.ParallelConfig) (profile []int, ok bool) {
 	n := g.Players()
 	profile = make([]int, n)
 	for i := 0; i < n; i++ {
 		found := false
 		for s := 0; s < g.Strategies(i) && !found; s++ {
-			if IsDominantStrategy(g, i, s, tol) {
+			if IsDominantStrategyPar(g, i, s, tol, par) {
 				profile[i] = s
 				found = true
 			}

@@ -1,6 +1,10 @@
 package game
 
-import "fmt"
+import (
+	"fmt"
+
+	"logitdyn/internal/linalg"
+)
 
 // TableGame stores one utility table per player, indexed by profile index.
 // It is the fully materialized normal form, and the workhorse for exact
@@ -28,20 +32,34 @@ func NewTableGame(sizes []int) *TableGame {
 // utility once. If g implements Potential the potential is tabulated too.
 // The profile space must be small enough to enumerate.
 func Materialize(g Game) *TableGame {
+	return MaterializePar(g, linalg.Serial)
+}
+
+// MaterializePar tabulates the game on an explicit worker budget. Callers
+// that sit under a global worker semaphore (the service) pass the tokens
+// they actually hold; Materialize itself stays serial so library callers
+// never spawn unaccounted goroutines. The budget cannot change any table
+// entry — tabulation is element-wise per profile index.
+func MaterializePar(g Game, par linalg.ParallelConfig) *TableGame {
 	t := NewTableGame(sizesOf(g))
-	x := make([]int, t.space.Players())
-	for idx := 0; idx < t.space.Size(); idx++ {
-		t.space.Decode(idx, x)
-		for i := range t.utils {
-			t.utils[i][idx] = g.Utility(i, x)
+	par.For(t.space.Size(), func(lo, hi int) {
+		x := make([]int, t.space.Players())
+		for idx := lo; idx < hi; idx++ {
+			t.space.Decode(idx, x)
+			for i := range t.utils {
+				t.utils[i][idx] = g.Utility(i, x)
+			}
 		}
-	}
+	})
 	if p, ok := AsPotential(g); ok {
 		t.phi = make([]float64, t.space.Size())
-		for idx := 0; idx < t.space.Size(); idx++ {
-			t.space.Decode(idx, x)
-			t.phi[idx] = p.Phi(x)
-		}
+		par.For(t.space.Size(), func(lo, hi int) {
+			x := make([]int, t.space.Players())
+			for idx := lo; idx < hi; idx++ {
+				t.space.Decode(idx, x)
+				t.phi[idx] = p.Phi(x)
+			}
+		})
 	}
 	return t
 }

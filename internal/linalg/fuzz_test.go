@@ -1,0 +1,59 @@
+package linalg
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzCSRFromParts hardens the fail-closed CSR constructor: arbitrary
+// structure arrays must either be rejected with an error or produce a
+// matrix whose mat-vecs complete without panicking or indexing out of
+// bounds. The arrays are decoded from the raw fuzz bytes so the fuzzer can
+// reach both valid and subtly-inconsistent structures.
+func FuzzCSRFromParts(f *testing.F) {
+	// A valid 2x2 band and a handful of corruptions seed the corpus.
+	f.Add(uint8(2), uint8(2), []byte{0, 1, 2}, []byte{0, 1})
+	f.Add(uint8(2), uint8(2), []byte{0, 2, 1}, []byte{0, 1})
+	f.Add(uint8(1), uint8(1), []byte{0, 1}, []byte{7})
+	f.Add(uint8(3), uint8(2), []byte{0, 0, 0, 0}, []byte{})
+	f.Fuzz(func(t *testing.T, rawRows, rawCols uint8, ptrBytes, colBytes []byte) {
+		rows := int(rawRows)%8 + 1
+		cols := int(rawCols)%8 + 1
+		// One byte per row pointer / column index keeps structures small
+		// while still letting the fuzzer break every invariant.
+		rowPtr := make([]int, 0, len(ptrBytes))
+		for _, b := range ptrBytes {
+			rowPtr = append(rowPtr, int(int8(b)))
+		}
+		col := make([]int, 0, len(colBytes))
+		for _, b := range colBytes {
+			col = append(col, int(int8(b)))
+		}
+		val := make([]float64, len(col))
+		for i := range val {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(i)*0x9e3779b97f4a7c15)
+			val[i] = float64(int64(binary.LittleEndian.Uint64(b[:]))) / (1 << 40)
+		}
+		m, err := CSRFromParts(rows, cols, rowPtr, col, val)
+		if err != nil {
+			return // fail closed is the contract
+		}
+		// Accepted structure: the mat-vecs must be safe to run.
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = 1
+		}
+		dst := make([]float64, rows)
+		m.MatVec(dst, x)
+		xT := make([]float64, rows)
+		for i := range xT {
+			xT[i] = 1
+		}
+		dstT := make([]float64, cols)
+		m.MatVecTrans(dstT, xT)
+		if m.NNZ() != len(col) {
+			t.Fatalf("NNZ %d != %d entries", m.NNZ(), len(col))
+		}
+	})
+}

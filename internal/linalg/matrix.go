@@ -3,14 +3,15 @@ package linalg
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Dense is a row-major dense matrix.
 type Dense struct {
 	Rows, Cols int
 	Data       []float64 // len == Rows*Cols
+	// Par is the worker budget for this matrix's parallel loops; the zero
+	// value selects GOMAXPROCS. It never affects results (see parallel.go).
+	Par ParallelConfig
 }
 
 // NewDense allocates a zeroed r×c matrix. It panics on non-positive sizes.
@@ -57,7 +58,13 @@ func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Clone returns a deep copy.
 func (m *Dense) Clone() *Dense {
-	return &Dense{Rows: m.Rows, Cols: m.Cols, Data: Clone(m.Data)}
+	return &Dense{Rows: m.Rows, Cols: m.Cols, Data: Clone(m.Data), Par: m.Par}
+}
+
+// WithParallel sets the matrix's worker budget and returns it.
+func (m *Dense) WithParallel(par ParallelConfig) *Dense {
+	m.Par = par
+	return m
 }
 
 // T returns a newly allocated transpose.
@@ -78,7 +85,7 @@ func (m *Dense) MulVec(dst, x []float64) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic("linalg: MulVec size mismatch")
 	}
-	parallelFor(m.Rows, func(lo, hi int) {
+	m.Par.For(m.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = Dot(m.Row(i), x)
 		}
@@ -107,7 +114,7 @@ func (m *Dense) Mul(b *Dense) *Dense {
 		panic("linalg: Mul size mismatch")
 	}
 	out := NewDense(m.Rows, b.Cols)
-	parallelFor(m.Rows, func(lo, hi int) {
+	m.Par.For(m.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := m.Row(i)
 			orow := out.Row(i)
@@ -160,33 +167,7 @@ func (m *Dense) String() string {
 	return s
 }
 
-// parallelFor splits [0, n) into contiguous chunks across GOMAXPROCS
-// workers. For small n it runs inline to avoid goroutine overhead.
-func parallelFor(n int, body func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 64 {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// ParallelFor exposes the chunked parallel loop for other packages that
-// need data-parallel sweeps with the same small-n inlining policy.
-func ParallelFor(n int, body func(lo, hi int)) { parallelFor(n, body) }
+// ParallelFor is the chunked parallel loop under the default worker budget
+// (GOMAXPROCS, default inline threshold), for data-parallel sweeps whose
+// per-index outputs are independent.
+func ParallelFor(n int, body func(lo, hi int)) { ParallelConfig{}.For(n, body) }

@@ -45,29 +45,60 @@ type CSR struct {
 	RowPtr       []int // len NRows+1, non-decreasing
 	Col          []int // len NNZ
 	Val          []float64
+	// Par is the worker budget for this matrix's parallel loops; the zero
+	// value selects GOMAXPROCS. It never affects results (see parallel.go).
+	Par ParallelConfig
 }
 
-// NewCSR validates the structure and returns the matrix. It panics on
-// malformed inputs (the constructors in this repository build the arrays
-// programmatically; a panic is a bug, not bad user input).
-func NewCSR(rows, cols int, rowPtr, col []int, val []float64) *CSR {
+// CSRFromParts validates the structure and returns the matrix, or an error
+// describing the first inconsistency. It is the fail-closed entry point for
+// arrays from untrusted or fuzzed sources: anything it accepts is safe to
+// iterate (every MatVec/MatVecTrans index stays in bounds).
+func CSRFromParts(rows, cols int, rowPtr, col []int, val []float64) (*CSR, error) {
 	if rows <= 0 || cols <= 0 {
-		panic("linalg: NewCSR with non-positive shape")
+		return nil, fmt.Errorf("linalg: CSR with non-positive shape %dx%d", rows, cols)
 	}
-	if len(rowPtr) != rows+1 || rowPtr[0] != 0 || rowPtr[rows] != len(col) || len(col) != len(val) {
-		panic("linalg: NewCSR with inconsistent structure")
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("linalg: CSR row pointer has %d entries for %d rows", len(rowPtr), rows)
+	}
+	if rowPtr[0] != 0 {
+		return nil, fmt.Errorf("linalg: CSR row pointer starts at %d", rowPtr[0])
+	}
+	if len(col) != len(val) {
+		return nil, fmt.Errorf("linalg: CSR has %d columns for %d values", len(col), len(val))
+	}
+	if rowPtr[rows] != len(col) {
+		return nil, fmt.Errorf("linalg: CSR row pointer ends at %d for %d entries", rowPtr[rows], len(col))
 	}
 	for i := 0; i < rows; i++ {
 		if rowPtr[i] > rowPtr[i+1] {
-			panic(fmt.Sprintf("linalg: NewCSR row pointer decreases at row %d", i))
+			return nil, fmt.Errorf("linalg: CSR row pointer decreases at row %d", i)
 		}
 	}
 	for _, c := range col {
 		if c < 0 || c >= cols {
-			panic(fmt.Sprintf("linalg: NewCSR column %d out of range [0,%d)", c, cols))
+			return nil, fmt.Errorf("linalg: CSR column %d out of range [0,%d)", c, cols)
 		}
 	}
-	return &CSR{NRows: rows, NCols: cols, RowPtr: rowPtr, Col: col, Val: val}
+	return &CSR{NRows: rows, NCols: cols, RowPtr: rowPtr, Col: col, Val: val}, nil
+}
+
+// NewCSR validates the structure and returns the matrix. It panics on
+// malformed inputs (the constructors in this repository build the arrays
+// programmatically; a panic is a bug, not bad user input). Untrusted
+// sources go through CSRFromParts instead.
+func NewCSR(rows, cols int, rowPtr, col []int, val []float64) *CSR {
+	c, err := CSRFromParts(rows, cols, rowPtr, col, val)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// WithParallel sets the matrix's worker budget and returns it.
+func (c *CSR) WithParallel(par ParallelConfig) *CSR {
+	c.Par = par
+	return c
 }
 
 // CSRFromDense compresses a dense matrix, dropping exact zeros.
@@ -117,12 +148,14 @@ func (c *CSR) Dense() *Dense {
 	return d
 }
 
-// MatVec computes dst = c·x, parallelized over row chunks.
+// MatVec computes dst = c·x, sharded over row ranges. Each row's
+// accumulation is an independent serial loop, so results are bit-identical
+// for every worker count.
 func (c *CSR) MatVec(dst, x []float64) {
 	if len(x) != c.NCols || len(dst) != c.NRows {
 		panic("linalg: CSR.MatVec size mismatch")
 	}
-	parallelFor(c.NRows, func(lo, hi int) {
+	c.Par.For(c.NRows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			acc := 0.0
 			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
@@ -133,21 +166,24 @@ func (c *CSR) MatVec(dst, x []float64) {
 	})
 }
 
-// MatVecTrans computes dst = cᵀ·x by row scatter. The write pattern is
-// column-indexed, so this direction runs serially.
+// MatVecTrans computes dst = cᵀ·x by row scatter over fixed row shards,
+// each accumulating into its own column buffer; the partials combine in
+// shard order, so the result is bit-identical for every worker count.
 func (c *CSR) MatVecTrans(dst, x []float64) {
 	if len(x) != c.NRows || len(dst) != c.NCols {
 		panic("linalg: CSR.MatVecTrans size mismatch")
 	}
-	Fill(dst, 0)
-	for i, xi := range x {
-		if xi == 0 {
-			continue
+	c.Par.Scatter(c.NRows, c.NCols, dst, func(lo, hi int, acc []float64) {
+		for i := lo; i < hi; i++ {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				acc[c.Col[k]] += xi * c.Val[k]
+			}
 		}
-		for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
-			dst[c.Col[k]] += xi * c.Val[k]
-		}
-	}
+	})
 }
 
 var _ Operator = (*CSR)(nil)

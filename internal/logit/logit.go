@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"logitdyn/internal/game"
 	"logitdyn/internal/linalg"
@@ -156,13 +157,21 @@ func (d *Dynamics) TransitionSparse() *markov.Sparse {
 	return s
 }
 
-// TransitionCSR builds the transition matrix in compressed-sparse-row form,
-// the representation the sparse analysis backend iterates. Rows are written
-// directly into width-padded CSR arrays in parallel (every row has at most
-// W = 1 + Σᵢ(|Sᵢ|−1) entries), so no intermediate row-list — with its one
-// slice header per state — is ever materialized; a compaction pass runs
-// only when some update probability underflowed to zero.
+// TransitionCSR builds the transition matrix in compressed-sparse-row form
+// under the default worker budget. See TransitionCSRPar.
 func (d *Dynamics) TransitionCSR() *linalg.CSR {
+	return d.TransitionCSRPar(linalg.ParallelConfig{})
+}
+
+// TransitionCSRPar builds the transition matrix in compressed-sparse-row
+// form, the representation the sparse analysis backend iterates, using the
+// given worker budget for both construction and the returned matrix's
+// mat-vecs. Rows are written directly into width-padded CSR arrays in
+// parallel (every row has at most W = 1 + Σᵢ(|Sᵢ|−1) entries), so no
+// intermediate row-list — with its one slice header per state — is ever
+// materialized; a compaction pass runs only when some update probability
+// underflowed to zero.
+func (d *Dynamics) TransitionCSRPar(par linalg.ParallelConfig) *linalg.CSR {
 	size := d.space.Size()
 	w := 1
 	for i := 0; i < d.space.Players(); i++ {
@@ -171,7 +180,7 @@ func (d *Dynamics) TransitionCSR() *linalg.CSR {
 	col := make([]int, size*w)
 	val := make([]float64, size*w)
 	counts := make([]int, size)
-	linalg.ParallelFor(size, func(lo, hi int) {
+	par.For(size, func(lo, hi int) {
 		gen := d.NewRowGen()
 		row := make([]markov.Entry, 0, w)
 		for idx := lo; idx < hi; idx++ {
@@ -198,7 +207,7 @@ func (d *Dynamics) TransitionCSR() *linalg.CSR {
 		col = col[:nnz]
 		val = val[:nnz]
 	}
-	return linalg.NewCSR(size, size, rowPtr, col, val)
+	return linalg.NewCSR(size, size, rowPtr, col, val).WithParallel(par)
 }
 
 // TransitionDense materializes the Eq. (3) transition matrix densely — a
@@ -209,45 +218,77 @@ func (d *Dynamics) TransitionDense() *linalg.Dense {
 }
 
 // Operator returns the transition matrix as a linalg.Operator in the
-// requested concrete backend (auto must be resolved by the caller first,
-// since the dense threshold is a policy of the analysis layer).
+// requested concrete backend under the default worker budget.
 func (d *Dynamics) Operator(b Backend) (linalg.Operator, error) {
+	return d.OperatorPar(b, linalg.ParallelConfig{})
+}
+
+// OperatorPar returns the transition matrix as a linalg.Operator in the
+// requested concrete backend, carrying the given worker budget (auto must
+// be resolved by the caller first, since the dense threshold is a policy of
+// the analysis layer). The budget tunes how many workers the operator's
+// mat-vecs use; it never changes their results.
+func (d *Dynamics) OperatorPar(b Backend, par linalg.ParallelConfig) (linalg.Operator, error) {
 	switch b {
 	case BackendDense:
-		return d.TransitionDense(), nil
+		return d.TransitionDense().WithParallel(par), nil
 	case BackendSparse:
-		return d.TransitionCSR(), nil
+		return d.TransitionCSRPar(par), nil
 	case BackendMatFree:
-		return d.MatFree(), nil
+		return d.MatFree().WithParallel(par), nil
 	}
 	return nil, fmt.Errorf("logit: no concrete operator for backend %q", b)
 }
 
 // Gibbs returns the Gibbs measure π(x) ∝ exp(−β·Φ(x)) (Eq. 4) when the game
 // exposes an exact potential, computed with the minimum-potential shift so
-// large β cannot overflow. It errors for games without a potential.
+// large β cannot overflow. It errors for games without a potential. It runs
+// serially; callers holding a worker budget use GibbsPar.
 func (d *Dynamics) Gibbs() ([]float64, error) {
+	return d.GibbsPar(linalg.Serial)
+}
+
+// GibbsPar is Gibbs under an explicit worker budget. Potential tabulation
+// and exponentiation are element-wise parallel; the minimum is an exact
+// (order-independent) reduction and the normalizing sum accumulates over
+// fixed blocks, so the measure is bit-identical for every worker count.
+func (d *Dynamics) GibbsPar(par linalg.ParallelConfig) ([]float64, error) {
 	p, ok := game.AsPotential(d.g)
 	if !ok {
 		return nil, errors.New("logit: Gibbs measure requires a potential game")
 	}
 	size := d.space.Size()
 	phi := make([]float64, size)
-	x := make([]int, d.space.Players())
+	var mu sync.Mutex
 	minPhi := math.Inf(1)
-	for idx := 0; idx < size; idx++ {
-		d.space.Decode(idx, x)
-		phi[idx] = p.Phi(x)
-		if phi[idx] < minPhi {
-			minPhi = phi[idx]
+	par.For(size, func(lo, hi int) {
+		x := make([]int, d.space.Players())
+		local := math.Inf(1)
+		for idx := lo; idx < hi; idx++ {
+			d.space.Decode(idx, x)
+			phi[idx] = p.Phi(x)
+			if phi[idx] < local {
+				local = phi[idx]
+			}
 		}
-	}
+		mu.Lock()
+		if local < minPhi {
+			minPhi = local
+		}
+		mu.Unlock()
+	})
+	// One fused sweep: BlockSum visits every block exactly once, so the
+	// exponentiation fills π while the block partial accumulates.
 	pi := make([]float64, size)
-	total := 0.0
-	for idx := 0; idx < size; idx++ {
-		pi[idx] = math.Exp(-d.beta * (phi[idx] - minPhi))
-		total += pi[idx]
-	}
+	total := par.BlockSum(size, func(lo, hi int) float64 {
+		s := 0.0
+		for idx := lo; idx < hi; idx++ {
+			v := math.Exp(-d.beta * (phi[idx] - minPhi))
+			pi[idx] = v
+			s += v
+		}
+		return s
+	})
 	linalg.Scale(1/total, pi)
 	return pi, nil
 }
@@ -264,9 +305,39 @@ func (d *Dynamics) Stationary() ([]float64, error) {
 
 // Step performs one logit update in place: picks a player uniformly and
 // resamples her strategy from σ_i(· | x). It returns the updated player.
+// Hot loops (trajectories, replica engines) use a Stepper instead, which
+// samples identically without the per-step allocations.
 func (d *Dynamics) Step(x []int, r *rng.RNG) int {
 	i := r.Intn(d.space.Players())
 	probs := d.UpdateProbs(i, x, nil)
+	x[i] = r.Categorical(probs)
+	return i
+}
+
+// Stepper owns the per-player σ_i scratch of a simulation loop, so a
+// trajectory performs no allocations per step. It consumes the RNG stream
+// exactly as Step does — one player draw, one categorical draw — so a
+// Stepper-driven trajectory visits the same states as a Step-driven one.
+// A Stepper is not safe for concurrent use; give each replica worker its
+// own.
+type Stepper struct {
+	d     *Dynamics
+	probs [][]float64
+}
+
+// NewStepper returns a stepper for the dynamics.
+func (d *Dynamics) NewStepper() *Stepper {
+	probs := make([][]float64, d.space.Players())
+	for i := range probs {
+		probs[i] = make([]float64, d.g.Strategies(i))
+	}
+	return &Stepper{d: d, probs: probs}
+}
+
+// Step performs one logit update in place and returns the updated player.
+func (s *Stepper) Step(x []int, r *rng.RNG) int {
+	i := r.Intn(s.d.space.Players())
+	probs := s.d.updateProbsAt(i, x, s.probs[i])
 	x[i] = r.Categorical(probs)
 	return i
 }
@@ -282,11 +353,25 @@ func (d *Dynamics) StepIndexed(idx int, r *rng.RNG) int {
 // visit counts per profile index. The starting profile is counted once.
 func (d *Dynamics) Trajectory(start []int, t int, r *rng.RNG) []int64 {
 	counts := make([]int64, d.space.Size())
-	x := append([]int(nil), start...)
-	counts[d.space.Encode(x)]++
-	for s := 0; s < t; s++ {
-		d.Step(x, r)
-		counts[d.space.Encode(x)]++
-	}
+	d.TrajectoryInto(counts, start, t, r)
 	return counts
+}
+
+// TrajectoryInto runs t steps from the given starting profile and adds the
+// visit counts into counts (len |S|), which is not zeroed first — replica
+// engines accumulate many trajectories into one worker-owned vector. The
+// starting profile is counted once.
+func (d *Dynamics) TrajectoryInto(counts []int64, start []int, t int, r *rng.RNG) {
+	if len(counts) != d.space.Size() {
+		panic("logit: TrajectoryInto counts size mismatch")
+	}
+	st := d.NewStepper()
+	x := append([]int(nil), start...)
+	idx := d.space.Encode(x)
+	counts[idx]++
+	for s := 0; s < t; s++ {
+		i := st.Step(x, r)
+		idx = d.space.WithDigit(idx, i, x[i])
+		counts[idx]++
+	}
 }

@@ -15,13 +15,24 @@ import (
 // operator footprint, which is what lets the Lanczos route reach profile
 // spaces where even the CSR arrays are unwelcome.
 type MatFree struct {
-	d *Dynamics
-	n int
+	d   *Dynamics
+	n   int
+	par linalg.ParallelConfig
 }
 
-// MatFree returns the matrix-free view of the dynamics' transition matrix.
+// MatFree returns the matrix-free view of the dynamics' transition matrix
+// under the default worker budget.
 func (d *Dynamics) MatFree() *MatFree {
 	return &MatFree{d: d, n: d.space.Size()}
+}
+
+// WithParallel sets the operator's worker budget and returns it. The
+// budget never affects results: row generation is sharded over row ranges
+// whose per-row outputs are independent, and the transpose combines fixed
+// shards in shard order.
+func (m *MatFree) WithParallel(par linalg.ParallelConfig) *MatFree {
+	m.par = par
+	return m
 }
 
 // Dims returns the N×N shape.
@@ -34,7 +45,7 @@ func (m *MatFree) MatVec(dst, x []float64) {
 		panic("logit: MatFree.MatVec size mismatch")
 	}
 	players := m.d.space.Players()
-	linalg.ParallelFor(m.n, func(lo, hi int) {
+	m.par.For(m.n, func(lo, hi int) {
 		gen := m.d.NewRowGen()
 		row := make([]markov.Entry, 0, 1+players)
 		for idx := lo; idx < hi; idx++ {
@@ -48,26 +59,30 @@ func (m *MatFree) MatVec(dst, x []float64) {
 	})
 }
 
-// MatVecTrans computes dst = Pᵀ·x = xP. The scatter writes are
-// column-indexed, so this direction runs serially; it exists for parity
-// checks and distribution evolution, while the large-N spectral route needs
-// only MatVec.
+// MatVecTrans computes dst = Pᵀ·x = xP by row scatter over fixed row
+// shards (each shard owns a RowGen and a column accumulator); the partials
+// combine in shard order, so the result is bit-identical for every worker
+// count. The large-N spectral route needs only MatVec; this direction
+// serves distribution evolution and parity checks.
 func (m *MatFree) MatVecTrans(dst, x []float64) {
 	if len(x) != m.n || len(dst) != m.n {
 		panic("logit: MatFree.MatVecTrans size mismatch")
 	}
-	linalg.Fill(dst, 0)
-	gen := m.d.NewRowGen()
-	row := make([]markov.Entry, 0, 1+m.d.space.Players())
-	for idx, mass := range x {
-		if mass == 0 {
-			continue
+	players := m.d.space.Players()
+	m.par.Scatter(m.n, m.n, dst, func(lo, hi int, acc []float64) {
+		gen := m.d.NewRowGen()
+		row := make([]markov.Entry, 0, 1+players)
+		for idx := lo; idx < hi; idx++ {
+			mass := x[idx]
+			if mass == 0 {
+				continue
+			}
+			row = gen.AppendRow(idx, row[:0])
+			for _, e := range row {
+				acc[e.To] += mass * e.P
+			}
 		}
-		row = gen.AppendRow(idx, row[:0])
-		for _, e := range row {
-			dst[e.To] += mass * e.P
-		}
-	}
+	})
 }
 
 var _ linalg.Operator = (*MatFree)(nil)

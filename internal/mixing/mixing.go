@@ -91,12 +91,21 @@ const lanczosMaxIter = 256
 // already holds the Gibbs measure passes it as pi (it is not re-verified);
 // pi == nil computes it here.
 func RelaxationSandwich(d *logit.Dynamics, backend logit.Backend, eps float64, pi []float64) (*Result, error) {
+	return RelaxationSandwichPar(d, backend, eps, pi, linalg.ParallelConfig{})
+}
+
+// RelaxationSandwichPar is RelaxationSandwich under an explicit worker
+// budget: operator construction, the Lanczos mat-vecs and the
+// re-orthogonalization sweep all run on par. The budget never changes the
+// measured spectrum — every parallel reduction underneath uses fixed block
+// boundaries — so reports are bit-identical for every worker count.
+func RelaxationSandwichPar(d *logit.Dynamics, backend logit.Backend, eps float64, pi []float64, par linalg.ParallelConfig) (*Result, error) {
 	if backend == logit.BackendAuto || backend == "" {
 		return nil, fmt.Errorf("mixing: RelaxationSandwich needs a concrete backend")
 	}
 	if pi == nil {
 		var err error
-		pi, err = d.Gibbs()
+		pi, err = d.GibbsPar(par)
 		if err != nil {
 			return nil, fmt.Errorf("mixing: the %s backend needs a potential game (reversible chain with closed-form π): %w", backend, err)
 		}
@@ -118,7 +127,7 @@ func RelaxationSandwich(d *logit.Dynamics, backend logit.Backend, eps float64, p
 			SpectralUpper:  hi,
 		}, nil
 	}
-	p, err := d.Operator(backend)
+	p, err := d.OperatorPar(backend, par)
 	if err != nil {
 		return nil, err
 	}
@@ -126,6 +135,7 @@ func RelaxationSandwich(d *logit.Dynamics, backend logit.Backend, eps float64, p
 	if err != nil {
 		return nil, err
 	}
+	op.WithParallel(par)
 	res, err := spectral.Lanczos(op, lanczosMaxIter, 1e-12, rng.New(lanczosSeed))
 	if err != nil {
 		return nil, err

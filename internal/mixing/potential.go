@@ -9,8 +9,10 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
 
 	"logitdyn/internal/game"
+	"logitdyn/internal/linalg"
 )
 
 // PotentialStats summarizes the structure of a potential function over the
@@ -33,54 +35,94 @@ type PotentialStats struct {
 }
 
 // AnalyzePotential tabulates Φ over the profile space and computes the
-// statistics. The profile space must be materializable.
+// statistics, serially. The profile space must be materializable; callers
+// holding a worker budget use AnalyzePotentialPar.
 func AnalyzePotential(p game.Potential) (*PotentialStats, error) {
+	return AnalyzePotentialPar(p, linalg.Serial)
+}
+
+// AnalyzePotentialPar is AnalyzePotential under an explicit worker budget:
+// the Φ tabulation and the Hamming-edge scan shard over profile ranges.
+// Extremal statistics combine with exact (order-independent) min/max, so
+// every worker count produces the same values.
+func AnalyzePotentialPar(p game.Potential, par linalg.ParallelConfig) (*PotentialStats, error) {
 	sp := game.SpaceOf(p)
 	size := sp.Size()
 	phi := make([]float64, size)
-	x := make([]int, sp.Players())
-	for idx := 0; idx < size; idx++ {
-		sp.Decode(idx, x)
-		phi[idx] = p.Phi(x)
-	}
-	return AnalyzePhiTable(sp, phi)
+	par.For(size, func(lo, hi int) {
+		x := make([]int, sp.Players())
+		for idx := lo; idx < hi; idx++ {
+			sp.Decode(idx, x)
+			phi[idx] = p.Phi(x)
+		}
+	})
+	return AnalyzePhiTablePar(sp, phi, par)
 }
 
-// AnalyzePhiTable computes the statistics from an explicit potential table.
+// AnalyzePhiTable computes the statistics from an explicit potential
+// table, serially.
 func AnalyzePhiTable(sp *game.Space, phi []float64) (*PotentialStats, error) {
+	return AnalyzePhiTablePar(sp, phi, linalg.Serial)
+}
+
+// AnalyzePhiTablePar is AnalyzePhiTable under an explicit worker budget.
+func AnalyzePhiTablePar(sp *game.Space, phi []float64, par linalg.ParallelConfig) (*PotentialStats, error) {
 	if len(phi) != sp.Size() {
 		return nil, errors.New("mixing: potential table size mismatch")
 	}
 	st := &PotentialStats{Phi: phi, PhiMin: math.Inf(1), PhiMax: math.Inf(-1)}
-	for _, v := range phi {
-		if v < st.PhiMin {
-			st.PhiMin = v
+	var mu sync.Mutex
+	par.For(len(phi), func(lo, hi int) {
+		localMin, localMax := math.Inf(1), math.Inf(-1)
+		for _, v := range phi[lo:hi] {
+			if v < localMin {
+				localMin = v
+			}
+			if v > localMax {
+				localMax = v
+			}
 		}
-		if v > st.PhiMax {
-			st.PhiMax = v
+		mu.Lock()
+		if localMin < st.PhiMin {
+			st.PhiMin = localMin
 		}
-	}
+		if localMax > st.PhiMax {
+			st.PhiMax = localMax
+		}
+		mu.Unlock()
+	})
 	st.DeltaPhi = st.PhiMax - st.PhiMin
-	st.SmallDeltaPhi = maxLocalVariation(sp, phi)
+	st.SmallDeltaPhi = maxLocalVariation(sp, phi, par)
 	st.Zeta = zeta(sp, phi)
 	return st, nil
 }
 
-// maxLocalVariation scans all Hamming edges of the profile space.
-func maxLocalVariation(sp *game.Space, phi []float64) float64 {
+// maxLocalVariation scans all Hamming edges of the profile space, sharded
+// over profiles; the maximum combines exactly, so the worker count never
+// changes the answer.
+func maxLocalVariation(sp *game.Space, phi []float64, par linalg.ParallelConfig) float64 {
 	best := 0.0
+	var mu sync.Mutex
 	n := sp.Players()
-	for idx := range phi {
-		for i := 0; i < n; i++ {
-			cur := sp.Digit(idx, i)
-			for v := cur + 1; v < sp.Strategies(i); v++ {
-				j := sp.WithDigit(idx, i, v)
-				if d := math.Abs(phi[idx] - phi[j]); d > best {
-					best = d
+	par.For(len(phi), func(lo, hi int) {
+		local := 0.0
+		for idx := lo; idx < hi; idx++ {
+			for i := 0; i < n; i++ {
+				cur := sp.Digit(idx, i)
+				for v := cur + 1; v < sp.Strategies(i); v++ {
+					j := sp.WithDigit(idx, i, v)
+					if d := math.Abs(phi[idx] - phi[j]); d > local {
+						local = d
+					}
 				}
 			}
 		}
-	}
+		mu.Lock()
+		if local > best {
+			best = local
+		}
+		mu.Unlock()
+	})
 	return best
 }
 

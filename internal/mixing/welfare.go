@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"logitdyn/internal/game"
+	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
 )
 
@@ -42,6 +43,15 @@ type WelfareReport struct {
 // that already holds the stationary distribution passes it as pi; pi == nil
 // computes it here.
 func StationaryWelfare(d *logit.Dynamics, pi []float64) (*WelfareReport, error) {
+	return StationaryWelfarePar(d, pi, linalg.Serial)
+}
+
+// StationaryWelfarePar is StationaryWelfare under an explicit worker
+// budget. The expected-welfare sum reduces over fixed blocks and the
+// optimum scan keeps the first maximizer in index order (blocks combine in
+// block order, strict improvement wins), so the report — including the tie
+// break on OptProfile — is bit-identical for every worker count.
+func StationaryWelfarePar(d *logit.Dynamics, pi []float64, par linalg.ParallelConfig) (*WelfareReport, error) {
 	if pi == nil {
 		var err error
 		pi, err = d.Stationary()
@@ -54,18 +64,47 @@ func StationaryWelfare(d *logit.Dynamics, pi []float64) (*WelfareReport, error) 
 	if sp.Size() != len(pi) {
 		return nil, errors.New("mixing: welfare size mismatch")
 	}
-	rep := &WelfareReport{Optimum: math.Inf(-1), WorstNash: math.NaN()}
-	x := make([]int, sp.Players())
-	for idx := 0; idx < sp.Size(); idx++ {
-		sp.Decode(idx, x)
-		sw := SocialWelfare(g, x)
-		rep.Expected += pi[idx] * sw
-		if sw > rep.Optimum {
-			rep.Optimum = sw
-			rep.OptProfile = append(rep.OptProfile[:0], x...)
+	rep := &WelfareReport{WorstNash: math.NaN()}
+
+	type blockBest struct {
+		sw  float64
+		idx int
+	}
+	size := sp.Size()
+	blocks := welfareBlocks(size)
+	bests := make([]blockBest, blocks)
+	rep.Expected = par.BlockSum(size, func(lo, hi int) float64 {
+		x := make([]int, sp.Players())
+		b := blockBest{sw: math.Inf(-1), idx: -1}
+		s := 0.0
+		for idx := lo; idx < hi; idx++ {
+			sp.Decode(idx, x)
+			sw := SocialWelfare(g, x)
+			s += pi[idx] * sw
+			if sw > b.sw {
+				b.sw = sw
+				b.idx = idx
+			}
+		}
+		bests[lo/linalg.ReduceBlock] = b
+		return s
+	})
+	// Combine the per-block optima in block order with strict improvement:
+	// exactly the serial loop's first-maximizer tie break.
+	rep.Optimum = math.Inf(-1)
+	optIdx := -1
+	for _, b := range bests {
+		if b.idx >= 0 && b.sw > rep.Optimum {
+			rep.Optimum = b.sw
+			optIdx = b.idx
 		}
 	}
-	for _, idx := range game.PureNashEquilibria(g, 1e-12) {
+	if optIdx >= 0 {
+		rep.OptProfile = sp.Decode(optIdx, nil)
+	}
+
+	x := make([]int, sp.Players())
+	for _, idx := range game.PureNashEquilibriaPar(g, 1e-12, par) {
 		sp.Decode(idx, x)
 		sw := SocialWelfare(g, x)
 		if math.IsNaN(rep.WorstNash) || sw < rep.WorstNash {
@@ -73,4 +112,11 @@ func StationaryWelfare(d *logit.Dynamics, pi []float64) (*WelfareReport, error) 
 		}
 	}
 	return rep, nil
+}
+
+func welfareBlocks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + linalg.ReduceBlock - 1) / linalg.ReduceBlock
 }

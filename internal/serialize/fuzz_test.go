@@ -1,0 +1,96 @@
+package serialize
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Decode fuzzers: malformed, truncated or legacy JSON must fail closed
+// with an error — never panic, never silently produce a document claiming
+// an unsupported version. The seed corpus includes a real encoded report, a
+// pre-backend legacy document (exercising the defaulting path), and an
+// assortment of near-miss JSON.
+
+func validReportJSON() []byte {
+	doc := ReportDoc{
+		Version:         Version,
+		Game:            "seed",
+		Beta:            1,
+		NumProfiles:     4,
+		Backend:         "dense",
+		MixingTimeExact: true,
+		MixingTime:      29,
+		SpectralLower:   Float(math.NaN()),
+		SpectralUpper:   Float(math.Inf(1)),
+		Stationary:      []float64{0.25, 0.25, 0.25, 0.25},
+	}
+	var buf bytes.Buffer
+	if err := EncodeReport(&buf, doc); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzDecodeReport(f *testing.F) {
+	f.Add(validReportJSON())
+	// Legacy pre-backend document: no backend field, version 1.
+	f.Add([]byte(`{"version":1,"beta":1,"num_profiles":2,"mixing_time":3,"mixing_time_exact":false}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"version":1,"beta":"NaN"`))
+	f.Add([]byte(`{"version":1,"spectral_lower":"+Inf","spectral_upper":"nonsense"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := DecodeReport(bytes.NewReader(data))
+		if err != nil {
+			return // fail closed
+		}
+		if doc.Version != Version {
+			t.Fatalf("accepted unsupported version %d", doc.Version)
+		}
+		// The legacy defaulting contract: an accepted document always names
+		// a backend (pre-backend files were all produced by the dense exact
+		// route).
+		if doc.Backend == "" {
+			t.Fatal("accepted a document with no backend")
+		}
+		// An accepted document must re-encode and re-decode cleanly
+		// (NaN/±Inf round-trip through the Float markers).
+		var buf bytes.Buffer
+		if err := EncodeReport(&buf, doc); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := DecodeReport(&buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeSimulation(f *testing.F) {
+	f.Add([]byte(`{"version":1,"beta":1,"steps":100,"seed":7,"num_profiles":4,"empirical":[0.5,0.5,0,0],"tv_gibbs":0.01}`))
+	// Legacy document without the replicas field.
+	f.Add([]byte(`{"version":1,"beta":1,"steps":100,"seed":7,"num_profiles":4,"tv_gibbs":"NaN"}`))
+	f.Add([]byte(`{"version":1,"replicas":-5,"tv_gibbs":{}}`))
+	f.Add([]byte(`{"ver`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := DecodeSimulation(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "serialize:") {
+				t.Fatalf("error lost its package prefix: %v", err)
+			}
+			return
+		}
+		if doc.Version != Version {
+			t.Fatalf("accepted unsupported version %d", doc.Version)
+		}
+		var buf bytes.Buffer
+		if err := EncodeSimulation(&buf, doc); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := DecodeSimulation(&buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

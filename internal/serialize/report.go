@@ -297,14 +297,22 @@ func DecodeReport(r io.Reader) (ReportDoc, error) {
 	return doc, nil
 }
 
-// SimulationDoc archives one trajectory simulation: the empirical occupancy
-// measure and its total-variation distance to the Gibbs prediction (NaN
-// when no closed-form Gibbs measure exists).
+// SimulationDoc archives one simulation: the (possibly replica-pooled)
+// empirical occupancy measure and its total-variation distance to the
+// Gibbs prediction (NaN when no closed-form Gibbs measure exists).
 type SimulationDoc struct {
-	Version     int    `json:"version"`
-	Game        string `json:"game,omitempty"`
-	Beta        Float  `json:"beta"`
-	Steps       int    `json:"steps"`
+	Version int    `json:"version"`
+	Game    string `json:"game,omitempty"`
+	Beta    Float  `json:"beta"`
+	Steps   int    `json:"steps"`
+	// Replicas is how many independent trajectories were pooled; 0 (legacy
+	// documents and single-trajectory runs) means 1. For pooled runs
+	// (Replicas > 1) replica r's stream is Split(r) of the seed; a
+	// single-trajectory run uses the seed's stream directly, matching
+	// pre-replica documents byte for byte. Either way the document is
+	// reproducible from its own header regardless of how many workers ran
+	// it.
+	Replicas    int    `json:"replicas,omitempty"`
 	Seed        uint64 `json:"seed"`
 	NumProfiles int    `json:"num_profiles"`
 	Start       []int  `json:"start,omitempty"`

@@ -1,7 +1,27 @@
-// A bounded worker pool for heavy analyses and simulations: a counting
-// semaphore caps how many run at once so a burst of requests cannot
-// exhaust the host, mirroring internal/sim's bounded fan-out (which the
-// batch endpoint reuses directly for in-order results).
+// The service's worker-token pool: ONE counting semaphore is the single
+// source of truth for every worker the service may run, whether it is
+// serving a whole request or parallelizing inside one.
+//
+// Run acquires exactly one token (blocking) — that token is the request's
+// guarantee of progress, so a burst of requests queues instead of
+// exhausting the host. TryExtra borrows additional tokens for
+// intra-request parallelism without ever blocking: under light load one
+// analysis spreads across the whole budget, under heavy load extras are
+// simply denied and the request runs on its one guaranteed token. Because
+// borrowing never blocks, batch-size × per-request-workers can exceed the
+// budget without deadlock — the failure mode of the two-semaphore design
+// this replaces, where a full batch could hold every slot while each item
+// waited for intra-request slots that could never free.
+//
+// Denying extras under load is safe for correctness because the worker
+// budget never changes results (see linalg/parallel.go): it only decides
+// how fast a request finishes.
+//
+// Scope: the budget governs the scaling hot paths — the sparse/matfree
+// operator pipeline, the Lanczos sweeps, replica simulation and request
+// materialization. The dense exact route (capped at the ≤4096-profile
+// dense limit) still uses its legacy GOMAXPROCS-default loops internally;
+// those bursts are brief and bounded by the dense cap, not by this pool.
 package service
 
 import (
@@ -9,14 +29,19 @@ import (
 	"sync/atomic"
 )
 
-// Pool bounds concurrent heavy work across all requests.
+// Pool is the service-wide worker-token semaphore.
 type Pool struct {
 	sem      chan struct{}
 	inFlight atomic.Int64
 	done     atomic.Uint64
+	// borrowed tracks extra tokens currently on loan to intra-request
+	// parallelism; granted/denied are cumulative utilization counters.
+	borrowed atomic.Int64
+	granted  atomic.Uint64
+	denied   atomic.Uint64
 }
 
-// NewPool builds a pool with the given concurrency; workers <= 0 selects
+// NewPool builds a pool with the given worker budget; workers <= 0 selects
 // GOMAXPROCS.
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
@@ -25,7 +50,7 @@ func NewPool(workers int) *Pool {
 	return &Pool{sem: make(chan struct{}, workers)}
 }
 
-// Run blocks until a slot is free, then runs fn.
+// Run blocks until a worker token is free, then runs fn holding it.
 func (p *Pool) Run(fn func()) {
 	p.sem <- struct{}{}
 	p.inFlight.Add(1)
@@ -37,11 +62,47 @@ func (p *Pool) Run(fn func()) {
 	fn()
 }
 
-// Workers is the concurrency bound.
+// TryExtra borrows up to max additional worker tokens without blocking and
+// returns how many it got plus a release function (safe to call once,
+// always non-nil). A task holding one Run token that wants to fan out to w
+// workers asks for w−1 extras; whatever is denied simply runs on the
+// tokens it has.
+func (p *Pool) TryExtra(max int) (got int, release func()) {
+	for got < max {
+		select {
+		case p.sem <- struct{}{}:
+			got++
+		default:
+			p.denied.Add(uint64(max - got))
+			goto out
+		}
+	}
+out:
+	p.granted.Add(uint64(got))
+	p.borrowed.Add(int64(got))
+	n := got
+	return got, func() {
+		p.borrowed.Add(int64(-n))
+		for i := 0; i < n; i++ {
+			<-p.sem
+		}
+	}
+}
+
+// Workers is the total worker-token budget.
 func (p *Pool) Workers() int { return cap(p.sem) }
 
-// InFlight is the number of tasks currently holding a slot.
+// InFlight is the number of requests currently holding a Run token.
 func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
+// Borrowed is the number of extra tokens currently on loan.
+func (p *Pool) Borrowed() int64 { return p.borrowed.Load() }
+
+// ExtraGranted and ExtraDenied are cumulative counts of extra-token
+// requests that were satisfied / turned away — the pool's utilization
+// signal: high denied means the budget saturates on request fan-out alone.
+func (p *Pool) ExtraGranted() uint64 { return p.granted.Load() }
+func (p *Pool) ExtraDenied() uint64  { return p.denied.Load() }
 
 // Completed is the number of tasks that have finished.
 func (p *Pool) Completed() uint64 { return p.done.Load() }

@@ -24,6 +24,7 @@ import (
 
 	"logitdyn/internal/core"
 	"logitdyn/internal/game"
+	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
 	"logitdyn/internal/markov"
 	"logitdyn/internal/rng"
@@ -40,7 +41,10 @@ const maxRequestBytes = 16 << 20
 type Config struct {
 	// CacheSize is the report-cache capacity; 0 means 256.
 	CacheSize int
-	// Workers bounds concurrent analyses/simulations; 0 means GOMAXPROCS.
+	// Workers is the service-wide worker-token budget: the single semaphore
+	// that bounds request concurrency AND intra-request parallelism
+	// together (a request runs on one guaranteed token and borrows idle
+	// tokens for its internal fan-out). 0 means GOMAXPROCS.
 	Workers int
 	// MaxBatch caps items per batch request; 0 means 256.
 	MaxBatch int
@@ -171,15 +175,20 @@ type BatchResponse struct {
 	Results []BatchItemResult `json:"results"`
 }
 
-// SimulateRequest samples a logit-dynamics trajectory.
+// SimulateRequest samples logit-dynamics trajectories.
 type SimulateRequest struct {
 	Spec *spec.Spec         `json:"spec,omitempty"`
 	Game *serialize.GameDoc `json:"game,omitempty"`
 	Name string             `json:"name,omitempty"`
 	Beta float64            `json:"beta"`
-	// Steps is the trajectory length.
+	// Steps is the per-replica trajectory length.
 	Steps int `json:"steps"`
-	// Seed makes the trajectory reproducible.
+	// Replicas is how many independent trajectories to pool; 0 means 1.
+	// Replica r's RNG stream derives from (Seed, r), and replica counts
+	// merge by integer addition, so the response depends only on the
+	// request — never on the server's worker count.
+	Replicas int `json:"replicas,omitempty"`
+	// Seed makes the trajectories reproducible.
 	Seed uint64 `json:"seed,omitempty"`
 	// Start is the initial profile; nil means all-zeros.
 	Start []int `json:"start,omitempty"`
@@ -282,8 +291,29 @@ func (s *Service) analyzeOne(req AnalyzeRequest) (*AnalyzeResponse, error) {
 	}
 	// Materialize once and analyze the table, so the digest and the
 	// analysis don't each re-evaluate every lazy utility.
-	table := game.Materialize(g)
+	table := s.materialize(g)
 	return s.analyzeBuilt(table, GameDigest(table), name, req.Beta, req.Eps, req.MaxT, req.Backend)
+}
+
+// borrowFor sizes and takes an extra-token loan for a task with n
+// shardable units (profiles, replicas): at most one extra per unit beyond
+// the inline threshold's reach — a task too small to feed extra workers
+// borrows nothing — and never more than the budget minus the caller's own
+// token. It returns the resulting worker budget and the release function
+// (always non-nil; call it when the parallel section ends).
+func (s *Service) borrowFor(n int) (par linalg.ParallelConfig, release func()) {
+	useful := n/linalg.DefaultMinRows - 1
+	got, release := s.pool.TryExtra(min(s.pool.Workers()-1, useful))
+	return linalg.ParallelConfig{Workers: 1 + got}, release
+}
+
+// materialize tabulates a request's game on borrowed worker tokens: the
+// handler holds no Run token at this point, so every goroutine it spawns
+// must come out of the shared budget. A denied borrow tabulates serially.
+func (s *Service) materialize(g game.Game) *game.TableGame {
+	par, release := s.borrowFor(game.SpaceOf(g).Size())
+	defer release()
+	return game.MaterializePar(g, par)
 }
 
 // analyzeBuilt is the shared serving path once the game is built and
@@ -299,19 +329,32 @@ func (s *Service) analyzeBuilt(g game.Game, digest [32]byte, name string, beta, 
 	if err != nil {
 		return nil, err
 	}
-	resolved := b.Resolve(game.SpaceOf(g).Size(), s.cfg.Limits.MaxProfiles)
+	size := game.SpaceOf(g).Size()
+	resolved := b.Resolve(size, s.cfg.Limits.MaxProfiles)
 	opts := core.Options{
 		Eps:            eps,
 		MaxT:           maxT,
 		MaxExactStates: s.cfg.Limits.MaxProfiles,
 		Backend:        string(resolved),
 	}.Normalized()
+	// The cache key is derived before the worker budget is known: the
+	// budget never changes the report (linalg's parallel reductions use
+	// fixed block boundaries), so Parallel must not split cache slots.
 	key := KeyFrom(digest, beta, opts)
 	rep, cached, err := s.cache.Do(key, func() (*core.Report, error) {
 		var rep *core.Report
 		var aerr error
 		s.pool.Run(func() {
-			rep, aerr = core.AnalyzeGame(g, beta, opts)
+			// Borrow idle tokens for intra-request parallelism, sized by
+			// the profile space (holding tokens a small game cannot use
+			// would starve request-level concurrency). The one Run token
+			// guarantees progress, so a denied borrow degrades speed,
+			// never liveness.
+			par, release := s.borrowFor(size)
+			defer release()
+			runOpts := opts
+			runOpts.Parallel = par
+			rep, aerr = core.AnalyzeGame(g, beta, runOpts)
 		})
 		if aerr != nil {
 			s.analysesFailed.Add(1)
@@ -399,7 +442,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		table := game.Materialize(g)
+		table := s.materialize(g)
 		digest := GameDigest(table)
 		results = sim.Map(req.Betas, 0, s.pool.Workers(), func(_ int, beta float64, _ *rng.RNG) BatchItemResult {
 			resp, err := s.analyzeBuilt(table, digest, name, beta, req.Eps, req.MaxT, req.Backend)
@@ -434,7 +477,11 @@ func (s *Service) simulate(req SimulateRequest) (*serialize.SimulationDoc, error
 	if err := s.cfg.Limits.CheckBeta(req.Beta); err != nil {
 		return nil, err
 	}
-	if err := s.cfg.Limits.CheckSteps(req.Steps); err != nil {
+	replicas := req.Replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	if err := s.cfg.Limits.CheckSimulation(req.Steps, replicas); err != nil {
 		return nil, err
 	}
 	// Simulation never materializes a matrix, so the sparse caps govern.
@@ -460,20 +507,44 @@ func (s *Service) simulate(req SimulateRequest) (*serialize.SimulationDoc, error
 		}
 	}
 	doc := &serialize.SimulationDoc{
-		Version:     serialize.Version,
-		Game:        name,
-		Beta:        serialize.Float(req.Beta),
-		Steps:       req.Steps,
+		Version: serialize.Version,
+		Game:    name,
+		Beta:    serialize.Float(req.Beta),
+		Steps:   req.Steps,
+		// Echo the request's replicas verbatim: an omitted field stays
+		// omitted (0 means 1), so pre-replica requests get byte-identical
+		// response documents.
+		Replicas:    req.Replicas,
 		Seed:        req.Seed,
 		NumProfiles: space.Size(),
 		Start:       start,
 	}
 	s.pool.Run(func() {
 		s.simulations.Add(1)
-		counts := d.Trajectory(start, req.Steps, rng.New(req.Seed))
+		// Replicas fan out on borrowed worker tokens. Unlike borrowFor's
+		// per-row sizing, every single replica can saturate a worker, so
+		// the loan is capped at one extra per additional replica. Counts
+		// merge by integer addition, so the document is bit-identical
+		// whatever the server's worker budget happens to be.
+		extra, release := s.pool.TryExtra(min(s.pool.Workers()-1, replicas-1))
+		defer release()
+		par := linalg.ParallelConfig{Workers: 1 + extra}
+		var counts []int64
+		if replicas == 1 {
+			// The historical single-trajectory stream (rng.New(seed)
+			// directly, matching logitsim and pre-replica requests), so
+			// legacy requests keep reproducing the same trajectory.
+			counts = d.Trajectory(start, req.Steps, rng.New(req.Seed))
+		} else {
+			counts = sim.SumCounts(replicas, req.Seed, par.Workers, space.Size(),
+				func(_ int, r *rng.RNG, acc []int64) {
+					d.TrajectoryInto(acc, start, req.Steps, r)
+				})
+		}
 		emp := make([]float64, len(counts))
+		visits := float64(replicas) * float64(req.Steps+1)
 		for i, c := range counts {
-			emp[i] = float64(c) / float64(req.Steps+1)
+			emp[i] = float64(c) / visits
 		}
 		// Above the dense cap the occupancy vector would dominate the
 		// response (the sparse caps admit spaces 64× larger); keep the
@@ -482,7 +553,7 @@ func (s *Service) simulate(req SimulateRequest) (*serialize.SimulationDoc, error
 		if space.Size() <= s.cfg.Limits.MaxProfiles {
 			doc.Empirical = emp
 		}
-		if gibbs, gerr := d.Gibbs(); gerr == nil {
+		if gibbs, gerr := d.GibbsPar(par); gerr == nil {
 			doc.TVGibbs = serialize.Float(markov.TVDistance(emp, gibbs))
 		} else {
 			doc.TVGibbs = serialize.Float(math.NaN())
@@ -520,6 +591,14 @@ type WorkMetrics struct {
 	Simulations    uint64 `json:"simulations"`
 	InFlight       int64  `json:"in_flight"`
 	Workers        int    `json:"workers"`
+	// Worker-utilization counters for the single worker-token pool:
+	// ParallelExtraInUse is how many extra tokens intra-request parallelism
+	// holds right now; the Granted/Denied totals say how often fan-out got
+	// the workers it asked for. High denied counts mean the budget
+	// saturates on request concurrency alone.
+	ParallelExtraInUse   int64  `json:"parallel_extra_in_use"`
+	ParallelExtraGranted uint64 `json:"parallel_extra_granted_total"`
+	ParallelExtraDenied  uint64 `json:"parallel_extra_denied_total"`
 }
 
 // BackendMetrics counts performed analyses per backend.
@@ -556,10 +635,13 @@ func (s *Service) Metrics() MetricsDoc {
 				Sparse:  s.analysesSparse.Load(),
 				MatFree: s.analysesMatFree.Load(),
 			},
-			AnalysesFailed: s.analysesFailed.Load(),
-			Simulations:    s.simulations.Load(),
-			InFlight:       s.pool.InFlight(),
-			Workers:        s.pool.Workers(),
+			AnalysesFailed:       s.analysesFailed.Load(),
+			Simulations:          s.simulations.Load(),
+			InFlight:             s.pool.InFlight(),
+			Workers:              s.pool.Workers(),
+			ParallelExtraInUse:   s.pool.Borrowed(),
+			ParallelExtraGranted: s.pool.ExtraGranted(),
+			ParallelExtraDenied:  s.pool.ExtraDenied(),
 		},
 	}
 }

@@ -94,3 +94,39 @@ func TestGrid2RowMajor(t *testing.T) {
 		t.Fatalf("g[5] = %+v", g[5])
 	}
 }
+
+func TestSumCountsWorkerInvariant(t *testing.T) {
+	// Replica r bumps a few slots chosen by its own stream; the totals must
+	// be identical whatever the worker count, including 1.
+	const replicas, n = 200, 97
+	run := func(workers int) []int64 {
+		return SumCounts(replicas, 99, workers, n, func(replica int, r *rng.RNG, counts []int64) {
+			for k := 0; k < 50; k++ {
+				counts[r.Intn(n)]++
+			}
+		})
+	}
+	want := run(1)
+	var sum int64
+	for _, v := range want {
+		sum += v
+	}
+	if sum != replicas*50 {
+		t.Fatalf("serial total %d, want %d", sum, replicas*50)
+	}
+	for _, w := range []int{2, 4, 8, 16} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: counts[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSumCountsEmpty(t *testing.T) {
+	got := SumCounts(0, 1, 4, 5, func(int, *rng.RNG, []int64) { t.Fatal("must not run") })
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+}

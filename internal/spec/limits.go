@@ -27,8 +27,13 @@ type Limits struct {
 	MaxSparseProfiles int
 	// MaxBeta caps the inverse noise β.
 	MaxBeta float64
-	// MaxSteps caps simulation trajectory lengths.
+	// MaxSteps caps simulation trajectory lengths. It doubles as the cap
+	// on a request's TOTAL step budget (steps × replicas), so adding
+	// replicas never multiplies the work a single request may demand.
 	MaxSteps int
+	// MaxReplicas caps how many independent trajectories one simulate
+	// request may pool.
+	MaxReplicas int
 }
 
 // DefaultLimits matches core.Options' analysis defaults: the dense cap
@@ -44,6 +49,7 @@ func DefaultLimits() Limits {
 		MaxSparseProfiles: 64 * 4096,
 		MaxBeta:           1e6,
 		MaxSteps:          10_000_000,
+		MaxReplicas:       100_000,
 	}
 }
 
@@ -87,6 +93,26 @@ func (l Limits) CheckSteps(steps int) error {
 	}
 	if l.MaxSteps > 0 && steps > l.MaxSteps {
 		return fmt.Errorf("spec: %d steps exceed the limit %d", steps, l.MaxSteps)
+	}
+	return nil
+}
+
+// CheckSimulation bounds a replicated simulation request: per-replica
+// steps, the replica count, and the total step budget steps × replicas
+// (checked without overflow) must all be within the caps.
+func (l Limits) CheckSimulation(steps, replicas int) error {
+	if err := l.CheckSteps(steps); err != nil {
+		return err
+	}
+	if replicas <= 0 {
+		return fmt.Errorf("spec: replicas must be positive, got %d", replicas)
+	}
+	if l.MaxReplicas > 0 && replicas > l.MaxReplicas {
+		return fmt.Errorf("spec: %d replicas exceed the limit %d", replicas, l.MaxReplicas)
+	}
+	if l.MaxSteps > 0 && replicas > l.MaxSteps/steps {
+		return fmt.Errorf("spec: %d replicas × %d steps exceed the total step budget %d",
+			replicas, steps, l.MaxSteps)
 	}
 	return nil
 }

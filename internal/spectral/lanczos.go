@@ -27,6 +27,11 @@ type SymOperator struct {
 	p       linalg.Operator
 	sqrtPi  []float64
 	scratch []float64
+	// par is the worker budget for the element-wise scalings in Apply and
+	// the re-orthogonalization inside Lanczos. It never affects results:
+	// scalings are element-wise and the dot products reduce over fixed
+	// blocks (see linalg/parallel.go).
+	par linalg.ParallelConfig
 }
 
 // SparseOperator is the historical name of SymOperator, kept for callers
@@ -51,6 +56,14 @@ func NewSymOperator(p linalg.Operator, pi []float64) (*SymOperator, error) {
 	return &SymOperator{p: p, sqrtPi: sqrtPi, scratch: make([]float64, rows)}, nil
 }
 
+// WithParallel sets the operator's worker budget (for Apply's element-wise
+// scalings and the Lanczos re-orthogonalization) and returns it. The
+// backend operator p carries its own budget for the mat-vec itself.
+func (op *SymOperator) WithParallel(par linalg.ParallelConfig) *SymOperator {
+	op.par = par
+	return op
+}
+
 // NewSparseOperator wraps the row-list sparse chain, preserved as the
 // historical entry point of the Lanczos path.
 func NewSparseOperator(s *markov.Sparse, pi []float64) (*SymOperator, error) {
@@ -63,13 +76,17 @@ func (op *SymOperator) N() int { return len(op.sqrtPi) }
 // Apply computes dst = A·v. dst and v must not alias.
 func (op *SymOperator) Apply(dst, v []float64) {
 	u := op.scratch
-	for i := range u {
-		u[i] = v[i] / op.sqrtPi[i]
-	}
+	op.par.For(len(u), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u[i] = v[i] / op.sqrtPi[i]
+		}
+	})
 	op.p.MatVec(dst, u)
-	for i := range dst {
-		dst[i] *= op.sqrtPi[i]
-	}
+	op.par.For(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] *= op.sqrtPi[i]
+		}
+	})
 }
 
 // TopVector returns ψ1 = sqrt(π), the known unit-λ eigenvector of A.
@@ -138,8 +155,14 @@ func ritzExtremes(alphas, betas []float64) (lo, hi float64, err error) {
 // chains pay only as many mat-vecs as their slow modes require. The Ritz
 // values of the resulting tridiagonal matrix converge to A's extremal
 // eigenvalues on ψ1⊥ — exactly λ2 and λ_min of the chain.
+//
+// The re-orthogonalization sweep — one dot and one axpy per retained basis
+// vector per step, the dominant cost after the mat-vec on large chains —
+// runs on the operator's worker budget. Dots reduce over fixed blocks, so
+// every worker count produces the same iterates bit for bit.
 func Lanczos(op *SymOperator, maxIter int, tol float64, r *rng.RNG) (*LanczosResult, error) {
 	n := op.N()
+	par := op.par
 	if maxIter < 2 {
 		return nil, errors.New("spectral: Lanczos needs maxIter >= 2")
 	}
@@ -158,7 +181,7 @@ func Lanczos(op *SymOperator, maxIter int, tol float64, r *rng.RNG) (*LanczosRes
 	for i := range v {
 		v[i] = r.Float64() - 0.5
 	}
-	orthogonalize(v, psi1)
+	orthogonalizePar(par, v, psi1)
 	if linalg.Norm2(v) < 1e-12 {
 		return nil, errors.New("spectral: degenerate Lanczos start")
 	}
@@ -172,16 +195,16 @@ func Lanczos(op *SymOperator, maxIter int, tol float64, r *rng.RNG) (*LanczosRes
 	for k := 0; k < maxIter; k++ {
 		vk := basis[len(basis)-1]
 		op.Apply(w, vk)
-		alpha := linalg.Dot(w, vk)
+		alpha := par.Dot(w, vk)
 		alphas = append(alphas, alpha)
 		// w ← w − α·v_k − β_{k−1}·v_{k−1}, then full reorthogonalization.
-		linalg.Axpy(-alpha, vk, w)
+		par.Axpy(-alpha, vk, w)
 		if len(basis) > 1 {
-			linalg.Axpy(-betas[len(betas)-1], basis[len(basis)-2], w)
+			par.Axpy(-betas[len(betas)-1], basis[len(basis)-2], w)
 		}
-		orthogonalize(w, psi1)
+		orthogonalizePar(par, w, psi1)
 		for _, b := range basis {
-			orthogonalize(w, b)
+			orthogonalizePar(par, w, b)
 		}
 		beta := linalg.Norm2(w)
 		if beta < tol {
@@ -231,6 +254,9 @@ func normalize(v []float64) {
 	}
 }
 
-func orthogonalize(v, against []float64) {
-	linalg.Axpy(-linalg.Dot(v, against), against, v)
+// orthogonalizePar is the modified-Gram-Schmidt projection step on a worker
+// budget: the dot reduces over fixed blocks and the axpy is element-wise,
+// so the projection is bit-identical for every worker count.
+func orthogonalizePar(par linalg.ParallelConfig, v, against []float64) {
+	par.Axpy(-par.Dot(v, against), against, v)
 }
