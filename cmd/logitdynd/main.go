@@ -1,12 +1,15 @@
 // Command logitdynd is the long-running analysis daemon: it serves the
-// internal/service HTTP JSON API (canonical game hashing, LRU report cache
-// with singleflight, bounded worker pool) so many callers share one
-// spectral analysis per distinct (game, β) pair.
+// internal/service HTTP JSON API (canonical game hashing, two-tier report
+// cache — in-memory LRU over the persistent content-addressed store —
+// singleflight deduplication, bounded worker pool, async sweep jobs) so
+// many callers share one spectral analysis per distinct (game, β) pair,
+// and so those analyses survive restarts.
 //
 // Example:
 //
-//	logitdynd -addr :8080 -cache 512 -workers 4
+//	logitdynd -addr :8080 -cache 512 -workers 4 -store /var/lib/logitdyn/store
 //	curl -s localhost:8080/v1/analyze -d '{"spec":{"game":"doublewell","n":6,"c":2,"delta1":1},"beta":1.5}'
+//	curl -s localhost:8080/v1/sweeps -d '{"axes":{"game":["doublewell"],"n":[8,10],"beta":{"from":0.5,"to":2,"steps":4}},"base":{"c":2,"delta1":1}}'
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"logitdyn/internal/service"
 	"logitdyn/internal/spec"
+	"logitdyn/internal/store"
 )
 
 func main() {
@@ -32,6 +36,9 @@ func main() {
 	maxProfiles := flag.Int("maxprofiles", 0, "max profile-space size per request on the dense backend (0 = default)")
 	maxSparseProfiles := flag.Int("maxsparseprofiles", 0, "max profile-space size per request on the sparse/matfree backends (0 = default)")
 	maxBeta := flag.Float64("maxbeta", 0, "max inverse noise β per request (0 = default)")
+	storeDir := flag.String("store", "", "persistent report-store directory: the second cache tier, shared with logitsweep (empty = memory-only)")
+	storeMax := flag.Int64("storemax", 0, "report-store size budget in bytes; LRU entries are evicted above it (0 = unbounded)")
+	maxSweepPoints := flag.Int("maxsweeppoints", 0, "max grid points per /v1/sweeps job (0 = default)")
 	flag.Parse()
 
 	limits := spec.DefaultLimits()
@@ -44,11 +51,22 @@ func main() {
 	if *maxBeta > 0 {
 		limits.MaxBeta = *maxBeta
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		if err != nil {
+			log.Fatalf("logitdynd: %v", err)
+		}
+		log.Printf("logitdynd: report store %s (%d entries, %d bytes)", *storeDir, st.Len(), st.SizeBytes())
+	}
 	svc := service.New(service.Config{
-		CacheSize: *cacheSize,
-		Workers:   *workers,
-		MaxBatch:  *maxBatch,
-		Limits:    limits,
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		MaxSweepPoints: *maxSweepPoints,
+		Limits:         limits,
+		Store:          st,
 	})
 
 	srv := &http.Server{

@@ -1,0 +1,148 @@
+// Command logitsweep runs a sweep grid to completion against the
+// persistent report store directly — no daemon needed — and prints the
+// aggregate table. Grid points whose reports the store already holds are
+// never re-analyzed, so an interrupted run (Ctrl-C, crash, power loss)
+// resumes from where it stopped when re-invoked, and a fully warm store
+// reproduces the table with zero analyses.
+//
+// Example:
+//
+//	cat > grid.json <<'EOF'
+//	{
+//	  "name": "wells-vs-beta",
+//	  "axes": {
+//	    "game": ["doublewell", "asymwell"],
+//	    "n": [8, 10, 12],
+//	    "beta": {"from": 0.5, "to": 4, "steps": 8}
+//	  },
+//	  "base": {"c": 2, "delta1": 1, "depth": 3, "shallow": 1}
+//	}
+//	EOF
+//	logitsweep -grid grid.json -store ./reports -format csv -o table.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"logitdyn/internal/service"
+	"logitdyn/internal/spec"
+	"logitdyn/internal/store"
+	"logitdyn/internal/sweep"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "logitsweep: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	gridPath := flag.String("grid", "", "grid file (JSON; \"-\" = stdin)")
+	storeDir := flag.String("store", "", "persistent report-store directory (empty = run everything cold, keep nothing)")
+	storeMax := flag.Int64("storemax", 0, "report-store size budget in bytes (0 = unbounded)")
+	workers := flag.Int("workers", 0, "worker-token budget shared by point fan-out and intra-analysis parallelism (0 = GOMAXPROCS); never changes reported numbers")
+	maxPoints := flag.Int("maxpoints", 0, "max grid points (0 = default)")
+	maxProfiles := flag.Int("maxprofiles", 0, "max profile-space size per point on the dense backend (0 = default)")
+	maxSparseProfiles := flag.Int("maxsparseprofiles", 0, "max profile-space size per point on the sparse/matfree backends (0 = default)")
+	format := flag.String("format", "table", "output format: table|json|csv")
+	out := flag.String("o", "", "write the aggregate table to this file (default stdout)")
+	flag.Parse()
+
+	if *gridPath == "" {
+		fatalf("missing -grid (a JSON grid file, or - for stdin)")
+	}
+	var in io.Reader = os.Stdin
+	if *gridPath != "-" {
+		f, err := os.Open(*gridPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	grid, err := sweep.ParseGrid(in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// Fail on output problems BEFORE the sweep runs: a typo'd -format or
+	// an unwritable -o discovered after hours of analysis would discard
+	// the run (entirely, when no store is configured).
+	switch *format {
+	case "table", "json", "csv":
+	default:
+		fatalf("unknown -format %q (table|json|csv)", *format)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "logitsweep: store %s (%d entries)\n", *storeDir, st.Len())
+	}
+
+	limits := spec.DefaultLimits()
+	if *maxProfiles > 0 {
+		limits.MaxProfiles = *maxProfiles
+	}
+	if *maxSparseProfiles > 0 {
+		limits.MaxSparseProfiles = *maxSparseProfiles
+	}
+
+	// One worker-token pool bounds the whole run: each in-flight point
+	// holds one token and borrows idle ones for its mat-vecs, exactly like
+	// the daemon. Interrupts cancel cleanly between points; completed
+	// points are already persisted, so rerunning the same command resumes.
+	pool := service.NewPool(*workers)
+	runner := &sweep.Runner{
+		Eval:      sweep.DirectEval(st, pool),
+		Limits:    limits,
+		Workers:   pool.Workers(),
+		MaxPoints: *maxPoints,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, stats, runErr := runner.Run(ctx, grid)
+	if res == nil {
+		fatalf("%v", runErr)
+	}
+	fmt.Fprintf(os.Stderr,
+		"logitsweep: %d points (%d unique, %d duplicate) — %d analyzed, %d from store, %d failed, %d cancelled\n",
+		stats.Points, stats.Unique, stats.Duplicates, stats.Analyzed, stats.StoreHits, stats.Failed, stats.Cancelled)
+
+	switch *format {
+	case "table":
+		if _, err := io.WriteString(w, res.TableString()); err != nil {
+			fatalf("%v", err)
+		}
+	case "json":
+		if err := sweep.EncodeJSON(w, res); err != nil {
+			fatalf("%v", err)
+		}
+	case "csv":
+		if err := sweep.EncodeCSV(w, res); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "logitsweep: interrupted — rerun the same command to resume from the store\n")
+		os.Exit(1)
+	}
+}

@@ -58,16 +58,37 @@
 // pins that invariant across PRs, and BENCH_parallel.json records the
 // serial-vs-parallel benchmark results.
 //
+// # Sweeps and persistence
+//
+// internal/store is the persistent content-addressed report store: every
+// analysis can be written to disk under its canonical game hash (atomic
+// temp-file+rename writes, versioned checksummed entries, fail-closed
+// decode of damaged files, an LRU size budget), which makes the service
+// cache two-tier — memory misses read through to the store, analyses
+// write back, reports survive restarts. internal/sweep expands
+// declarative multi-axis grids (game × graph × size × β schedules) into
+// deterministic point lists, dedups them by canonical hash, executes
+// them with bounded parallelism skipping every point the store already
+// holds — killed runs resume, warm reruns perform zero re-analyses —
+// and aggregates byte-reproducible summary tables (JSON/CSV). The
+// daemon exposes sweeps as async jobs (POST/GET/DELETE /v1/sweeps);
+// cmd/logitsweep runs a grid file against the store with no daemon.
+//
 // Entry points:
 //
 //   - internal/core      — the Analyzer facade (mixing time, spectrum, bounds)
-//   - internal/service   — the serving layer: canonical game hashing, LRU
-//     report cache with singleflight, bounded worker pool, HTTP JSON API
+//   - internal/service   — the serving layer: two-tier report cache with
+//     singleflight, bounded worker pool, HTTP JSON API, async sweep jobs
+//   - internal/store     — persistent content-addressed report store and
+//     the canonical game hashing both cache tiers key on
+//   - internal/sweep     — the sweep orchestration engine: grid expansion,
+//     dedup, resumable execution, aggregate tables
 //   - internal/game      — game families: coordination, graphical, double
 //     wells, dominant-strategy, congestion
 //   - internal/logit     — the dynamics itself (Eq. 2–4 of the paper)
 //   - internal/bench     — the E1–E12 experiment registry
 //   - cmd/logitdynd      — the long-running analysis daemon
+//   - cmd/logitsweep     — run a sweep grid against the store directly
 //   - cmd/experiments    — regenerate the EXPERIMENTS.md tables
 //   - cmd/mixtime        — analyze one game at one β
 //   - cmd/logitsim       — trajectory simulation

@@ -1,0 +1,10 @@
+//go:build race
+
+package service_test
+
+// raceEnabled reports that this binary was built with -race; the
+// 48-point sweep acceptance test exceeds its polling deadline under the
+// detector's slowdown on small CI hosts, so it runs only in normal mode
+// (the sweep-job lifecycle and store read-through tests still cover the
+// same concurrent paths under race).
+const raceEnabled = true

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"logitdyn/internal/serialize"
 	"logitdyn/internal/sim"
 	"logitdyn/internal/spec"
+	"logitdyn/internal/store"
 )
 
 // maxRequestBytes bounds request bodies; an explicit 4096-profile table
@@ -48,8 +50,15 @@ type Config struct {
 	Workers int
 	// MaxBatch caps items per batch request; 0 means 256.
 	MaxBatch int
+	// MaxSweepPoints caps how many grid points one sweep job may expand to;
+	// 0 means sweep.DefaultMaxPoints.
+	MaxSweepPoints int
 	// Limits bounds request sizes; the zero value means spec.DefaultLimits.
 	Limits spec.Limits
+	// Store, when non-nil, is the persistent second cache tier: memory
+	// misses read through to it, and every completed analysis is written
+	// back, so reports survive daemon restarts and sweeps resume for free.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -73,22 +82,31 @@ type Service struct {
 	start time.Time
 
 	reqAnalyze, reqBatch, reqSimulate atomic.Uint64
-	reqHealthz, reqMetrics            atomic.Uint64
+	reqHealthz, reqMetrics, reqSweeps atomic.Uint64
 	analyses, simulations             atomic.Uint64
 	// Per-backend analysis counters: which linear-algebra backend actually
 	// ran each performed (non-cached) analysis.
 	analysesDense, analysesSparse, analysesMatFree atomic.Uint64
 	analysesFailed                                 atomic.Uint64
+	// Store-tier counters: memory-cache misses served by the persistent
+	// store vs misses that had to run an analysis.
+	storeTierHits, storeTierMisses atomic.Uint64
+
+	// Async sweep jobs, keyed by id.
+	sweepMu  sync.Mutex
+	sweeps   map[string]*sweepJob
+	sweepSeq atomic.Uint64
 }
 
 // New builds a Service from the config.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheSize),
-		pool:  NewPool(cfg.Workers),
-		start: time.Now(),
+		cfg:    cfg,
+		cache:  NewCache(cfg.CacheSize),
+		pool:   NewPool(cfg.Workers),
+		start:  time.Now(),
+		sweeps: make(map[string]*sweepJob),
 	}
 }
 
@@ -98,6 +116,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepCreate)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return recoverJSON(mux)
@@ -222,13 +244,8 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 // buildSafely runs a game constructor, converting constructor panics
 // (graph.Ring on n < 3, negative random-potential scales, …) into request
 // errors instead of dropped connections.
-func buildSafely(build func() (game.Game, error)) (g game.Game, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("invalid game: %v", r)
-		}
-	}()
-	return build()
+func buildSafely(build func() (game.Game, error)) (game.Game, error) {
+	return spec.SafeBuild(build)
 }
 
 // buildGame resolves the request's game source against the limits of the
@@ -316,18 +333,35 @@ func (s *Service) materialize(g game.Game) *game.TableGame {
 	return game.MaterializePar(g, par)
 }
 
+// evalSource says which tier served an analysis.
+type evalSource string
+
+const (
+	sourceMemory   evalSource = "memory"   // LRU hit or singleflight join
+	sourceStore    evalSource = "store"    // persistent-store read-through
+	sourceAnalyzed evalSource = "analyzed" // a fresh analysis ran
+)
+
 // analyzeBuilt is the shared serving path once the game is built and
 // digested; β-sweeps reuse one digest across all their items.
 func (s *Service) analyzeBuilt(g game.Game, digest [32]byte, name string, beta, eps float64, maxT int64, backend string) (*AnalyzeResponse, error) {
+	resp, _, err := s.analyzeBuiltTier(g, digest, name, beta, eps, maxT, backend)
+	return resp, err
+}
+
+// analyzeBuiltTier is analyzeBuilt plus tier attribution: the lookup walks
+// LRU → persistent store → fresh analysis, and reports which tier
+// answered.
+func (s *Service) analyzeBuiltTier(g game.Game, digest [32]byte, name string, beta, eps float64, maxT int64, backend string) (*AnalyzeResponse, evalSource, error) {
 	if err := s.cfg.Limits.CheckBeta(beta); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	// Resolve auto before keying: an omitted backend and the explicit
 	// backend it resolves to are the same analysis (the fixed Lanczos seed
 	// makes the reports bit-identical), so they must share one cache slot.
 	b, err := logit.ParseBackend(backend)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	size := game.SpaceOf(g).Size()
 	resolved := b.Resolve(size, s.cfg.Limits.MaxProfiles)
@@ -341,7 +375,20 @@ func (s *Service) analyzeBuilt(g game.Game, digest [32]byte, name string, beta, 
 	// budget never changes the report (linalg's parallel reductions use
 	// fixed block boundaries), so Parallel must not split cache slots.
 	key := KeyFrom(digest, beta, opts)
+	// fromStore is written at most once, by the one goroutine singleflight
+	// lets into the miss function, and read only after Do returns.
+	fromStore := false
 	rep, cached, err := s.cache.Do(key, func() (*core.Report, error) {
+		// Memory miss: the persistent store is the second tier. A stored
+		// report is decode-validated (fail-closed) before it is trusted.
+		if s.cfg.Store != nil {
+			if doc, ok := s.cfg.Store.Get(key); ok {
+				s.storeTierHits.Add(1)
+				fromStore = true
+				return doc.Report(), nil
+			}
+			s.storeTierMisses.Add(1)
+		}
 		var rep *core.Report
 		var aerr error
 		s.pool.Run(func() {
@@ -364,16 +411,30 @@ func (s *Service) analyzeBuilt(g game.Game, digest [32]byte, name string, beta, 
 		// sums to the total.
 		s.analyses.Add(1)
 		s.countBackend(rep.Backend)
+		// Write-through: persistence failures only cost durability, never
+		// the response (the store counts them).
+		if s.cfg.Store != nil {
+			_ = s.cfg.Store.Put(key, serialize.FromReport(rep, name, opts.Eps))
+		}
 		return rep, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, "", err
+	}
+	src := sourceAnalyzed
+	switch {
+	case cached:
+		src = sourceMemory
+	case fromStore:
+		src = sourceStore
 	}
 	return &AnalyzeResponse{
-		Key:    key,
-		Cached: cached,
+		Key: key,
+		// Cached covers every tier that skipped the analysis: memory hit,
+		// singleflight join, or persistent-store read-through.
+		Cached: cached || fromStore,
 		Report: serialize.FromReport(rep, name, opts.Eps),
-	}, nil
+	}, src, nil
 }
 
 // countBackend attributes one performed analysis to the backend that ran.
@@ -572,8 +633,20 @@ type RequestMetrics struct {
 	Analyze  uint64 `json:"analyze"`
 	Batch    uint64 `json:"batch"`
 	Simulate uint64 `json:"simulate"`
+	Sweeps   uint64 `json:"sweeps"`
 	Healthz  uint64 `json:"healthz"`
 	Metrics  uint64 `json:"metrics"`
+}
+
+// StoreTierMetrics describes the persistent second cache tier: how often
+// memory misses were served from disk vs had to analyze, plus the store's
+// own counters.
+type StoreTierMetrics struct {
+	// Hits counts memory-cache misses the store answered without a new
+	// analysis; Misses counts memory misses that went on to analyze.
+	Hits   uint64        `json:"hits"`
+	Misses uint64        `json:"misses"`
+	Store  store.Metrics `json:"store"`
 }
 
 // WorkMetrics counts heavy work through the pool.
@@ -608,26 +681,40 @@ type BackendMetrics struct {
 	MatFree uint64 `json:"matfree"`
 }
 
-// MetricsDoc is the /metrics response.
+// MetricsDoc is the /metrics response. Cache is the in-memory tier; Store
+// is the persistent tier (nil when the daemon runs without one).
 type MetricsDoc struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Requests      RequestMetrics `json:"requests"`
-	Cache         CacheMetrics   `json:"cache"`
-	Work          WorkMetrics    `json:"work"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      RequestMetrics    `json:"requests"`
+	Cache         CacheMetrics      `json:"cache"`
+	Store         *StoreTierMetrics `json:"store,omitempty"`
+	Work          WorkMetrics       `json:"work"`
+	Sweeps        SweepGauges       `json:"sweep_jobs"`
 }
 
 // Metrics snapshots the service counters.
 func (s *Service) Metrics() MetricsDoc {
+	var storeTier *StoreTierMetrics
+	if s.cfg.Store != nil {
+		storeTier = &StoreTierMetrics{
+			Hits:   s.storeTierHits.Load(),
+			Misses: s.storeTierMisses.Load(),
+			Store:  s.cfg.Store.Metrics(),
+		}
+	}
 	return MetricsDoc{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests: RequestMetrics{
 			Analyze:  s.reqAnalyze.Load(),
 			Batch:    s.reqBatch.Load(),
 			Simulate: s.reqSimulate.Load(),
+			Sweeps:   s.reqSweeps.Load(),
 			Healthz:  s.reqHealthz.Load(),
 			Metrics:  s.reqMetrics.Load(),
 		},
-		Cache: s.cache.Metrics(),
+		Cache:  s.cache.Metrics(),
+		Store:  storeTier,
+		Sweeps: s.sweepGauges(),
 		Work: WorkMetrics{
 			AnalysesPerformed: s.analyses.Load(),
 			AnalysesByBackend: BackendMetrics{

@@ -1,0 +1,290 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"logitdyn/internal/service"
+	"logitdyn/internal/spec"
+	"logitdyn/internal/store"
+	"logitdyn/internal/sweep"
+)
+
+// acceptanceGrid is the issue's acceptance shape: a 3-axis sweep
+// (game × n × β) with 3·2·8 = 48 grid points, every game small enough for
+// the dense exact route so the test stays fast.
+func acceptanceGrid() map[string]any {
+	return map[string]any{
+		"name": "acceptance",
+		"axes": map[string]any{
+			"game": []string{"doublewell", "asymwell", "dominant"},
+			"n":    []int{6, 8},
+			"beta": map[string]any{"from": 0.5, "to": 4, "steps": 8},
+		},
+		"base": map[string]any{"c": 2, "delta1": 1, "depth": 3, "shallow": 1, "m": 2},
+	}
+}
+
+func waitSweepDone(t *testing.T, base, id string) service.SweepStatusDoc {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc service.SweepStatusDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch doc.Status {
+		case "done", "failed", "cancelled":
+			return doc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s still %q after deadline (done %d/%d)", id, doc.Status, doc.Done, doc.Points)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func rowsJSON(t *testing.T, rows []sweep.Row) string {
+	t.Helper()
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// The issue's acceptance criterion through the job API: POST a 48-point
+// 3-axis sweep, poll to completion, then run the identical sweep on a
+// FRESH daemon sharing only the store directory — it must complete with
+// zero re-analyses (store hits only) and a byte-identical row table.
+func TestSweepJobAcceptance48Points(t *testing.T) {
+	if raceEnabled {
+		t.Skip("48 dense analyses exceed the poll deadline under -race; the lifecycle and read-through tests cover these paths there")
+	}
+	dir := t.TempDir()
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := startServer(t, service.Config{Store: st1})
+
+	var created service.SweepCreatedDoc
+	status, raw := postJSON(t, srv1.URL+"/v1/sweeps", acceptanceGrid(), nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d: %s", status, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Points != 48 {
+		t.Fatalf("grid expanded to %d points, want 48", created.Points)
+	}
+	doc1 := waitSweepDone(t, srv1.URL, created.ID)
+	if doc1.Status != "done" {
+		t.Fatalf("sweep ended %q (%s)", doc1.Status, doc1.Error)
+	}
+	if doc1.Done != 48 || len(doc1.Rows) != 48 {
+		t.Fatalf("done %d rows %d, want 48/48", doc1.Done, len(doc1.Rows))
+	}
+	for _, row := range doc1.Rows {
+		if row.Error != "" {
+			t.Fatalf("row %d failed: %s", row.Point, row.Error)
+		}
+	}
+	if doc1.Stats.Analyzed == 0 {
+		t.Fatalf("cold sweep reports no analyses: %+v", doc1.Stats)
+	}
+	// The store now holds every unique report.
+	if st1.Len() != doc1.Stats.Unique {
+		t.Fatalf("store holds %d entries, want %d unique", st1.Len(), doc1.Stats.Unique)
+	}
+
+	// Fresh daemon, cold memory, same store directory: restart survival.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := startServer(t, service.Config{Store: st2})
+	status, raw = postJSON(t, srv2.URL+"/v1/sweeps", acceptanceGrid(), nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST 2 = %d: %s", status, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &created); err != nil {
+		t.Fatal(err)
+	}
+	doc2 := waitSweepDone(t, srv2.URL, created.ID)
+	if doc2.Status != "done" {
+		t.Fatalf("warm sweep ended %q (%s)", doc2.Status, doc2.Error)
+	}
+	if doc2.Stats.Analyzed != 0 {
+		t.Fatalf("warm sweep re-analyzed %d points: %+v", doc2.Stats.Analyzed, doc2.Stats)
+	}
+	if doc2.Stats.StoreHits != doc1.Stats.Unique {
+		t.Fatalf("warm sweep store hits %d, want %d", doc2.Stats.StoreHits, doc1.Stats.Unique)
+	}
+	if rowsJSON(t, doc1.Rows) != rowsJSON(t, doc2.Rows) {
+		t.Fatal("warm aggregate rows differ from cold run")
+	}
+
+	// The daemon's store tier shows up in /metrics.
+	m := getMetrics(t, srv2.URL)
+	if m.Store == nil || m.Store.Hits == 0 {
+		t.Fatalf("metrics missing store tier: %+v", m.Store)
+	}
+}
+
+// Two-tier read-through on the plain analyze path: a fresh daemon sharing
+// the store serves a previously-analyzed request as a cache hit without
+// re-running the analysis, and the response report is identical.
+func TestAnalyzeReadsThroughPersistentStore(t *testing.T) {
+	dir := t.TempDir()
+	req := service.AnalyzeRequest{
+		Spec: &spec.Spec{Game: "doublewell", N: 8, C: 2, Delta1: 1},
+		Beta: 1.25,
+	}
+
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := startServer(t, service.Config{Store: st1})
+	var resp1 service.AnalyzeResponse
+	if status, raw := postJSON(t, srv1.URL+"/v1/analyze", req, &resp1); status != http.StatusOK {
+		t.Fatalf("analyze 1 = %d: %s", status, raw)
+	}
+	if resp1.Cached {
+		t.Fatal("first analysis claims cached")
+	}
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := startServer(t, service.Config{Store: st2})
+	var resp2 service.AnalyzeResponse
+	if status, raw := postJSON(t, srv2.URL+"/v1/analyze", req, &resp2); status != http.StatusOK {
+		t.Fatalf("analyze 2 = %d: %s", status, raw)
+	}
+	if !resp2.Cached {
+		t.Fatal("store-backed replay was not served as cached")
+	}
+	if resp2.Key != resp1.Key {
+		t.Fatalf("keys diverge across daemons: %s vs %s", resp1.Key, resp2.Key)
+	}
+	b1, _ := json.Marshal(resp1.Report)
+	b2, _ := json.Marshal(resp2.Report)
+	if string(b1) != string(b2) {
+		t.Fatalf("store round-trip changed the report:\n%s\nvs\n%s", b1, b2)
+	}
+	m := getMetrics(t, srv2.URL)
+	if m.Store == nil || m.Store.Hits != 1 || m.Work.AnalysesPerformed != 0 {
+		t.Fatalf("second daemon should have served from store only: store=%+v work=%+v", m.Store, m.Work)
+	}
+}
+
+// DELETE cancels a running sweep; unknown ids are 404s; malformed and
+// oversized grids are synchronous 400s.
+func TestSweepJobLifecycleAndValidation(t *testing.T) {
+	srv := startServer(t, service.Config{MaxSweepPoints: 64})
+
+	// Malformed grid: no beta axis.
+	if status, raw := postJSON(t, srv.URL+"/v1/sweeps", map[string]any{"axes": map[string]any{}}, nil); status != http.StatusBadRequest {
+		t.Fatalf("no-beta grid = %d: %s", status, raw)
+	}
+	// Oversized grid.
+	big := map[string]any{"axes": map[string]any{
+		"n":    []int{6, 8, 10, 12},
+		"beta": map[string]any{"from": 0.1, "to": 4, "steps": 32},
+	}, "base": map[string]any{"game": "doublewell", "c": 2, "delta1": 1}}
+	if status, raw := postJSON(t, srv.URL+"/v1/sweeps", big, nil); status != http.StatusBadRequest || !strings.Contains(raw, "cap") {
+		t.Fatalf("128-point grid over a 64 cap = %d: %s", status, raw)
+	}
+	// Unknown id.
+	resp, err := http.Get(srv.URL + "/v1/sweeps/swp-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown sweep = %d", resp.StatusCode)
+	}
+
+	// Start a real job, cancel it, and check it reaches a terminal state.
+	var created service.SweepCreatedDoc
+	status, raw := postJSON(t, srv.URL+"/v1/sweeps", acceptanceGrid(), nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST = %d: %s", status, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &created); err != nil {
+		t.Fatal(err)
+	}
+	delReq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sweeps/"+created.ID, nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", delResp.StatusCode)
+	}
+	doc := waitSweepDone(t, srv.URL, created.ID)
+	if doc.Status != "cancelled" && doc.Status != "done" {
+		t.Fatalf("cancelled sweep ended %q", doc.Status)
+	}
+
+	// The registry lists the job.
+	listResp, err := http.Get(srv.URL + "/v1/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list service.SweepListDoc
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(list.Sweeps) == 0 {
+		t.Fatal("GET /v1/sweeps lists nothing")
+	}
+	found := false
+	for _, sd := range list.Sweeps {
+		if sd.ID == created.ID {
+			found = true
+			if len(sd.Rows) != 0 {
+				t.Fatal("list view should not carry rows")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("job %s missing from list", created.ID)
+	}
+}
+
+// The satellite fix: a malformed spec that used to panic inside a graph
+// constructor (ring needs n >= 3) must surface as a 400 validation error,
+// not a recovered 500.
+func TestMalformedSpecIs400Not500(t *testing.T) {
+	srv := startServer(t, service.Config{})
+	cases := []service.AnalyzeRequest{
+		{Spec: &spec.Spec{Game: "ising", Graph: "ring", N: 2, Delta1: 1}, Beta: 1},
+		{Spec: &spec.Spec{Game: "graphical", Graph: "star", N: 1, Delta0: 3, Delta1: 2}, Beta: 1},
+		{Spec: &spec.Spec{Game: "ising", Graph: "torus", Rows: 2, Cols: 2, Delta1: 1}, Beta: 1},
+		{Spec: &spec.Spec{Game: "random", N: 0, M: 2}, Beta: 1},
+	}
+	for _, req := range cases {
+		status, raw := postJSON(t, srv.URL+"/v1/analyze", req, nil)
+		if status != http.StatusBadRequest {
+			t.Fatalf("spec %+v = %d (want 400): %s", req.Spec, status, raw)
+		}
+		if !strings.Contains(raw, "spec:") {
+			t.Fatalf("error does not name the validation: %s", raw)
+		}
+	}
+}

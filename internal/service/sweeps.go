@@ -1,0 +1,322 @@
+// The async sweep job API: POST /v1/sweeps starts a grid sweep as a
+// background job that evaluates every point through the service's own
+// cache → store → analyze tiers (so sweeps share the worker-token budget
+// with live traffic and warm both cache tiers for it), GET streams status
+// and partial results, DELETE cancels. Jobs live for the daemon's
+// lifetime; the persistent store is what survives restarts — re-POSTing a
+// finished grid costs store reads only.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"logitdyn/internal/sweep"
+)
+
+// sweepJob is one background sweep run.
+type sweepJob struct {
+	id      string
+	created time.Time
+	cancel  context.CancelFunc
+
+	// mu guards everything below; rows arrive from runner workers while
+	// GET handlers snapshot.
+	mu     sync.Mutex
+	status string // "running" | "done" | "cancelled" | "failed"
+	points int
+	rows   []sweep.Row // completed rows in completion order
+	stats  sweep.RunStats
+	result *sweep.Result
+	errMsg string
+}
+
+// SweepStatusDoc is the wire form of a sweep job's state.
+type SweepStatusDoc struct {
+	ID      string `json:"id"`
+	Status  string `json:"status"`
+	Error   string `json:"error,omitempty"`
+	Created string `json:"created"`
+	// Points is the full grid size; Done counts points with a final row.
+	Points int            `json:"points"`
+	Done   int            `json:"done"`
+	Stats  sweep.RunStats `json:"stats"`
+	// Rows are the completed rows so far (point order); on a finished job
+	// this is the full deterministic aggregate table.
+	Rows []sweep.Row `json:"rows,omitempty"`
+}
+
+// SweepCreatedDoc answers POST /v1/sweeps.
+type SweepCreatedDoc struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Points int    `json:"points"`
+}
+
+// SweepGauges are the /metrics gauges for the job registry.
+type SweepGauges struct {
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Cancelled int `json:"cancelled"`
+	Failed    int `json:"failed"`
+}
+
+func (s *Service) sweepGauges() SweepGauges {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	var g SweepGauges
+	for _, j := range s.sweeps {
+		j.mu.Lock()
+		switch j.status {
+		case "running":
+			g.Running++
+		case "done":
+			g.Done++
+		case "cancelled":
+			g.Cancelled++
+		case "failed":
+			g.Failed++
+		}
+		j.mu.Unlock()
+	}
+	return g
+}
+
+// sweepEval routes one unique sweep job through the service's tiered
+// serving path, so daemon sweeps and live /v1/analyze traffic share the
+// cache, the store, the singleflight layer and the worker-token pool.
+func (s *Service) sweepEval(g *sweep.Grid) sweep.Eval {
+	return func(j *sweep.Job) (sweep.Outcome, error) {
+		// Rebuild the table here rather than holding one per prepared
+		// point: same cost profile as /v1/analyze, which materializes
+		// before its cache lookup too.
+		table, err := j.Materialize()
+		if err != nil {
+			return sweep.Outcome{}, err
+		}
+		resp, src, err := s.analyzeBuiltTier(
+			table, j.Digest, j.Spec.Game, j.Beta, g.Eps, g.MaxT, g.Backend)
+		if err != nil {
+			return sweep.Outcome{}, err
+		}
+		if resp.Key != j.Key {
+			// The sweep runner and the serving path derive keys from the
+			// same digest and normalized options; a mismatch means the
+			// derivations drifted and dedup/resume guarantees are void.
+			return sweep.Outcome{}, fmt.Errorf("internal error: sweep key %s != serving key %s", j.Key, resp.Key)
+		}
+		out := sweep.Outcome{Doc: resp.Report}
+		switch src {
+		case sourceMemory:
+			out.Source = sweep.SourceCache
+		case sourceStore:
+			out.Source = sweep.SourceStore
+		default:
+			out.Source = sweep.SourceAnalyzed
+		}
+		return out, nil
+	}
+}
+
+func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	s.reqSweeps.Add(1)
+	var grid sweep.Grid
+	if err := decodeBody(w, r, &grid); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Validate and size the grid synchronously so a malformed or oversized
+	// sweep is a 400, not a background job that dies instantly.
+	points, err := grid.Points(s.cfg.MaxSweepPoints)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &sweepJob{
+		id:      fmt.Sprintf("swp-%06d", s.sweepSeq.Add(1)),
+		created: time.Now(),
+		cancel:  cancel,
+		status:  "running",
+		points:  points,
+	}
+	s.sweepMu.Lock()
+	s.sweeps[job.id] = job
+	s.pruneSweepsLocked()
+	s.sweepMu.Unlock()
+
+	runner := &sweep.Runner{
+		Eval:      s.sweepEval(&grid),
+		Limits:    s.cfg.Limits,
+		Workers:   s.pool.Workers(),
+		MaxPoints: s.cfg.MaxSweepPoints,
+		OnRow: func(row sweep.Row) {
+			job.mu.Lock()
+			job.rows = append(job.rows, row)
+			job.mu.Unlock()
+		},
+		// Live stats for GET while the run is in flight; the final
+		// assignment below overwrites with the authoritative totals.
+		OnProgress: func(st sweep.RunStats) {
+			job.mu.Lock()
+			job.stats = st
+			job.mu.Unlock()
+		},
+	}
+	go func() {
+		// The job goroutine has no recoverJSON above it: a panic here would
+		// kill the daemon and every live request with it. The runner
+		// already contains per-point panics; this contains its own.
+		defer func() {
+			if rec := recover(); rec != nil {
+				cancel()
+				job.mu.Lock()
+				job.status = "failed"
+				job.errMsg = fmt.Sprintf("sweep panicked: %v", rec)
+				job.mu.Unlock()
+			}
+		}()
+		res, stats, runErr := runner.Run(ctx, &grid)
+		cancel()
+		job.mu.Lock()
+		defer job.mu.Unlock()
+		job.stats = stats
+		job.result = res
+		// result.Rows is the table from here on; the completion-order
+		// copy would double every finished job's footprint.
+		job.rows = nil
+		switch {
+		case errors.Is(runErr, context.Canceled):
+			job.status = "cancelled"
+		case runErr != nil:
+			job.status = "failed"
+			job.errMsg = runErr.Error()
+		default:
+			job.status = "done"
+		}
+	}()
+
+	writeJSON(w, http.StatusAccepted, SweepCreatedDoc{ID: job.id, Status: "running", Points: points})
+}
+
+// maxRetainedSweeps bounds the job registry: beyond it, the oldest
+// finished jobs (their tables included) are dropped — the persistent
+// store, not the registry, is the durable record.
+const maxRetainedSweeps = 128
+
+// pruneSweepsLocked evicts the oldest terminal jobs over the retention
+// cap; running jobs are never touched. Caller holds sweepMu.
+func (s *Service) pruneSweepsLocked() {
+	if len(s.sweeps) <= maxRetainedSweeps {
+		return
+	}
+	ids := make([]string, 0, len(s.sweeps))
+	for id := range s.sweeps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // sequential ids: lexicographic == chronological
+	for _, id := range ids {
+		if len(s.sweeps) <= maxRetainedSweeps {
+			return
+		}
+		j := s.sweeps[id]
+		j.mu.Lock()
+		terminal := j.status != "running"
+		j.mu.Unlock()
+		if terminal {
+			delete(s.sweeps, id)
+		}
+	}
+}
+
+func (s *Service) lookupSweep(id string) *sweepJob {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	return s.sweeps[id]
+}
+
+// statusDoc snapshots a job for the wire; withRows elides the row copy
+// for list views, which would otherwise pay an O(rows log rows) copy+sort
+// per job per poll under the same lock the runner's OnRow needs.
+func (j *sweepJob) statusDoc(withRows bool) SweepStatusDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := SweepStatusDoc{
+		ID:      j.id,
+		Status:  j.status,
+		Error:   j.errMsg,
+		Created: j.created.UTC().Format(time.RFC3339),
+		Points:  j.points,
+		Done:    len(j.rows),
+		Stats:   j.stats,
+	}
+	if j.result != nil {
+		// Finished: the runner's result is the deterministic table.
+		doc.Done = len(j.result.Rows)
+		if withRows {
+			doc.Rows = j.result.Rows
+		}
+		return doc
+	}
+	if withRows {
+		// In flight: completed rows so far, re-sorted into point order.
+		doc.Rows = append([]sweep.Row(nil), j.rows...)
+		sort.Slice(doc.Rows, func(a, b int) bool { return doc.Rows[a].Point < doc.Rows[b].Point })
+	}
+	return doc
+}
+
+func (s *Service) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	s.reqSweeps.Add(1)
+	job := s.lookupSweep(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.statusDoc(true))
+}
+
+func (s *Service) handleSweepDelete(w http.ResponseWriter, r *http.Request) {
+	s.reqSweeps.Add(1)
+	job := s.lookupSweep(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", r.PathValue("id")))
+		return
+	}
+	job.cancel()
+	job.mu.Lock()
+	if job.status == "running" {
+		job.status = "cancelled"
+	}
+	status := job.status
+	job.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"id": job.id, "status": status})
+}
+
+// SweepListDoc answers GET /v1/sweeps: every job, newest first, without
+// rows.
+type SweepListDoc struct {
+	Sweeps []SweepStatusDoc `json:"sweeps"`
+}
+
+func (s *Service) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	s.reqSweeps.Add(1)
+	s.sweepMu.Lock()
+	jobs := make([]*sweepJob, 0, len(s.sweeps))
+	for _, j := range s.sweeps {
+		jobs = append(jobs, j)
+	}
+	s.sweepMu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id > jobs[b].id })
+	doc := SweepListDoc{Sweeps: make([]SweepStatusDoc, 0, len(jobs))}
+	for _, j := range jobs {
+		doc.Sweeps = append(doc.Sweeps, j.statusDoc(false))
+	}
+	writeJSON(w, http.StatusOK, doc)
+}

@@ -43,8 +43,29 @@ type Spec struct {
 	Seed uint64 `json:"seed,omitempty"`
 }
 
-// BuildGraph constructs the social graph named by the spec.
+// SafeBuild runs a game-producing constructor and converts any panic it
+// raises into an error. Spec validation catches bad sizes before the
+// panicky constructors run, but untrusted entry points (the daemon, the
+// sweep runner) wrap every build in this as defense in depth: a panic on
+// a request path must become a request error, never a crashed process.
+func SafeBuild(build func() (game.Game, error)) (g game.Game, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("invalid game: %v", r)
+		}
+	}()
+	return build()
+}
+
+// BuildGraph constructs the social graph named by the spec. Sizes are
+// validated here, fail-closed, BEFORE any constructor runs: the graph
+// constructors panic on bad shapes (their contract with trusted callers),
+// and an untrusted entry point must get a validation error it can map to
+// a 400, never a panic it can only map to a 500.
 func (s Spec) BuildGraph() (*graph.Graph, error) {
+	if err := s.validateGraph(); err != nil {
+		return nil, err
+	}
 	switch s.Graph {
 	case "ring":
 		return graph.Ring(s.N), nil
@@ -70,6 +91,42 @@ func (s Spec) BuildGraph() (*graph.Graph, error) {
 	default:
 		return nil, fmt.Errorf("spec: unknown graph %q (ring|path|clique|star|grid|torus|tree|hypercube|er)", s.Graph)
 	}
+}
+
+// validateGraph mirrors each graph constructor's size preconditions as
+// returned errors.
+func (s Spec) validateGraph() error {
+	switch s.Graph {
+	case "ring":
+		if s.N < 3 {
+			return fmt.Errorf("spec: ring needs n >= 3, got %d", s.N)
+		}
+	case "path", "clique", "er":
+		if s.N < 1 {
+			return fmt.Errorf("spec: %s needs n >= 1, got %d", s.Graph, s.N)
+		}
+	case "star":
+		if s.N < 2 {
+			return fmt.Errorf("spec: star needs n >= 2, got %d", s.N)
+		}
+	case "grid":
+		if s.Rows < 1 || s.Cols < 1 {
+			return fmt.Errorf("spec: grid needs rows, cols >= 1, got %dx%d", s.Rows, s.Cols)
+		}
+	case "torus":
+		if s.Rows < 3 || s.Cols < 3 {
+			return fmt.Errorf("spec: torus needs rows, cols >= 3, got %dx%d", s.Rows, s.Cols)
+		}
+	case "tree":
+		if s.N < 1 {
+			return fmt.Errorf("spec: tree needs levels >= 1, got %d", s.N)
+		}
+	case "hypercube":
+		if s.N < 1 {
+			return fmt.Errorf("spec: hypercube needs dimension >= 1, got %d", s.N)
+		}
+	}
+	return nil
 }
 
 // Build constructs the game named by the spec.
@@ -113,6 +170,17 @@ func (s Spec) Build() (game.Game, error) {
 		}
 		return game.NewRandomWeightedGraphical(g, 0.5, 2.5, rng.New(s.Seed))
 	case "random":
+		// Validate before the eager tabulating constructor, which panics on
+		// degenerate shapes.
+		if s.N < 1 {
+			return nil, fmt.Errorf("spec: random needs n >= 1, got %d", s.N)
+		}
+		if s.M < 1 {
+			return nil, fmt.Errorf("spec: random needs m >= 1, got %d", s.M)
+		}
+		if s.Scale < 0 {
+			return nil, fmt.Errorf("spec: random needs scale >= 0, got %v", s.Scale)
+		}
 		sizes := make([]int, s.N)
 		for i := range sizes {
 			sizes[i] = s.M

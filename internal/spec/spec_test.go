@@ -100,6 +100,63 @@ func TestBuildGamePropagatesValidation(t *testing.T) {
 	}
 }
 
+// Undersized shapes must come back as validation ERRORS — the graph
+// constructors panic on them, and a serving layer can only turn errors
+// (not panics) into 400s.
+func TestBuildGraphRejectsBadSizesWithoutPanicking(t *testing.T) {
+	bad := []Spec{
+		{Graph: "ring", N: 2},
+		{Graph: "ring", N: 0},
+		{Graph: "ring", N: -7},
+		{Graph: "path", N: 0},
+		{Graph: "clique", N: 0},
+		{Graph: "star", N: 1},
+		{Graph: "grid", Rows: 0, Cols: 3},
+		{Graph: "grid", Rows: 2, Cols: -1},
+		{Graph: "torus", Rows: 2, Cols: 3},
+		{Graph: "tree", N: 0},
+		{Graph: "hypercube", N: 0},
+		{Graph: "er", N: 0},
+	}
+	for _, s := range bad {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s n=%d rows=%d cols=%d: panicked: %v", s.Graph, s.N, s.Rows, s.Cols, r)
+				}
+			}()
+			if _, err := s.BuildGraph(); err == nil {
+				t.Errorf("%s n=%d rows=%d cols=%d: no error", s.Graph, s.N, s.Rows, s.Cols)
+			}
+		}()
+	}
+}
+
+// The same contract for families that reach a graph constructor or an
+// eager tabulator through Build.
+func TestBuildRejectsBadSizesWithoutPanicking(t *testing.T) {
+	bad := []Spec{
+		{Game: "ising", Graph: "ring", N: 2, Delta1: 1},
+		{Game: "graphical", Graph: "star", N: 1, Delta0: 3, Delta1: 2},
+		{Game: "weighted", Graph: "torus", Rows: 1, Cols: 5, Seed: 1},
+		{Game: "random", N: 0, M: 2},
+		{Game: "random", N: 2, M: 0},
+		{Game: "random", N: 2, M: 2, Scale: -1},
+	}
+	for _, s := range bad {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: panicked: %v", s.Game, r)
+				}
+			}()
+			if _, err := s.Build(); err == nil {
+				t.Errorf("%s (%+v): no error", s.Game, s)
+			}
+		}()
+	}
+}
+
 func TestRandomGameDefaultScale(t *testing.T) {
 	g, err := Spec{Game: "random", N: 2, M: 2, Seed: 1}.Build()
 	if err != nil {

@@ -1,0 +1,419 @@
+// Package store is the persistent, content-addressed report store: every
+// analysis report the system ever computes can be written to disk under
+// its canonical cache key (see key.go) and served again after a daemon
+// restart, which turns the in-memory LRU cache into the first tier of a
+// two-tier hierarchy and makes sweep runs resumable.
+//
+// Layout and durability. Entries live under root/<key[:2]>/<key>.json —
+// one file per report, sharded by key prefix so no directory grows
+// unbounded. Writes are atomic: the entry is written to a hidden temp file
+// in the same shard directory and renamed into place, so a crash never
+// leaves a half-written entry under a valid name. Each entry is a
+// versioned envelope carrying the serialize.ReportDoc payload plus a
+// SHA-256 checksum of the payload bytes; decode is fail-closed — a
+// truncated, corrupted or version-skewed entry is never served, it is
+// dropped (and deleted) as if it were a miss, so the worst a damaged disk
+// can do is cost one re-analysis.
+//
+// Eviction. An optional byte budget bounds the store: entries are tracked
+// in access order (seeded from file modification times at startup) and the
+// least-recently-used entries are deleted once the budget is exceeded.
+//
+// Concurrency. One Store is safe for concurrent use, and multiple Store
+// instances (or processes) may share a directory: Get always reads through
+// to disk on an index miss, temp names are unique per process, and rename
+// makes publication atomic, so concurrent writers at worst overwrite each
+// other with identical content.
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logitdyn/internal/serialize"
+)
+
+// EntryVersion tags the on-disk envelope format.
+const EntryVersion = 1
+
+// keyHexLen is the length of a canonical key (hex SHA-256).
+const keyHexLen = 64
+
+// Options tunes a Store.
+type Options struct {
+	// MaxBytes is the eviction budget: once the summed entry sizes exceed
+	// it, least-recently-used entries are deleted. 0 means unbounded.
+	// Accounting is per instance: the startup scan plus this instance's
+	// own Gets/Puts — entries another process writes into a shared
+	// directory are counted only once this instance reads them, so treat
+	// the budget as best-effort under multi-process sharing.
+	MaxBytes int64
+}
+
+// Store is a disk-backed, content-addressed report store. Construct with
+// Open; the zero value is not usable.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+
+	hits, misses, puts, evictions, corrupt, writeErrs atomic.Uint64
+	tmpSeq                                            atomic.Uint64
+}
+
+type indexEntry struct {
+	key  string
+	size int64
+}
+
+// entryDoc is the on-disk envelope. Report holds the exact payload bytes
+// the checksum was computed over, so corruption anywhere in the payload is
+// detectable even when the damage still parses as JSON.
+type entryDoc struct {
+	StoreVersion int             `json:"store_version"`
+	Key          string          `json:"key"`
+	SHA256       string          `json:"sha256"`
+	Report       json.RawMessage `json:"report"`
+}
+
+// ValidKey reports whether key has the canonical form (lowercase hex
+// SHA-256); the store refuses to read or write anything else so a
+// malicious key can never escape the store directory.
+func ValidKey(key string) bool {
+	if len(key) != keyHexLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Open creates (if needed) and scans the store directory: existing entries
+// seed the eviction index in modification-time order, leftover temp files
+// from crashed writers are removed, and the size budget is enforced.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: opts.MaxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+	type scanned struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var found []scanned
+	now := time.Now()
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			// A live temp file exists only for the instant between create
+			// and rename, but another process sharing this directory may be
+			// inside that instant right now — only files old enough to be a
+			// crashed writer's litter are swept.
+			if info, ierr := d.Info(); ierr == nil && now.Sub(info.ModTime()) > tmpMaxAge {
+				os.Remove(path)
+			}
+			return nil
+		}
+		key, ok := strings.CutSuffix(name, ".json")
+		if !ok || !ValidKey(key) {
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		found = append(found, scanned{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scan: %w", err)
+	}
+	// Oldest first, name-tiebroken so the seeded LRU order is deterministic;
+	// pushing each to the front leaves the newest entry most-recently-used.
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].mtime != found[j].mtime {
+			return found[i].mtime < found[j].mtime
+		}
+		return found[i].key < found[j].key
+	})
+	for _, f := range found {
+		s.items[f.key] = s.ll.PushFront(&indexEntry{key: f.key, size: f.size})
+		s.bytes += f.size
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+const tmpPrefix = ".tmp-"
+
+// tmpMaxAge is how old a temp file must be before a startup scan treats
+// it as crashed-writer litter rather than another process's in-flight
+// write.
+const tmpMaxAge = 10 * time.Minute
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// EncodeEntry wraps a report document in the store's versioned,
+// checksummed envelope.
+func EncodeEntry(key string, doc serialize.ReportDoc) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, fmt.Errorf("store: invalid key %q", key)
+	}
+	doc.Version = serialize.Version
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// The envelope is marshaled compact: encoding/json embeds the payload
+	// bytes verbatim only when no re-indentation happens, and the checksum
+	// must cover the payload exactly as a later decode will see it.
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(entryDoc{
+		StoreVersion: EntryVersion,
+		Key:          key,
+		SHA256:       hex.EncodeToString(sum[:]),
+		Report:       payload,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeEntry fail-closed-decodes one on-disk entry: the envelope must
+// parse, carry the supported version, name the expected key (when key is
+// non-empty), checksum-match its payload, and the payload itself must
+// decode as a supported report document. Any violation returns an error
+// and no document — a damaged entry is indistinguishable from a miss.
+func DecodeEntry(key string, data []byte) (serialize.ReportDoc, error) {
+	var env entryDoc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&env); err != nil {
+		return serialize.ReportDoc{}, fmt.Errorf("store: entry: %w", err)
+	}
+	if env.StoreVersion != EntryVersion {
+		return serialize.ReportDoc{}, fmt.Errorf("store: unsupported entry version %d", env.StoreVersion)
+	}
+	if !ValidKey(env.Key) {
+		return serialize.ReportDoc{}, fmt.Errorf("store: entry names invalid key %q", env.Key)
+	}
+	if key != "" && env.Key != key {
+		return serialize.ReportDoc{}, fmt.Errorf("store: entry names key %s, expected %s", env.Key, key)
+	}
+	if len(env.Report) == 0 {
+		return serialize.ReportDoc{}, fmt.Errorf("store: entry has no payload")
+	}
+	sum := sha256.Sum256(env.Report)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return serialize.ReportDoc{}, fmt.Errorf("store: entry checksum mismatch")
+	}
+	doc, err := serialize.DecodeReport(bytes.NewReader(env.Report))
+	if err != nil {
+		return serialize.ReportDoc{}, err
+	}
+	return doc, nil
+}
+
+// Get returns the stored report for key. A missing entry is (zero, false);
+// a damaged entry is dropped (deleted and counted) and reported as a miss,
+// never served. Get reads through to disk even when the in-memory index
+// has no record of the key, so entries written by another Store instance
+// on the same directory are found.
+func (s *Store) Get(key string) (serialize.ReportDoc, bool) {
+	if !ValidKey(key) {
+		s.misses.Add(1)
+		return serialize.ReportDoc{}, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		s.forget(key)
+		return serialize.ReportDoc{}, false
+	}
+	doc, derr := DecodeEntry(key, data)
+	if derr != nil {
+		// Fail closed: drop the damaged entry so the next Put heals it.
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		os.Remove(s.path(key))
+		s.forget(key)
+		return serialize.ReportDoc{}, false
+	}
+	s.hits.Add(1)
+	s.touch(key, int64(len(data)))
+	return doc, true
+}
+
+// Put writes the report under key atomically (temp file + rename in the
+// same directory) and enforces the size budget.
+func (s *Store) Put(key string, doc serialize.ReportDoc) error {
+	data, err := EncodeEntry(key, doc)
+	if err != nil {
+		return err
+	}
+	shard := filepath.Join(s.dir, key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := filepath.Join(shard, fmt.Sprintf("%s%s-%d-%d", tmpPrefix, key[:8], os.Getpid(), s.tmpSeq.Add(1)))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		os.Remove(tmp)
+		s.writeErrs.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	s.puts.Add(1)
+	s.touch(key, int64(len(data)))
+	return nil
+}
+
+// Delete removes an entry; missing entries are not an error.
+func (s *Store) Delete(key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	err := os.Remove(s.path(key))
+	s.forget(key)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// touch marks key most-recently-used with the given on-disk size,
+// inserting it if the index has no record, then enforces the budget.
+func (s *Store) touch(key string, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		ent := el.Value.(*indexEntry)
+		s.bytes += size - ent.size
+		ent.size = size
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&indexEntry{key: key, size: size})
+		s.bytes += size
+	}
+	s.evictLocked()
+}
+
+// forget drops key from the index without touching the file (the caller
+// already removed it or observed it gone).
+func (s *Store) forget(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.bytes -= el.Value.(*indexEntry).size
+		s.ll.Remove(el)
+		delete(s.items, key)
+	}
+}
+
+// evictLocked deletes least-recently-used entries until the budget holds.
+// The most-recently-used entry always survives, so one oversized report
+// cannot evict itself into a write-read miss loop.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes && s.ll.Len() > 1 {
+		oldest := s.ll.Back()
+		ent := oldest.Value.(*indexEntry)
+		s.ll.Remove(oldest)
+		delete(s.items, ent.key)
+		s.bytes -= ent.size
+		os.Remove(s.path(ent.key))
+		s.evictions.Add(1)
+	}
+}
+
+// Len is the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// SizeBytes is the summed size of the indexed entries.
+func (s *Store) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Metrics is a point-in-time snapshot of store behavior.
+type Metrics struct {
+	Entries   int   `json:"entries"`
+	SizeBytes int64 `json:"size_bytes"`
+	MaxBytes  int64 `json:"max_bytes,omitempty"`
+	// Hits counts Gets served from disk; Misses counts absent keys.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+	// Evictions counts entries deleted by the size budget;
+	// CorruptDropped counts damaged entries dropped by fail-closed decode.
+	Evictions      uint64 `json:"evictions"`
+	CorruptDropped uint64 `json:"corrupt_dropped"`
+	WriteErrors    uint64 `json:"write_errors"`
+}
+
+// Metrics snapshots the counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	entries, bytes := s.ll.Len(), s.bytes
+	s.mu.Unlock()
+	return Metrics{
+		Entries:        entries,
+		SizeBytes:      bytes,
+		MaxBytes:       s.maxBytes,
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Puts:           s.puts.Load(),
+		Evictions:      s.evictions.Load(),
+		CorruptDropped: s.corrupt.Load(),
+		WriteErrors:    s.writeErrs.Load(),
+	}
+}

@@ -1,0 +1,291 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"logitdyn/internal/serialize"
+)
+
+// testKey derives a syntactically valid (64-hex) key from a short label.
+func testKey(label string) string {
+	h := fmt.Sprintf("%x", []byte(label))
+	if len(h) > keyHexLen {
+		h = h[:keyHexLen]
+	}
+	return h + strings.Repeat("0", keyHexLen-len(h))
+}
+
+func testDoc(beta float64) serialize.ReportDoc {
+	return serialize.ReportDoc{
+		Version:         serialize.Version,
+		Game:            "test",
+		Beta:            serialize.Float(beta),
+		NumProfiles:     4,
+		Backend:         "dense",
+		MixingTimeExact: true,
+		MixingTime:      17,
+		SpectralLower:   serialize.Float(math.NaN()),
+		SpectralUpper:   serialize.Float(math.Inf(1)),
+		Stationary:      []float64{0.25, 0.25, 0.25, 0.25},
+	}
+}
+
+func TestStoreRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("roundtrip")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store returned a hit")
+	}
+	doc := testDoc(1.5)
+	if err := s.Put(key, doc); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if got.MixingTime != doc.MixingTime || float64(got.Beta) != 1.5 || !math.IsNaN(float64(got.SpectralLower)) {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	m := s.Metrics()
+	if m.Entries != 1 || m.Puts != 1 || m.Hits != 1 || m.Misses != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	// A fresh instance on the same directory (daemon restart) must index
+	// and serve the entry.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store indexed %d entries, want 1", s2.Len())
+	}
+	if got2, ok := s2.Get(key); !ok || got2.MixingTime != doc.MixingTime {
+		t.Fatalf("reopened store Get = (%+v, %v)", got2, ok)
+	}
+}
+
+// Damaged entries — truncated, bit-flipped, checksum-skewed, version-skewed
+// or outright garbage — must decode fail-closed: reported as a miss,
+// counted, deleted, and healed by the next Put.
+func TestStoreDamagedEntriesFailClosed(t *testing.T) {
+	damage := map[string]func(data []byte) []byte{
+		"truncated": func(d []byte) []byte { return d[:len(d)/2] },
+		"empty":     func(d []byte) []byte { return nil },
+		"garbage":   func(d []byte) []byte { return []byte("not json at all") },
+		"payload-bit-flip": func(d []byte) []byte {
+			return bytes.Replace(d, []byte(`"mixing_time":17`), []byte(`"mixing_time":71`), 1)
+		},
+		"version-skew": func(d []byte) []byte {
+			return bytes.Replace(d, []byte(`"store_version":1`), []byte(`"store_version":99`), 1)
+		},
+		"key-mismatch": func(d []byte) []byte { return bytes.Replace(d, []byte(testKey("damage")[:8]), []byte("deadbeef"), 1) },
+	}
+	for name, mutate := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey("damage")
+			if err := s.Put(key, testDoc(2)); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, key[:2], key+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(key); ok {
+				t.Fatal("damaged entry was served")
+			}
+			if got := s.Metrics().CorruptDropped; got != 1 {
+				t.Fatalf("CorruptDropped = %d, want 1", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("damaged entry not deleted: %v", err)
+			}
+			// The next Put heals the slot.
+			if err := s.Put(key, testDoc(2)); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || got.MixingTime != 17 {
+				t.Fatalf("healed Get = (%+v, %v)", got, ok)
+			}
+		})
+	}
+}
+
+// A crash between temp-write and rename leaves only a temp file; Open must
+// sweep it and never index it, and a half-written file under a valid entry
+// name (torn write) must fail closed like any other damage.
+func TestStorePartialWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("partial")
+	shard := filepath.Join(dir, key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(shard, tmpPrefix+"crashed-writer")
+	if err := os.WriteFile(tmp, []byte(`{"store_version":1,"key":"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Back-date the litter past the grace window that protects another
+	// process's in-flight write.
+	old := time.Now().Add(-2 * tmpMaxAge)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// A FRESH temp file (a concurrent writer mid-Put) must survive the scan.
+	live := filepath.Join(shard, tmpPrefix+"live-writer")
+	if err := os.WriteFile(live, []byte(`{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeEntry(key, testDoc(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(shard, key+".json")
+	if err := os.WriteFile(torn, data[:len(data)-40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived Open: %v", err)
+	}
+	if _, err := os.Stat(live); err != nil {
+		t.Fatalf("fresh temp file (possible live writer) was swept: %v", err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("torn entry was served")
+	}
+	if err := s.Put(key, testDoc(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("healed entry not served")
+	}
+}
+
+// Two Store instances sharing one directory (daemon + CLI is the real
+// deployment) with concurrent writers and readers: every key must end up
+// readable from both, with no panics, lost writes or torn reads.
+func TestStoreConcurrentWritersSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 24
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		inst := a
+		if w%2 == 1 {
+			inst = b
+		}
+		wg.Add(1)
+		go func(inst *Store, w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				key := testKey(fmt.Sprintf("conc-%d", i))
+				if err := inst.Put(key, testDoc(float64(i))); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+				}
+				inst.Get(key)
+			}
+		}(inst, w)
+	}
+	wg.Wait()
+	for i := 0; i < keys; i++ {
+		key := testKey(fmt.Sprintf("conc-%d", i))
+		for name, inst := range map[string]*Store{"a": a, "b": b} {
+			doc, ok := inst.Get(key)
+			if !ok {
+				t.Fatalf("instance %s lost key %d", name, i)
+			}
+			if float64(doc.Beta) != float64(i) {
+				t.Fatalf("instance %s key %d torn: beta %v", name, i, doc.Beta)
+			}
+		}
+	}
+}
+
+func TestStoreEvictionBySizeBudget(t *testing.T) {
+	dir := t.TempDir()
+	one, err := EncodeEntry(testKey("size-probe"), testDoc(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for ~3 entries.
+	s, err := Open(dir, Options{MaxBytes: int64(3*len(one) + len(one)/2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.Put(testKey(fmt.Sprintf("evict-%d", i)), testDoc(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if m.Evictions == 0 {
+		t.Fatal("no evictions under a tight budget")
+	}
+	if m.SizeBytes > m.MaxBytes {
+		t.Fatalf("size %d exceeds budget %d", m.SizeBytes, m.MaxBytes)
+	}
+	// LRU: the newest entry must survive, the oldest must be gone.
+	if _, ok := s.Get(testKey("evict-5")); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if _, ok := s.Get(testKey("evict-0")); ok {
+		t.Fatal("oldest entry survived a budget that fits 3")
+	}
+	// The budget also applies to entries found at Open.
+	s2, err := Open(dir, Options{MaxBytes: int64(len(one) + len(one)/2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() > 1 {
+		t.Fatalf("reopen kept %d entries over a 1-entry budget", s2.Len())
+	}
+}
+
+func TestStoreRejectsInvalidKeys(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", strings.Repeat("z", 64), "../../../../etc/passwd", strings.Repeat("A", 64)} {
+		if err := s.Put(key, testDoc(1)); err == nil {
+			t.Fatalf("Put accepted invalid key %q", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("Get accepted invalid key %q", key)
+		}
+	}
+}

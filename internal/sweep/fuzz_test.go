@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGridExpand: arbitrary grid-file bytes must either be rejected with
+// an error or expand deterministically — never panic, never exceed the
+// point cap, and always agree with the Points precount.
+func FuzzGridExpand(f *testing.F) {
+	f.Add([]byte(`{"axes":{"game":["doublewell"],"n":[8,16,32],"beta":{"from":0.5,"to":4,"steps":8}},"base":{"c":2,"delta1":1}}`))
+	f.Add([]byte(`{"axes":{"beta":[0.5,1,2]}}`))
+	f.Add([]byte(`{"axes":{"beta":{"from":1,"to":16,"steps":5,"scale":"log"}}}`))
+	f.Add([]byte(`{"axes":{"beta":{"from":1e308,"to":-1e308,"steps":3}}}`))
+	f.Add([]byte(`{"axes":{"n":[0,-5],"m":[-1],"beta":[0]}}`))
+	f.Add([]byte(`{"version":99,"axes":{"beta":[1]}}`))
+	f.Add([]byte(`{"axes"`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseGrid(bytes.NewReader(data))
+		if err != nil {
+			return // fail closed
+		}
+		const cap = 512
+		n, perr := g.Points(cap)
+		points, xerr := g.Expand(cap)
+		if (perr == nil) != (xerr == nil) {
+			t.Fatalf("Points err %v vs Expand err %v", perr, xerr)
+		}
+		if xerr != nil {
+			return
+		}
+		if len(points) != n {
+			t.Fatalf("Expand produced %d points, Points said %d", len(points), n)
+		}
+		if n > cap {
+			t.Fatalf("expansion of %d points escaped the %d cap", n, cap)
+		}
+		for i, p := range points {
+			if p.Index != i {
+				t.Fatalf("point %d carries Index %d", i, p.Index)
+			}
+		}
+		// Expansion is deterministic: a second pass is identical.
+		again, _ := g.Expand(cap)
+		for i := range points {
+			if points[i] != again[i] {
+				t.Fatalf("re-expansion diverged at point %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,304 @@
+// Package sweep is the orchestration engine for experiment grids: a
+// declarative multi-axis sweep over game families, topologies, sizes and β
+// schedules is expanded deterministically into grid points, deduplicated
+// by canonical content hash, executed with bounded parallelism against the
+// persistent report store (points whose reports are already stored are
+// never re-analyzed, which makes killed runs resumable), and aggregated
+// into summary tables — the paper's results-over-families workflow as a
+// reusable subsystem.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"logitdyn/internal/logit"
+	"logitdyn/internal/spec"
+)
+
+// GridVersion tags the grid-file format.
+const GridVersion = 1
+
+// DefaultMaxPoints bounds a grid expansion unless the caller raises it.
+const DefaultMaxPoints = 4096
+
+// Schedule is a β axis: either an explicit list of values or a generated
+// range. In JSON it is spelled as an array ([0.5, 1, 2]) or an object
+// ({"from": 0.5, "to": 4, "steps": 8, "scale": "linear"|"log"}).
+type Schedule struct {
+	// Values is the explicit list; when non-nil it wins over the range.
+	Values []float64
+	// From..To in Steps points; Steps == 1 yields just From. The "log"
+	// scale spaces points geometrically and requires From, To > 0.
+	From, To float64
+	Steps    int
+	Scale    string
+}
+
+// scheduleDoc is the object spelling of a Schedule.
+type scheduleDoc struct {
+	From  float64 `json:"from"`
+	To    float64 `json:"to"`
+	Steps int     `json:"steps"`
+	Scale string  `json:"scale,omitempty"`
+}
+
+// UnmarshalJSON accepts an array of values or a range object.
+func (s *Schedule) UnmarshalJSON(b []byte) error {
+	trimmed := bytes.TrimSpace(b)
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var vals []float64
+		if err := json.Unmarshal(b, &vals); err != nil {
+			return fmt.Errorf("sweep: beta axis: %w", err)
+		}
+		*s = Schedule{Values: vals}
+		return nil
+	}
+	var doc scheduleDoc
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("sweep: beta axis: %w", err)
+	}
+	*s = Schedule{From: doc.From, To: doc.To, Steps: doc.Steps, Scale: doc.Scale}
+	return nil
+}
+
+// MarshalJSON writes the array spelling for explicit values and the object
+// spelling for ranges.
+func (s Schedule) MarshalJSON() ([]byte, error) {
+	if s.Values != nil {
+		return json.Marshal(s.Values)
+	}
+	return json.Marshal(scheduleDoc{From: s.From, To: s.To, Steps: s.Steps, Scale: s.Scale})
+}
+
+// Expand returns the schedule's values in order. Expansion is pure
+// arithmetic over the schedule fields, so the same schedule always yields
+// bit-identical values.
+func (s Schedule) Expand() ([]float64, error) {
+	if s.Values != nil {
+		if len(s.Values) == 0 {
+			return nil, fmt.Errorf("sweep: beta axis: empty value list")
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("sweep: beta axis: non-finite value %v", v)
+			}
+		}
+		return s.Values, nil
+	}
+	if s.Steps < 1 {
+		return nil, fmt.Errorf("sweep: beta axis: steps must be >= 1, got %d", s.Steps)
+	}
+	if math.IsNaN(s.From) || math.IsInf(s.From, 0) || math.IsNaN(s.To) || math.IsInf(s.To, 0) {
+		return nil, fmt.Errorf("sweep: beta axis: non-finite range [%v, %v]", s.From, s.To)
+	}
+	var out []float64
+	switch s.Scale {
+	case "", "linear":
+		out = make([]float64, s.Steps)
+		if s.Steps == 1 {
+			out[0] = s.From
+			break
+		}
+		step := (s.To - s.From) / float64(s.Steps-1)
+		for i := range out {
+			out[i] = s.From + float64(i)*step
+		}
+		out[s.Steps-1] = s.To
+	case "log":
+		if s.From <= 0 || s.To <= 0 {
+			return nil, fmt.Errorf("sweep: beta axis: log scale needs from, to > 0, got [%v, %v]", s.From, s.To)
+		}
+		out = make([]float64, s.Steps)
+		if s.Steps == 1 {
+			out[0] = s.From
+			break
+		}
+		ratio := math.Log(s.To / s.From)
+		for i := range out {
+			out[i] = s.From * math.Exp(ratio*float64(i)/float64(s.Steps-1))
+		}
+		out[s.Steps-1] = s.To
+	default:
+		return nil, fmt.Errorf("sweep: beta axis: unknown scale %q (linear|log)", s.Scale)
+	}
+	// Finite endpoints don't guarantee finite interpolants: to−from can
+	// overflow to +Inf, whose 0·Inf first step is NaN. Fail the schedule,
+	// not the arithmetic.
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("sweep: beta axis: schedule produces non-finite value %v", v)
+		}
+	}
+	return out, nil
+}
+
+// Axes are the swept dimensions. An empty axis keeps the Base spec's value
+// for that field; Beta is the one axis every grid must declare.
+type Axes struct {
+	Game  []string  `json:"game,omitempty"`
+	Graph []string  `json:"graph,omitempty"`
+	N     []int     `json:"n,omitempty"`
+	M     []int     `json:"m,omitempty"`
+	C     []int     `json:"c,omitempty"`
+	Beta  *Schedule `json:"beta,omitempty"`
+}
+
+// Grid declares one sweep: the cross product of the axes over a base spec,
+// analyzed with one (eps, max_t, backend) option set.
+type Grid struct {
+	Version int    `json:"version,omitempty"`
+	Name    string `json:"name,omitempty"`
+	Axes    Axes   `json:"axes"`
+	// Base supplies the spec fields no axis overrides (δ-parameters, seed,
+	// rows/cols, default family, …).
+	Base spec.Spec `json:"base,omitempty"`
+	// Eps, MaxT and Backend are the analysis options for every point; zero
+	// values mean the library defaults (auto-routed backend).
+	Eps     float64 `json:"eps,omitempty"`
+	MaxT    int64   `json:"max_t,omitempty"`
+	Backend string  `json:"backend,omitempty"`
+}
+
+// Point is one expanded grid point: a fully-resolved spec plus β, at its
+// position in the canonical expansion order.
+type Point struct {
+	Index int
+	Spec  spec.Spec
+	Beta  float64
+}
+
+// ParseGrid strictly decodes a grid file.
+func ParseGrid(r io.Reader) (*Grid, error) {
+	var g Grid
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("sweep: grid: %w", err)
+	}
+	if g.Version != 0 && g.Version != GridVersion {
+		return nil, fmt.Errorf("sweep: unsupported grid version %d", g.Version)
+	}
+	return &g, nil
+}
+
+// axisLen is an axis's contribution to the point count (an empty axis
+// contributes one combination: the base value).
+func axisLen(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// validate checks the non-combinatorial parts of the grid against the
+// point cap and returns the expanded β schedule. The cap gates the β
+// expansion itself: a generated schedule's Steps is an attacker-sized
+// allocation, so it must be bounded BEFORE any slice is made.
+func (g *Grid) validate(maxPoints int) ([]float64, error) {
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	if g.Version != 0 && g.Version != GridVersion {
+		return nil, fmt.Errorf("sweep: unsupported grid version %d", g.Version)
+	}
+	if g.Axes.Beta == nil {
+		return nil, fmt.Errorf("sweep: grid declares no beta axis (\"axes\": {\"beta\": [...] or {\"from\":..,\"to\":..,\"steps\":..}})")
+	}
+	if g.Axes.Beta.Steps > maxPoints {
+		return nil, fmt.Errorf("sweep: beta axis steps %d exceed the point cap %d", g.Axes.Beta.Steps, maxPoints)
+	}
+	if _, err := logit.ParseBackend(g.Backend); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(g.Eps) || math.IsInf(g.Eps, 0) || g.Eps < 0 || g.Eps >= 1 {
+		return nil, fmt.Errorf("sweep: eps must be in [0, 1), got %v", g.Eps)
+	}
+	if g.MaxT < 0 {
+		return nil, fmt.Errorf("sweep: max_t must be nonnegative, got %d", g.MaxT)
+	}
+	return g.Axes.Beta.Expand()
+}
+
+// countPoints applies the cap to the axis cross product (overflow-safe:
+// the running product is checked after every factor).
+func (g *Grid) countPoints(nBetas, maxPoints int) (int, error) {
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	total := 1
+	for _, n := range []int{
+		axisLen(len(g.Axes.Game)), axisLen(len(g.Axes.Graph)),
+		axisLen(len(g.Axes.N)), axisLen(len(g.Axes.M)), axisLen(len(g.Axes.C)),
+		nBetas,
+	} {
+		total *= n
+		if total > maxPoints {
+			return 0, fmt.Errorf("sweep: grid expands to more than %d points (cap %d)", total, maxPoints)
+		}
+	}
+	return total, nil
+}
+
+// Points is the exact number of grid points Expand would produce.
+func (g *Grid) Points(maxPoints int) (int, error) {
+	betas, err := g.validate(maxPoints)
+	if err != nil {
+		return 0, err
+	}
+	return g.countPoints(len(betas), maxPoints)
+}
+
+// Expand produces the grid points in canonical order — axes nest
+// game → graph → n → m → c → β, each in declaration order — so the same
+// grid file always expands to the identical point list. maxPoints <= 0
+// applies DefaultMaxPoints.
+func (g *Grid) Expand(maxPoints int) ([]Point, error) {
+	betas, err := g.validate(maxPoints)
+	if err != nil {
+		return nil, err
+	}
+	total, err := g.countPoints(len(betas), maxPoints)
+	if err != nil {
+		return nil, err
+	}
+	// pick iterates an axis: the base value when the axis is empty.
+	pickS := func(axis []string, base string, i int) string {
+		if len(axis) == 0 {
+			return base
+		}
+		return axis[i]
+	}
+	pickI := func(axis []int, base int, i int) int {
+		if len(axis) == 0 {
+			return base
+		}
+		return axis[i]
+	}
+	points := make([]Point, 0, total)
+	for gi := 0; gi < axisLen(len(g.Axes.Game)); gi++ {
+		for hi := 0; hi < axisLen(len(g.Axes.Graph)); hi++ {
+			for ni := 0; ni < axisLen(len(g.Axes.N)); ni++ {
+				for mi := 0; mi < axisLen(len(g.Axes.M)); mi++ {
+					for ci := 0; ci < axisLen(len(g.Axes.C)); ci++ {
+						for _, beta := range betas {
+							sp := g.Base
+							sp.Game = pickS(g.Axes.Game, g.Base.Game, gi)
+							sp.Graph = pickS(g.Axes.Graph, g.Base.Graph, hi)
+							sp.N = pickI(g.Axes.N, g.Base.N, ni)
+							sp.M = pickI(g.Axes.M, g.Base.M, mi)
+							sp.C = pickI(g.Axes.C, g.Base.C, ci)
+							points = append(points, Point{Index: len(points), Spec: sp, Beta: beta})
+						}
+					}
+				}
+			}
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScheduleSpellings(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want []float64
+	}{
+		{"list", `{"axes":{"beta":[0.25,0.5,1]}}`, []float64{0.25, 0.5, 1}},
+		{"range", `{"axes":{"beta":{"from":0.5,"to":4,"steps":8}}}`, []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4}},
+		{"one-step", `{"axes":{"beta":{"from":2,"to":9,"steps":1}}}`, []float64{2}},
+		{"log", `{"axes":{"beta":{"from":1,"to":16,"steps":5,"scale":"log"}}}`, []float64{1, 2, 4, 8, 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ParseGrid(strings.NewReader(tc.json))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := g.Axes.Beta.Expand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if math.Abs(got[i]-tc.want[i]) > 1e-12 {
+					t.Fatalf("got %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	bad := []string{
+		`{"axes":{"beta":[]}}`,
+		`{"axes":{"beta":{"from":1,"to":2,"steps":0}}}`,
+		`{"axes":{"beta":{"from":-1,"to":2,"steps":3,"scale":"log"}}}`,
+		`{"axes":{"beta":{"from":1,"to":2,"steps":3,"scale":"cubic"}}}`,
+		`{"axes":{"beta":{"frum":1}}}`, // unknown field, strict decode
+		`{"axes":{}}`,                  // no beta axis at all
+	}
+	for _, js := range bad {
+		g, err := ParseGrid(strings.NewReader(js))
+		if err != nil {
+			continue // rejected at parse, also fine
+		}
+		if _, err := g.Expand(0); err == nil {
+			t.Fatalf("grid %s expanded without error", js)
+		}
+	}
+}
+
+func TestExpandOrderAndBaseDefaults(t *testing.T) {
+	g, err := ParseGrid(strings.NewReader(`{
+		"axes": {"game": ["doublewell", "dominant"], "n": [6, 8], "beta": [1, 2]},
+		"base": {"c": 2, "delta1": 1, "m": 3, "seed": 7}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := g.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("expanded %d points, want 8", len(points))
+	}
+	n, err := g.Points(0)
+	if err != nil || n != 8 {
+		t.Fatalf("Points = (%d, %v), want 8", n, err)
+	}
+	// Canonical nesting: game outermost, beta innermost.
+	want := []struct {
+		game string
+		n    int
+		beta float64
+	}{
+		{"doublewell", 6, 1}, {"doublewell", 6, 2}, {"doublewell", 8, 1}, {"doublewell", 8, 2},
+		{"dominant", 6, 1}, {"dominant", 6, 2}, {"dominant", 8, 1}, {"dominant", 8, 2},
+	}
+	for i, p := range points {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+		if p.Spec.Game != want[i].game || p.Spec.N != want[i].n || p.Beta != want[i].beta {
+			t.Fatalf("point %d = (%s, n=%d, beta=%v), want %+v", i, p.Spec.Game, p.Spec.N, p.Beta, want[i])
+		}
+		// Base fields ride along on every point.
+		if p.Spec.C != 2 || p.Spec.Delta1 != 1 || p.Spec.M != 3 || p.Spec.Seed != 7 {
+			t.Fatalf("point %d lost base fields: %+v", i, p.Spec)
+		}
+	}
+}
+
+func TestExpandPointCap(t *testing.T) {
+	g := &Grid{Axes: Axes{
+		N:    make([]int, 20),
+		M:    make([]int, 20),
+		Beta: &Schedule{From: 0, To: 1, Steps: 20},
+	}}
+	if _, err := g.Expand(0); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("8000-point grid not capped at the %d default: %v", DefaultMaxPoints, err)
+	}
+	if pts, err := g.Expand(10_000); err != nil || len(pts) != 8000 {
+		t.Fatalf("raised cap: (%d points, %v), want 8000", len(pts), err)
+	}
+}
+
+// A generated schedule's step count is an attacker-sized allocation; the
+// cap must reject it BEFORE any slice is made (this test would OOM or
+// hang for seconds if the 4 GB expansion ran).
+func TestScheduleStepsCappedBeforeAllocation(t *testing.T) {
+	g, err := ParseGrid(strings.NewReader(`{"axes":{"beta":{"from":0.5,"to":4,"steps":500000000}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Points(0); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("5e8-step schedule not capped: %v", err)
+	}
+	if _, err := g.Expand(0); err == nil {
+		t.Fatal("5e8-step schedule expanded")
+	}
+}
+
+func TestParseGridStrict(t *testing.T) {
+	if _, err := ParseGrid(strings.NewReader(`{"axes":{"beta":[1]},"typo_field":1}`)); err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+	if _, err := ParseGrid(strings.NewReader(`{"version":99,"axes":{"beta":[1]}}`)); err == nil {
+		t.Fatal("unsupported grid version accepted")
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package sweep
+
+// raceEnabled reports that this binary was built with -race; the
+// byte-identity tests re-run dozens of full analyses and only check
+// determinism, so they run in normal mode only, while the dedup,
+// progress-streaming and failure tests keep exercising the runner's
+// locking under the detector.
+const raceEnabled = true
