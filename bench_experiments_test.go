@@ -1,0 +1,75 @@
+package logitdyn_test
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"logitdyn/internal/bench"
+	"logitdyn/internal/store"
+)
+
+// Cold-vs-warm guardrail for the store-backed experiment registry: a cold
+// store pays for every unique analysis of the E3+E12 pair (6 unique points
+// — 4 of them shared between the two experiments), while a warm store must
+// regenerate both tables with zero new analyses. CI runs both at
+// -benchtime 1x so a regression in the rebase's resume/dedup contract
+// fails the build; measured numbers are recorded in BENCH_experiments.json.
+
+var experimentsBenchCfg = bench.Config{Seed: 1, Quick: true, Eps: 0.25}
+
+func runExperimentsBench(b *testing.B, st *store.Store, wantAnalyzed int) {
+	b.Helper()
+	x := &bench.Executor{Store: st}
+	analyzed := 0
+	for _, id := range []string{"E3", "E12"} {
+		e, ok := bench.Find(id)
+		if !ok {
+			b.Fatalf("%s not registered", id)
+		}
+		tab, stats, err := x.Run(context.Background(), e, experimentsBenchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		analyzed += stats.Analyzed
+	}
+	if wantAnalyzed >= 0 && analyzed != wantAnalyzed {
+		b.Fatalf("analyzed %d points, want %d", analyzed, wantAnalyzed)
+	}
+}
+
+func BenchmarkExperimentsColdStore(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp(b.TempDir(), "cold")
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		// E3 analyzes 4 unique points; E12 adds β=4 and β=8 on the same
+		// game, so the shared store dedups the pair to 6 analyses total.
+		runExperimentsBench(b, st, 6)
+	}
+}
+
+func BenchmarkExperimentsWarm(b *testing.B) {
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm every point once, outside the timer.
+	runExperimentsBench(b, st, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runExperimentsBench(b, st, 0)
+	}
+}

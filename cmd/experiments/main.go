@@ -1,32 +1,58 @@
-// Command experiments regenerates the paper-reproduction tables (E1–E12 in
-// DESIGN.md). Each experiment prints measured mixing times alongside the
-// closed-form bounds its theorem predicts.
+// Command experiments regenerates the paper-reproduction tables (the
+// E1–E15 registry in internal/bench). Each experiment prints measured
+// mixing times alongside the closed-form bounds its theorem predicts.
+//
+// Every experiment runs through the sweep engine: with -store, analyzed
+// points persist in the shared content-addressed report store, so a killed
+// run resumes where it stopped when re-invoked, a warm rerun regenerates
+// every table byte-identically with zero new analyses, and points shared
+// across experiments (or with logitdynd/logitsweep) are computed once
+// ever.
 //
 // Usage:
 //
-//	experiments [-id E4,E11 | -id all] [-quick] [-seed 1] [-eps 0.25] [-csv dir]
+//	experiments [-id E4,E11 | -id all] [-quick] [-seed 1] [-eps 0.25]
+//	            [-store dir] [-csv dir] [-workers n]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"logitdyn/internal/bench"
+	"logitdyn/internal/service"
+	"logitdyn/internal/store"
+	"logitdyn/internal/sweep"
 )
+
+// idRange renders the registry's span ("E1..E15") from the registry
+// itself, so usage strings can never go stale against new experiments.
+func idRange() string {
+	all := bench.All()
+	if len(all) == 0 {
+		return "none registered"
+	}
+	return all[0].ID + ".." + all[len(all)-1].ID
+}
 
 func main() {
 	var (
-		ids     = flag.String("id", "all", "comma-separated experiment IDs (E1..E15) or 'all'")
-		list    = flag.Bool("list", false, "list registered experiments and exit")
-		quick   = flag.Bool("quick", false, "small grids for a fast run")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		eps     = flag.Float64("eps", 0.25, "total-variation target ε")
-		csv     = flag.String("csv", "", "optional directory for per-experiment CSV output")
-		workers = flag.Int("workers", 0, "worker cap for ALL parallel stages (sets GOMAXPROCS; 0 = all cores); never changes table entries")
+		ids      = flag.String("id", "all", "comma-separated experiment IDs or 'all'")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+		quick    = flag.Bool("quick", false, "small grids for a fast run")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		eps      = flag.Float64("eps", 0.25, "total-variation target ε")
+		csv      = flag.String("csv", "", "optional directory for per-experiment CSV output")
+		storeDir = flag.String("store", "", "persistent report-store directory shared with logitdynd/logitsweep (empty = run everything cold, keep nothing)")
+		storeMax = flag.Int64("storemax", 0, "report-store size budget in bytes (0 = unbounded)")
+		workers  = flag.Int("workers", 0, "worker cap for ALL parallel stages (sets GOMAXPROCS; 0 = all cores); never changes table entries")
 	)
 	flag.Parse()
 
@@ -53,19 +79,42 @@ func main() {
 			id = strings.TrimSpace(id)
 			e, ok := bench.Find(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try E1..E12)\n", id)
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try %s)\n", id, idRange())
 				os.Exit(2)
 			}
 			selected = append(selected, e)
 		}
 	}
 
+	exec := &bench.Executor{}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: store %s (%d entries)\n", *storeDir, st.Len())
+		// One worker-token pool bounds the whole run, exactly like the
+		// daemon and logitsweep: each in-flight point holds one token and
+		// borrows idle ones for its mat-vecs.
+		exec.Store = st
+		exec.Pool = service.NewPool(*workers)
+	}
+
+	// Interrupts cancel cleanly between points; with -store, completed
+	// points are already persisted, so rerunning the same command resumes
+	// and reproduces the tables byte-identically.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var total sweep.RunStats
 	for _, e := range selected {
-		tab, err := e.Run(cfg)
+		tab, stats, err := exec.Run(ctx, e, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		total.Add(stats)
 		if err := tab.Format(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
@@ -88,4 +137,8 @@ func main() {
 			f.Close()
 		}
 	}
+	// The run summary goes to stderr so table output stays byte-stable; a
+	// warm -store rerun reports analyzed=0.
+	fmt.Fprintf(os.Stderr, "experiments: points=%d unique=%d analyzed=%d store_hits=%d\n",
+		total.Points, total.Unique, total.Analyzed, total.StoreHits)
 }

@@ -7,7 +7,7 @@
 // statistics (ΔΦ, δΦ, ζ) and cutwidth machinery the paper's bounds are
 // stated in, coupling-based simulation tools (maximal coupling, path
 // coupling, CFTP), and an experiment harness that regenerates every
-// theorem-level result (E1–E12 in DESIGN.md).
+// theorem-level result (the E1–E15 registry in internal/bench).
 //
 // # Operator backends
 //
@@ -48,8 +48,10 @@
 // count plus a min-rows-per-worker inline threshold), threaded through
 // core.Options.Parallel, the service's per-request token borrowing, and
 // the -workers CLI flags down to the row-range-sharded mat-vecs, the
-// Lanczos re-orthogonalization, the analysis sweeps and the simulation
-// replica engine (internal/sim). The budget is a pure wall-clock knob:
+// Lanczos re-orthogonalization, the analysis sweeps, the simulation
+// replica engine (internal/sim) and — since the dense-route unification —
+// the dense exact route itself (transition build, d(t) evaluation), so
+// one budget governs all analysis CPU. The budget is a pure wall-clock knob:
 // floating-point reductions accumulate over fixed block boundaries and
 // scatter accumulation uses fixed row shards, so every worker count —
 // including 1 — produces bit-identical reports and simulation documents.
@@ -73,6 +75,22 @@
 // and aggregates byte-reproducible summary tables (JSON/CSV). The
 // daemon exposes sweeps as async jobs (POST/GET/DELETE /v1/sweeps);
 // cmd/logitsweep runs a grid file against the store with no daemon.
+// Axes cover every numeric spec field — sizes, the δ-parameters, the
+// random-construction seed and scale — plus ε, the analysis target
+// itself; dedup always keys on the canonical hash of the materialized
+// game and the normalized options, whatever axis spelled the point.
+//
+// # Experiments
+//
+// internal/bench is the E1–E15 paper-reproduction registry, rebased onto
+// the sweep engine: an experiment is a Plan of declarative sweep.Grid
+// segments plus a Derive function that is pure over the aggregate rows.
+// cmd/experiments therefore runs store-backed (-store): killed runs
+// resume, warm reruns regenerate every table byte-identically with zero
+// new analyses, and points shared across experiments are computed once
+// per store. The quick-mode tables are a committed golden corpus
+// (testdata/golden/experiments, byte-compared in tests, -update to
+// regenerate).
 //
 // Entry points:
 //
@@ -86,10 +104,10 @@
 //   - internal/game      — game families: coordination, graphical, double
 //     wells, dominant-strategy, congestion
 //   - internal/logit     — the dynamics itself (Eq. 2–4 of the paper)
-//   - internal/bench     — the E1–E12 experiment registry
+//   - internal/bench     — the E1–E15 experiment registry (grids + derivations)
 //   - cmd/logitdynd      — the long-running analysis daemon
 //   - cmd/logitsweep     — run a sweep grid against the store directly
-//   - cmd/experiments    — regenerate the EXPERIMENTS.md tables
+//   - cmd/experiments    — regenerate the E1–E15 tables (store-backed)
 //   - cmd/mixtime        — analyze one game at one β
 //   - cmd/logitsim       — trajectory simulation
 //   - cmd/cutwidth       — graph cutwidth computation

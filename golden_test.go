@@ -211,6 +211,11 @@ func TestGoldenReportsWorkerInvariant(t *testing.T) {
 		{name: "doublewell", backend: "sparse"},
 		{name: "ising-ring", backend: "matfree"},
 		{name: "random", backend: "dense"},
+		// 512 profiles through the dense exact route: since the route was
+		// unified onto the worker budget, its transition build and d(t)
+		// evaluation sweep actually split across workers here — this case
+		// pins that the unification kept the bytes.
+		{name: "doublewell-512-dense", backend: "dense", s: spec.Spec{Game: "doublewell", N: 9, C: 3, Delta1: 1}},
 		// 8192 profiles puts the Lanczos basis past one reduction block, so
 		// this case exercises the multi-block deterministic dot products —
 		// the part a small corpus game cannot reach.

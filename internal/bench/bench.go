@@ -1,14 +1,26 @@
 // Package bench is the experiment harness: one registered experiment per
-// theorem-level result of the paper (E1–E12 in DESIGN.md), each regenerating
-// the table its theorem predicts — measured exact mixing times side by side
-// with the closed-form bounds, growth exponents against their predicted
-// slopes, and topology comparisons.
+// theorem-level result of the paper, each regenerating the table its
+// theorem predicts — measured exact mixing times side by side with the
+// closed-form bounds, growth exponents against their predicted slopes, and
+// topology comparisons.
+//
+// Every experiment is declarative: Plan returns sweep.Grid segments (the
+// points to analyze) and Derive is a pure function from the aggregate
+// sweep rows to the output table — fitted exponents, bound comparisons and
+// pass/fail shape checks all read analysis results out of sweep.Row, never
+// out of inline loop state. Execution therefore inherits the sweep
+// engine's guarantees: points are deduplicated by canonical game hash
+// (overlapping points across experiments are computed once per store),
+// persisted reports make killed runs resumable, and a warm store
+// regenerates every table byte-identically with zero new analyses.
 //
 // Experiments run in two sizes: Quick (small grids, suitable for testing.B
-// and CI) and full (the EXPERIMENTS.md tables).
+// and CI, pinned byte-for-byte by testdata/golden/experiments) and full
+// (the EXPERIMENTS.md tables).
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -16,6 +28,8 @@ import (
 	"text/tabwriter"
 
 	"logitdyn/internal/linalg"
+	"logitdyn/internal/spec"
+	"logitdyn/internal/sweep"
 )
 
 // Config tunes an experiment run.
@@ -138,11 +152,50 @@ func (t *Table) CSV(w io.Writer) error {
 	return nil
 }
 
-// Experiment is one registered reproduction target.
+// Segment is one named declarative grid of an experiment. Most
+// experiments are a single segment; experiments whose axes are paired
+// rather than crossed (one β per m, say) declare one segment per pairing,
+// and experiments with several sub-sweeps (E11's β-sweep and n-sweep)
+// declare one per sub-sweep.
+type Segment struct {
+	Name string
+	Grid sweep.Grid
+}
+
+// Experiment is one registered reproduction target: a declarative plan of
+// sweep segments plus a pure derivation from their aggregate rows to the
+// output table.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) (*Table, error)
+	// Plan declares the experiment's grid segments for cfg (Quick shrinks
+	// axes). It must be cheap: game construction and potential statistics
+	// are fair game, chain analysis is not.
+	Plan func(cfg Config) ([]Segment, error)
+	// Derive builds the table from the completed segments. Everything an
+	// analysis produced is read from the sweep rows (or their report
+	// documents); Derive may additionally run derivation-only routes that
+	// are not chain analyses (cutwidth, coupling simulation, closed-form
+	// bounds).
+	Derive func(cfg Config, res *Results) (*Table, error)
+}
+
+// Run executes the experiment in-process with no persistent store — the
+// plain one-shot entry point (tests, examples). Store-backed execution
+// goes through an Executor.
+func (e Experiment) Run(cfg Config) (*Table, error) {
+	tab, _, err := (&Executor{}).Run(context.Background(), e, cfg)
+	return tab, err
+}
+
+// grid is the shared segment shape: a base spec analyzed at an explicit β
+// list under the experiment's ε.
+func grid(base spec.Spec, betas []float64, eps float64) sweep.Grid {
+	return sweep.Grid{
+		Axes: sweep.Axes{Beta: &sweep.Schedule{Values: betas}},
+		Base: base,
+		Eps:  eps,
+	}
 }
 
 var registry = map[string]Experiment{}

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		if e.ID != wantID {
 			t.Errorf("position %d: ID %s, want %s", i, e.ID, wantID)
 		}
-		if e.Title == "" || e.Run == nil {
+		if e.Title == "" || e.Plan == nil || e.Derive == nil {
 			t.Errorf("%s: incomplete registration", e.ID)
 		}
 	}
@@ -128,5 +128,5 @@ func TestDuplicateRegistrationPanics(t *testing.T) {
 			t.Fatal("duplicate registration must panic")
 		}
 	}()
-	register(Experiment{ID: "E1", Title: "dup", Run: nil})
+	register(Experiment{ID: "E1", Title: "dup"})
 }

@@ -1,0 +1,142 @@
+// Experiment execution through the sweep engine: every segment grid runs
+// on a sweep.Runner whose evaluator reads and writes the shared persistent
+// report store, so experiments resume after a kill, rerun warm with zero
+// new analyses, and share overlapping points with each other (and with the
+// daemon) through one canonical-hash address space.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"logitdyn/internal/serialize"
+	"logitdyn/internal/spec"
+	"logitdyn/internal/store"
+	"logitdyn/internal/sweep"
+)
+
+// Results holds the completed segments of one experiment run, keyed by
+// segment name: the point-ordered aggregate rows plus each unique key's
+// full report document (for the few derivations that need a vector
+// payload, like E12's stationary masses).
+type Results struct {
+	segs map[string]*segResult
+}
+
+type segResult struct {
+	result *sweep.Result
+	docs   map[string]serialize.ReportDoc
+	// read records that Derive consumed this segment; the executor fails
+	// a run whose derivation left a planned segment untouched, which is
+	// how a typo'd segment name (nil rows, empty loop, vacuous pass)
+	// surfaces as an error instead of a false-positive table.
+	read bool
+}
+
+// Rows returns the segment's aggregate rows in point order. Unknown
+// segment names return nil; the executor's unconsumed-segment check turns
+// the resulting mismatch into a run error.
+func (r *Results) Rows(segment string) []sweep.Row {
+	if s, ok := r.segs[segment]; ok {
+		s.read = true
+		return s.result.Rows
+	}
+	return nil
+}
+
+// Row returns one point's aggregate row.
+func (r *Results) Row(segment string, point int) (sweep.Row, error) {
+	rows := r.Rows(segment)
+	if point < 0 || point >= len(rows) {
+		return sweep.Row{}, fmt.Errorf("bench: segment %q has no point %d", segment, point)
+	}
+	return rows[point], nil
+}
+
+// Doc returns the full report document behind one point's row.
+func (r *Results) Doc(segment string, point int) (serialize.ReportDoc, error) {
+	row, err := r.Row(segment, point)
+	if err != nil {
+		return serialize.ReportDoc{}, err
+	}
+	s := r.segs[segment]
+	doc, ok := s.docs[row.Key]
+	if !ok {
+		return serialize.ReportDoc{}, fmt.Errorf("bench: segment %q point %d has no report document", segment, point)
+	}
+	return doc, nil
+}
+
+// Executor runs experiments through the sweep engine. The zero value runs
+// in-process: no persistence, no token pool, default limits, GOMAXPROCS
+// fan-out.
+type Executor struct {
+	// Store is the persistent report store shared with logitdynd and
+	// logitsweep; nil keeps nothing (every run is cold).
+	Store *store.Store
+	// Pool is the worker-token semaphore evaluators borrow from; nil
+	// leaves intra-analysis parallelism unbounded by tokens.
+	Pool sweep.TokenPool
+	// Limits bounds each point; the zero value selects spec.DefaultLimits.
+	Limits spec.Limits
+}
+
+// Run plans, sweeps and derives one experiment. The returned RunStats
+// accumulate over all segments — a warm-store rerun reports Analyzed == 0.
+// Any failed point fails the experiment (its tables assert theorems; a
+// hole is not a table).
+func (x *Executor) Run(ctx context.Context, e Experiment, cfg Config) (*Table, sweep.RunStats, error) {
+	var total sweep.RunStats
+	if e.Plan == nil || e.Derive == nil {
+		return nil, total, fmt.Errorf("bench: %s is not executable (missing plan or derivation)", e.ID)
+	}
+	segs, err := e.Plan(cfg)
+	if err != nil {
+		return nil, total, fmt.Errorf("bench: %s plan: %w", e.ID, err)
+	}
+	res := &Results{segs: make(map[string]*segResult, len(segs))}
+	for i := range segs {
+		sg := &segs[i]
+		if _, dup := res.segs[sg.Name]; dup {
+			return nil, total, fmt.Errorf("bench: %s declares segment %q twice", e.ID, sg.Name)
+		}
+		docs := make(map[string]serialize.ReportDoc)
+		var mu sync.Mutex
+		inner := sweep.DirectEval(x.Store, x.Pool)
+		runner := &sweep.Runner{
+			Eval: func(j *sweep.Job) (sweep.Outcome, error) {
+				out, err := inner(j)
+				if err == nil {
+					mu.Lock()
+					docs[j.Key] = out.Doc
+					mu.Unlock()
+				}
+				return out, err
+			},
+			Limits:  x.Limits,
+			Workers: cfg.Workers,
+		}
+		result, stats, err := runner.Run(ctx, &sg.Grid)
+		total.Add(stats)
+		if err != nil {
+			return nil, total, fmt.Errorf("bench: %s segment %q: %w", e.ID, sg.Name, err)
+		}
+		for _, row := range result.Rows {
+			if row.Error != "" {
+				return nil, total, fmt.Errorf("bench: %s segment %q point %d: %s", e.ID, sg.Name, row.Point, row.Error)
+			}
+		}
+		res.segs[sg.Name] = &segResult{result: result, docs: docs}
+	}
+	tab, err := e.Derive(cfg, res)
+	if err != nil {
+		return nil, total, fmt.Errorf("bench: %s derive: %w", e.ID, err)
+	}
+	for _, sg := range segs {
+		if !res.segs[sg.Name].read {
+			return nil, total, fmt.Errorf("bench: %s derivation never read segment %q (typo'd name?)", e.ID, sg.Name)
+		}
+	}
+	return tab, total, nil
+}

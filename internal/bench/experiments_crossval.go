@@ -1,69 +1,107 @@
 package bench
 
 import (
+	"fmt"
+
 	"logitdyn/internal/coupling"
-	"logitdyn/internal/game"
-	"logitdyn/internal/graph"
 	"logitdyn/internal/logit"
 	"logitdyn/internal/mixing"
 	"logitdyn/internal/rng"
+	"logitdyn/internal/spec"
 	"logitdyn/internal/stats"
 )
 
 func init() {
-	register(Experiment{ID: "E14", Title: "extension — three-route cross-validation of mixing measurements", Run: runE14})
+	register(Experiment{ID: "E14", Title: "extension — three-route cross-validation of mixing measurements", Plan: planE14, Derive: deriveE14})
 }
 
-// runE14 measures the same mixing times by three independent routes —
-// spectral decomposition (exact), brute-force distribution evolution
-// (exact), and maximal-coupling coalescence quantiles (simulation upper
-// bound, Theorem 2.1) — and checks that spectral == evolution exactly and
-// that the coupling estimate upper-bounds them. This validates the
-// measurement infrastructure every other experiment relies on.
-func runE14(cfg Config) (*Table, error) {
-	t := &Table{ID: "E14", Title: "cross-validation of measurement routes",
-		Columns: []string{"game", "beta", "tmix_spectral", "tmix_evolution", "coupling_q75", "coupling_CI95", "exact_agree", "coupling_dominates"}}
-	eps := cfg.eps()
-	type scenario struct {
-		name string
-		g    game.Game
-		beta float64
-	}
-	base, err := game.NewCoordination2x2(3, 2, 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	ringGame, err := game.NewIsing(graph.Ring(5), 1)
-	if err != nil {
-		return nil, err
-	}
-	dom, err := game.NewDominantDiagonal(3, 2)
-	if err != nil {
-		return nil, err
-	}
-	scenarios := []scenario{
-		{"coordination", base, 0.5},
-		{"coordination", base, 1.5},
-		{"ring5-ising", ringGame, 0.5},
-		{"dominant", dom, 4},
+// e14Scenario is one cross-validation target: a game spec at one β, plus
+// the seed index that pins its coupling-simulation RNG stream.
+type e14Scenario struct {
+	name    string
+	segment string
+	point   int
+	base    spec.Spec
+	beta    float64
+	si      int
+}
+
+var (
+	e14Coordination = spec.Spec{Game: "coordination", Delta0: 3, Delta1: 2}
+	e14Ising        = spec.Spec{Game: "ising", Graph: "ring", N: 5, Delta1: 1}
+	e14Dominant     = spec.Spec{Game: "dominant", N: 3, M: 2}
+)
+
+// e14Scenarios keeps the original experiment order (which the per-scenario
+// RNG seeds are derived from) while grouping the grid points per family.
+func e14Scenarios(cfg Config) []e14Scenario {
+	scenarios := []e14Scenario{
+		{"coordination", "coordination", 0, e14Coordination, 0.5, 0},
+		{"coordination", "coordination", 1, e14Coordination, 1.5, 1},
+		{"ring5-ising", "ising", 0, e14Ising, 0.5, 2},
+		{"dominant", "dominant", 0, e14Dominant, 4, 3},
 	}
 	if !cfg.Quick {
 		scenarios = append(scenarios,
-			scenario{"ring5-ising", ringGame, 1},
-			scenario{"dominant", dom, 16},
+			e14Scenario{"ring5-ising", "ising", 1, e14Ising, 1, 4},
+			e14Scenario{"dominant", "dominant", 1, e14Dominant, 16, 5},
 		)
 	}
+	return scenarios
+}
+
+// planE14 declares one segment per game family, each sweeping that
+// family's scenario betas.
+func planE14(cfg Config) ([]Segment, error) {
+	betasBySegment := map[string][]float64{}
+	baseBySegment := map[string]spec.Spec{}
+	var order []string
+	for _, sc := range e14Scenarios(cfg) {
+		if _, ok := baseBySegment[sc.segment]; !ok {
+			order = append(order, sc.segment)
+			baseBySegment[sc.segment] = sc.base
+		}
+		betasBySegment[sc.segment] = append(betasBySegment[sc.segment], sc.beta)
+	}
+	var segs []Segment
+	for _, name := range order {
+		segs = append(segs, Segment{Name: name, Grid: grid(baseBySegment[name], betasBySegment[name], cfg.eps())})
+	}
+	return segs, nil
+}
+
+// deriveE14 measures the same mixing times by three independent routes —
+// the sweep rows carry the spectral (exact) measurement, and the derive
+// layer recomputes brute-force distribution evolution (exact) and
+// maximal-coupling coalescence quantiles (simulation upper bound, Theorem
+// 2.1). Spectral must equal evolution exactly, and the coupling estimate
+// must upper-bound them. This validates the measurement infrastructure
+// every other experiment relies on; the evolution and coupling routes are
+// deliberately NOT cached analyses — they are the independent yardstick a
+// warm store must still agree with.
+func deriveE14(cfg Config, res *Results) (*Table, error) {
+	t := &Table{ID: "E14", Title: "cross-validation of measurement routes",
+		Columns: []string{"game", "beta", "tmix_spectral", "tmix_evolution", "coupling_q75", "coupling_CI95", "exact_agree", "coupling_dominates"}}
+	eps := cfg.eps()
 	trials := 300
 	if cfg.Quick {
 		trials = 120
 	}
 	allAgree, allDominate := true, true
-	for si, sc := range scenarios {
-		d, err := logit.New(sc.g, sc.beta)
+	for _, sc := range e14Scenarios(cfg) {
+		row, err := res.Row(sc.segment, sc.point)
 		if err != nil {
 			return nil, err
 		}
-		spec, err := mixing.ExactMixingTime(d, eps, 1<<50)
+		if !row.MixingTimeExact {
+			return nil, fmt.Errorf("bench: E14 %s point is not an exact measurement", sc.name)
+		}
+		tmSpectral := row.MixingTime
+		g, err := sc.base.Build()
+		if err != nil {
+			return nil, err
+		}
+		d, err := logit.New(g, sc.beta)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +117,7 @@ func runE14(cfg Config) (*Table, error) {
 		for i := range hi {
 			hi[i] = sp.Strategies(i) - 1
 		}
-		r := rng.New(cfg.Seed + uint64(si)*1000)
+		r := rng.New(cfg.Seed + uint64(sc.si)*1000)
 		samples := make([]float64, trials)
 		for k := 0; k < trials; k++ {
 			tau, err := coupling.CoalescenceTime(d, lo, hi, r, 1<<40)
@@ -93,14 +131,14 @@ func runE14(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		agree := spec.MixingTime == evo
+		agree := tmSpectral == evo
 		// Theorem 2.1 bounds d(t) by the coalescence tail over the WORST
 		// pair; our extreme pair is the worst for these monotone-ish games
 		// up to sampling error — allow the CI's upper edge.
-		dominates := ciHi >= float64(spec.MixingTime)
+		dominates := ciHi >= float64(tmSpectral)
 		allAgree = allAgree && agree
 		allDominate = allDominate && dominates
-		t.AddRow(sc.name, sc.beta, spec.MixingTime, evo, q75,
+		t.AddRow(sc.name, sc.beta, tmSpectral, evo, q75,
 			formatFloat(ciLo)+" – "+formatFloat(ciHi), agree, dominates)
 	}
 	t.Note("spectral and evolution routes agree exactly on every chain: %v", allAgree)

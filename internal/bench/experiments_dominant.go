@@ -1,52 +1,50 @@
 package bench
 
 import (
+	"fmt"
 	"math"
 
-	"logitdyn/internal/core"
-	"logitdyn/internal/game"
 	"logitdyn/internal/mixing"
+	"logitdyn/internal/spec"
 )
 
 func init() {
-	register(Experiment{ID: "E7", Title: "Theorem 4.2 — dominant strategies: t_mix plateaus in β", Run: runE7})
-	register(Experiment{ID: "E8", Title: "Theorem 4.3 — dominant-strategy mixing is Θ(m^{n−1}) in m", Run: runE8})
+	register(Experiment{ID: "E7", Title: "Theorem 4.2 — dominant strategies: t_mix plateaus in β", Plan: planE7, Derive: deriveE7})
+	register(Experiment{ID: "E8", Title: "Theorem 4.3 — dominant-strategy mixing is Θ(m^{n−1}) in m", Plan: planE8, Derive: deriveE8})
 }
 
-// runE7 sweeps β far past the potential-game blow-up range and shows t_mix
-// saturates for the dominant-strategy game, below the Theorem 4.2 bound.
-func runE7(cfg Config) (*Table, error) {
+func e7Betas(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{0, 2, 8, 32}
+	}
+	return []float64{0, 1, 2, 4, 8, 16, 32, 64}
+}
+
+// planE7 sweeps β far past the potential-game blow-up range on the
+// dominant-strategy game.
+func planE7(cfg Config) ([]Segment, error) {
+	base := spec.Spec{Game: "dominant", N: 3, M: 2}
+	return []Segment{{Name: "beta", Grid: grid(base, e7Betas(cfg), cfg.eps())}}, nil
+}
+
+// deriveE7 shows t_mix saturating below the Theorem 4.2 bound.
+func deriveE7(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E7", Title: "β-independence for dominant strategies (Theorem 4.2)",
 		Columns: []string{"beta", "tmix_measured", "thm42_upper", "under_bound"}}
 	n, m := 3, 2
-	g, err := game.NewDominantDiagonal(n, m)
-	if err != nil {
-		return nil, err
-	}
-	betas := []float64{0, 1, 2, 4, 8, 16, 32, 64}
-	if cfg.Quick {
-		betas = []float64{0, 2, 8, 32}
-	}
-	eps := cfg.eps()
+	rows := res.Rows("beta")
 	bound := mixing.Theorem42Upper(n, m)
 	allUnder := true
 	var last, plateau float64
-	for i, beta := range betas {
-		a, err := core.NewAnalyzer(g, beta)
-		if err != nil {
-			return nil, err
-		}
-		tm, err := a.MixingTime(eps, 0)
-		if err != nil {
-			return nil, err
-		}
+	for i, row := range rows {
+		tm := row.MixingTime
 		under := float64(tm) <= bound
 		allUnder = allUnder && under
-		t.AddRow(beta, tm, bound, under)
-		if i == len(betas)-2 {
+		t.AddRow(float64(row.Beta), tm, bound, under)
+		if i == len(rows)-2 {
 			last = float64(tm)
 		}
-		if i == len(betas)-1 {
+		if i == len(rows)-1 {
 			plateau = float64(tm)
 		}
 	}
@@ -56,40 +54,47 @@ func runE7(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// runE8 fixes a large β and grows m, checking Θ(m^{n−1}) scaling against the
-// Theorem 4.3 lower bound.
-func runE8(cfg Config) (*Table, error) {
+func e8Ms(cfg Config) []int {
+	if cfg.Quick {
+		return []int{2, 3, 4}
+	}
+	return []int{2, 3, 4, 5}
+}
+
+// planE8 pairs each m with its own β comfortably past the Theorem 4.3
+// threshold log(m^n − 1) — zipped axes, one segment per m.
+func planE8(cfg Config) ([]Segment, error) {
+	const n = 3
+	var segs []Segment
+	for _, m := range e8Ms(cfg) {
+		beta := mixing.Theorem43BetaThreshold(n, m) + 4
+		base := spec.Spec{Game: "dominant", N: n, M: m}
+		segs = append(segs, Segment{Name: fmt.Sprintf("m=%d", m), Grid: grid(base, []float64{beta}, cfg.eps())})
+	}
+	return segs, nil
+}
+
+// deriveE8 checks the Θ(m^{n−1}) scaling against the Theorem 4.3 lower
+// bound.
+func deriveE8(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E8", Title: "m-scaling of dominant-strategy mixing (Theorem 4.3)",
 		Columns: []string{"m", "beta", "tmix_measured", "thm43_lower", "tmix/m^(n-1)", "above_lower"}}
-	n := 3
-	ms := []int{2, 3, 4, 5}
-	if cfg.Quick {
-		ms = []int{2, 3, 4}
-	}
-	eps := cfg.eps()
+	const n = 3
+	ms := e8Ms(cfg)
 	allAbove := true
 	ratios := make([]float64, 0, len(ms))
 	for _, m := range ms {
-		g, err := game.NewDominantDiagonal(n, m)
+		row, err := res.Row(fmt.Sprintf("m=%d", m), 0)
 		if err != nil {
 			return nil, err
 		}
-		// Theorem 4.3 applies for β > log(m^n − 1); go comfortably beyond.
-		beta := mixing.Theorem43BetaThreshold(n, m) + 4
-		a, err := core.NewAnalyzer(g, beta)
-		if err != nil {
-			return nil, err
-		}
-		tm, err := a.MixingTime(eps, 0)
-		if err != nil {
-			return nil, err
-		}
+		tm := row.MixingTime
 		lower := mixing.Theorem43Lower(n, m)
 		above := float64(tm) >= lower
 		allAbove = allAbove && above
 		ratio := float64(tm) / math.Pow(float64(m), float64(n-1))
 		ratios = append(ratios, ratio)
-		t.AddRow(m, beta, tm, lower, ratio, above)
+		t.AddRow(m, float64(row.Beta), tm, lower, ratio, above)
 	}
 	t.Note("measured t_mix above the Theorem 4.3 lower bound at every m: %v", allAbove)
 	t.Note("t_mix/m^{n−1} spans [%.2f, %.2f] across m — bounded ratio confirms the Θ(m^{n−1}) shape",

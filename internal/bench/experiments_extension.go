@@ -3,65 +3,60 @@ package bench
 import (
 	"math"
 
-	"logitdyn/internal/game"
-	"logitdyn/internal/graph"
-	"logitdyn/internal/logit"
 	"logitdyn/internal/mixing"
-	"logitdyn/internal/rng"
-	"logitdyn/internal/spectral"
+	"logitdyn/internal/spec"
 )
 
 func init() {
-	register(Experiment{ID: "E13", Title: "extension — large-ring relaxation time via sparse Lanczos", Run: runE13})
+	register(Experiment{ID: "E13", Title: "extension — large-ring relaxation time via sparse Lanczos", Plan: planE13, Derive: deriveE13})
 }
 
-// runE13 extends the E11 ring study beyond the dense-decomposition limit:
-// the sparse Lanczos route measures t_rel for rings up to 2^16 states and
-// checks the Theorem 5.6-implied scaling t_rel = O(e^{2δβ}·n) — the
-// relaxation time per player stays bounded as n grows at fixed β.
-func runE13(cfg Config) (*Table, error) {
+const (
+	e13Delta = 1.0
+	e13Beta  = 0.5
+)
+
+func e13Ns(cfg Config) []int {
+	if cfg.Quick {
+		return []int{8, 10, 12}
+	}
+	return []int{8, 10, 12, 14, 16}
+}
+
+// planE13 extends the E11 ring study beyond the dense-decomposition limit
+// by forcing the grid's backend to the shared sparse Lanczos route — the
+// same pipeline (operator, fixed start seed, Ritz early stop) the service
+// runs above the dense cap, so E13's points are interchangeable with
+// daemon traffic in the store.
+func planE13(cfg Config) ([]Segment, error) {
+	g := grid(spec.Spec{Game: "ising", Graph: "ring", Delta1: e13Delta}, []float64{e13Beta}, cfg.eps())
+	g.Axes.N = e13Ns(cfg)
+	g.Backend = "sparse"
+	return []Segment{{Name: "n", Grid: g}}, nil
+}
+
+// deriveE13 checks the Theorem 5.6-implied scaling t_rel = O(e^{2δβ}·n):
+// relaxation time per player stays bounded as n grows at fixed β, and the
+// spectral lower bound stays under the Theorem 5.6 envelope.
+func deriveE13(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E13", Title: "large-ring relaxation (Lanczos extension)",
 		Columns: []string{"n", "states", "beta", "trel_lanczos", "trel/n", "spectral_lower<=thm56", "lanczos_iters"}}
-	delta, beta := 1.0, 0.5
-	ns := []int{8, 10, 12, 14, 16}
-	if cfg.Quick {
-		ns = []int{8, 10, 12}
-	}
 	eps := cfg.eps()
+	rows := res.Rows("n")
 	allConsistent := true
-	ratios := make([]float64, 0, len(ns))
-	for _, n := range ns {
-		g, err := game.NewIsing(graph.Ring(n), delta)
-		if err != nil {
-			return nil, err
-		}
-		d, err := logit.New(g, beta)
-		if err != nil {
-			return nil, err
-		}
-		pi, err := d.Stationary()
-		if err != nil {
-			return nil, err
-		}
-		op, err := spectral.NewSymOperator(d.TransitionCSRPar(cfg.Par()), pi)
-		if err != nil {
-			return nil, err
-		}
-		op.WithParallel(cfg.Par())
-		res, err := spectral.Lanczos(op, 400, 1e-12, rng.New(cfg.Seed+uint64(n)))
-		if err != nil {
-			return nil, err
-		}
-		trel := res.RelaxationTime()
+	ratios := make([]float64, 0, len(rows))
+	for _, row := range rows {
+		n := row.N
+		trel := float64(row.RelaxationTime)
 		// Theorem 2.3: (t_rel−1)·log(1/2ε) <= t_mix <= Thm 5.6 upper, so the
 		// spectral lower bound must sit under the Theorem 5.6 bound.
 		lower := (trel - 1) * logInv(2*eps)
-		upper := mixing.Theorem56Upper(n, beta, delta, eps)
+		upper := mixing.Theorem56Upper(n, e13Beta, e13Delta, eps)
 		consistent := lower <= upper
 		allConsistent = allConsistent && consistent
 		ratio := trel / float64(n)
 		ratios = append(ratios, ratio)
-		t.AddRow(n, 1<<uint(n), beta, trel, ratio, consistent, res.Iterations)
+		t.AddRow(n, 1<<uint(n), e13Beta, trel, ratio, consistent, row.LanczosIterations)
 	}
 	t.Note("spectral lower bound under the Theorem 5.6 envelope at every n: %v", allConsistent)
 	t.Note("t_rel/n spans [%.3f, %.3f] across n — bounded per-player relaxation, the Θ(e^{2δβ}·n) shape",

@@ -3,74 +3,118 @@ package bench
 import (
 	"math"
 
-	"logitdyn/internal/core"
 	"logitdyn/internal/game"
 	"logitdyn/internal/graph"
 	"logitdyn/internal/mixing"
+	"logitdyn/internal/spec"
 )
 
 func init() {
-	register(Experiment{ID: "E9", Title: "Theorem 5.1 — cutwidth controls graphical-coordination mixing", Run: runE9})
-	register(Experiment{ID: "E10", Title: "Theorem 5.5 — clique exponent Φmax − Φ(1)", Run: runE10})
-	register(Experiment{ID: "E11", Title: "Theorems 5.6/5.7 — ring mixes in Θ(e^{2δβ} n log n)", Run: runE11})
-	register(Experiment{ID: "E12", Title: "Blume 1993 — stationary mass concentrates on the risk-dominant equilibrium", Run: runE12})
+	register(Experiment{ID: "E9", Title: "Theorem 5.1 — cutwidth controls graphical-coordination mixing", Plan: planE9, Derive: deriveE9})
+	register(Experiment{ID: "E10", Title: "Theorem 5.5 — clique exponent Φmax − Φ(1)", Plan: planE10, Derive: deriveE10})
+	register(Experiment{ID: "E11", Title: "Theorems 5.6/5.7 — ring mixes in Θ(e^{2δβ} n log n)", Plan: planE11, Derive: deriveE11})
+	register(Experiment{ID: "E12", Title: "Blume 1993 — stationary mass concentrates on the risk-dominant equilibrium", Plan: planE12, Derive: deriveE12})
 }
 
-// runE9 compares topologies at fixed (n, β): cutwidth, the Theorem 5.1
-// bound, and measured mixing time.
-func runE9(cfg Config) (*Table, error) {
+const (
+	e9Beta          = 0.5
+	e9Delta0        = 1.2
+	e9Delta1        = 1.0
+	e9NamedSegment  = "topos"
+	e9ShapedSegment = "shaped"
+)
+
+func e9N(cfg Config) int {
+	if cfg.Quick {
+		return 6
+	}
+	return 8
+}
+
+// e9Topo addresses one topology's row — the exact (segment, point) the
+// sweep produced it at — together with the graphical-game spec that built
+// it (BuildGraph on that spec yields the display graph and cutwidth).
+type e9Topo struct {
+	name    string
+	segment string
+	point   int
+	base    spec.Spec
+}
+
+// e9Topos lists the display order: the named-graph axis rows first, then
+// (full runs) one single-point segment per topology whose spec interprets
+// the shape fields its own way (grid's rows×cols, tree's levels,
+// hypercube's dimension).
+func e9Topos(cfg Config) []e9Topo {
+	n := e9N(cfg)
+	withBase := func(sp spec.Spec) spec.Spec {
+		sp.Game = "graphical"
+		sp.Delta0, sp.Delta1 = e9Delta0, e9Delta1
+		return sp
+	}
+	var topos []e9Topo
+	for i, g := range []string{"path", "ring", "star", "clique"} {
+		topos = append(topos, e9Topo{name: g, segment: e9NamedSegment, point: i,
+			base: withBase(spec.Spec{Graph: g, N: n})})
+	}
+	if !cfg.Quick {
+		for _, sp := range []spec.Spec{
+			{Graph: "grid", Rows: 2, Cols: n / 2},
+			{Graph: "tree", N: 3},
+			{Graph: "hypercube", N: 3},
+		} {
+			topos = append(topos, e9Topo{name: sp.Graph, segment: e9ShapedSegment + "/" + sp.Graph,
+				point: 0, base: withBase(sp)})
+		}
+	}
+	return topos
+}
+
+// planE9 compares topologies at fixed (n, β): the named graphs share one
+// graph-axis segment, every shaped topology is its own segment.
+func planE9(cfg Config) ([]Segment, error) {
+	base := spec.Spec{Game: "graphical", Delta0: e9Delta0, Delta1: e9Delta1, N: e9N(cfg)}
+	named := grid(base, []float64{e9Beta}, cfg.eps())
+	named.Axes.Graph = []string{"path", "ring", "star", "clique"}
+	segs := []Segment{{Name: e9NamedSegment, Grid: named}}
+	for _, tp := range e9Topos(cfg) {
+		if tp.segment != e9NamedSegment {
+			segs = append(segs, Segment{Name: tp.segment, Grid: grid(tp.base, []float64{e9Beta}, cfg.eps())})
+		}
+	}
+	return segs, nil
+}
+
+// deriveE9 reads each topology's t_mix off its row and pairs it with the
+// exact cutwidth (a graph computation, not a chain analysis) and the
+// Theorem 5.1 bound.
+func deriveE9(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E9", Title: "topology comparison under the cutwidth bound (Theorem 5.1)",
 		Columns: []string{"graph", "n", "cutwidth", "tmix_measured", "thm51_bound", "under_bound"}}
-	n := 8
-	if cfg.Quick {
-		n = 6
-	}
-	base, err := game.NewCoordination2x2(1.2, 1.0, 0, 0)
+	base, err := game.NewCoordination2x2(e9Delta0, e9Delta1, 0, 0)
 	if err != nil {
 		return nil, err
 	}
-	beta := 0.5
-	eps := cfg.eps()
-	type topo struct {
-		name string
-		g    *graph.Graph
-	}
-	topos := []topo{
-		{"path", graph.Path(n)},
-		{"ring", graph.Ring(n)},
-		{"star", graph.Star(n)},
-		{"clique", graph.Clique(n)},
-	}
-	if !cfg.Quick {
-		topos = append(topos,
-			topo{"grid", graph.Grid(2, n/2)},
-			topo{"tree", graph.BinaryTree(3)},
-			topo{"hypercube", graph.Hypercube(3)},
-		)
-	}
 	allUnder := true
 	var ringT, cliqueT int64
-	for _, tp := range topos {
-		gg, err := game.NewGraphical(tp.g, base)
+	for _, tp := range e9Topos(cfg) {
+		row, err := res.Row(tp.segment, tp.point)
 		if err != nil {
 			return nil, err
 		}
-		cw, _, err := graph.ExactCutwidth(tp.g)
+		g, err := tp.base.BuildGraph()
 		if err != nil {
 			return nil, err
 		}
-		a, err := core.NewAnalyzer(gg, beta)
+		cw, _, err := graph.ExactCutwidth(g)
 		if err != nil {
 			return nil, err
 		}
-		tm, err := a.MixingTime(eps, 0)
-		if err != nil {
-			return nil, err
-		}
-		bound := mixing.Theorem51Upper(tp.g.N(), cw, beta, base.Delta0(), base.Delta1())
+		tm := row.MixingTime
+		bound := mixing.Theorem51Upper(g.N(), cw, e9Beta, base.Delta0(), base.Delta1())
 		under := float64(tm) <= bound
 		allUnder = allUnder && under
-		t.AddRow(tp.name, tp.g.N(), cw, tm, bound, under)
+		t.AddRow(tp.name, g.N(), cw, tm, bound, under)
 		switch tp.name {
 		case "ring":
 			ringT = tm
@@ -84,20 +128,33 @@ func runE9(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// runE10 sweeps β on the clique and fits the exponent against the Theorem
-// 5.5 prediction Φmax − Φ(1).
-func runE10(cfg Config) (*Table, error) {
+func e10N(cfg Config) int {
+	if cfg.Quick {
+		return 5
+	}
+	return 7
+}
+
+func e10Betas(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{0.5, 1.5, 2.5}
+	}
+	return []float64{0.5, 1, 1.5, 2, 2.5, 3}
+}
+
+// planE10 sweeps β on the clique with δ0 > δ1.
+func planE10(cfg Config) ([]Segment, error) {
+	base := spec.Spec{Game: "graphical", Graph: "clique", N: e10N(cfg), Delta0: 1.5, Delta1: 1.0}
+	return []Segment{{Name: "beta", Grid: grid(base, e10Betas(cfg), cfg.eps())}}, nil
+}
+
+// deriveE10 fits the exponent against the Theorem 5.5 prediction
+// Φmax − Φ(1), computed from the clique's closed forms.
+func deriveE10(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E10", Title: "clique growth exponent (Theorem 5.5)",
 		Columns: []string{"beta", "tmix_measured", "exp(beta*(PhiMax-Phi1))"}}
-	n := 7
-	if cfg.Quick {
-		n = 5
-	}
+	n := e10N(cfg)
 	base, err := game.NewCoordination2x2(1.5, 1.0, 0, 0) // δ0 > δ1
-	if err != nil {
-		return nil, err
-	}
-	gg, err := game.NewGraphical(graph.Clique(n), base)
 	if err != nil {
 		return nil, err
 	}
@@ -105,21 +162,13 @@ func runE10(cfg Config) (*Table, error) {
 	phiMax := game.CliquePhiByOnes(n, kStar, base)
 	phiOnes := game.CliquePhiByOnes(n, n, base)
 	gap := phiMax - phiOnes
-	betas := []float64{0.5, 1, 1.5, 2, 2.5, 3}
-	if cfg.Quick {
-		betas = []float64{0.5, 1.5, 2.5}
-	}
-	eps := cfg.eps()
-	times := make([]float64, len(betas))
-	for i, beta := range betas {
-		a, err := core.NewAnalyzer(gg, beta)
-		if err != nil {
-			return nil, err
-		}
-		tm, err := a.MixingTime(eps, 0)
-		if err != nil {
-			return nil, err
-		}
+	rows := res.Rows("beta")
+	betas := make([]float64, len(rows))
+	times := make([]float64, len(rows))
+	for i, row := range rows {
+		beta := float64(row.Beta)
+		tm := row.MixingTime
+		betas[i] = beta
 		times[i] = math.Max(float64(tm), 1)
 		t.AddRow(beta, tm, math.Exp(beta*gap))
 	}
@@ -132,87 +181,93 @@ func runE10(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// runE11 sweeps β and n on the ring without risk dominance and checks both
-// Theorem 5.6 (upper) and Theorem 5.7 (lower).
-func runE11(cfg Config) (*Table, error) {
+const e11Delta = 1.0
+
+func e11Shape(cfg Config) (nFixed int, betas []float64, ns []int) {
+	if cfg.Quick {
+		return 6, []float64{0.25, 0.75, 1.25}, []int{4, 6}
+	}
+	return 8, []float64{0.5, 1, 1.5, 2, 2.5, 3}, []int{4, 6, 8, 10}
+}
+
+// planE11 declares the two sub-sweeps: β at fixed n, then n at fixed β.
+func planE11(cfg Config) ([]Segment, error) {
+	nFixed, betas, ns := e11Shape(cfg)
+	betaGrid := grid(spec.Spec{Game: "ising", Graph: "ring", N: nFixed, Delta1: e11Delta}, betas, cfg.eps())
+	nGrid := grid(spec.Spec{Game: "ising", Graph: "ring", Delta1: e11Delta}, []float64{0.5}, cfg.eps())
+	nGrid.Axes.N = ns
+	return []Segment{{Name: "beta", Grid: betaGrid}, {Name: "n", Grid: nGrid}}, nil
+}
+
+// deriveE11 checks both envelope theorems on every point of both
+// sub-sweeps and fits the β slope against 2δ.
+func deriveE11(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E11", Title: "ring mixing (Theorems 5.6/5.7)",
 		Columns: []string{"sweep", "n", "beta", "tmix_measured", "thm56_upper", "thm57_lower", "within"}}
-	delta := 1.0
 	eps := cfg.eps()
-	nFixed := 8
-	betasSweep := []float64{0.5, 1, 1.5, 2, 2.5, 3}
-	nsSweep := []int{4, 6, 8, 10}
-	if cfg.Quick {
-		nFixed = 6
-		betasSweep = []float64{0.25, 0.75, 1.25}
-		nsSweep = []int{4, 6}
-	}
 	allWithin := true
-	measure := func(sweep string, n int, beta float64) (int64, error) {
-		g, err := game.NewIsing(graph.Ring(n), delta)
-		if err != nil {
-			return 0, err
-		}
-		a, err := core.NewAnalyzer(g, beta)
-		if err != nil {
-			return 0, err
-		}
-		tm, err := a.MixingTime(eps, 0)
-		if err != nil {
-			return 0, err
-		}
-		upper := mixing.Theorem56Upper(n, beta, delta, eps)
-		lower := mixing.Theorem57Lower(beta, delta, eps)
-		within := float64(tm) <= upper && float64(tm) >= lower
+	add := func(sweepName string, row rowView) int64 {
+		upper := mixing.Theorem56Upper(row.n, row.beta, e11Delta, eps)
+		lower := mixing.Theorem57Lower(row.beta, e11Delta, eps)
+		within := float64(row.tmix) <= upper && float64(row.tmix) >= lower
 		allWithin = allWithin && within
-		t.AddRow(sweep, n, beta, tm, upper, lower, within)
-		return tm, nil
+		t.AddRow(sweepName, row.n, row.beta, row.tmix, upper, lower, within)
+		return row.tmix
 	}
-	times := make([]float64, len(betasSweep))
-	for i, beta := range betasSweep {
-		tm, err := measure("beta", nFixed, beta)
-		if err != nil {
-			return nil, err
-		}
+	betaRows := res.Rows("beta")
+	betas := make([]float64, len(betaRows))
+	times := make([]float64, len(betaRows))
+	for i, row := range betaRows {
+		tm := add("beta", rowView{n: row.N, beta: float64(row.Beta), tmix: row.MixingTime})
+		betas[i] = float64(row.Beta)
 		times[i] = math.Max(float64(tm), 1)
 	}
-	for _, n := range nsSweep {
-		if _, err := measure("n", n, 0.5); err != nil {
-			return nil, err
-		}
+	for _, row := range res.Rows("n") {
+		add("n", rowView{n: row.N, beta: float64(row.Beta), tmix: row.MixingTime})
 	}
-	slope, err := mixing.GrowthExponent(betasSweep[len(betasSweep)/2:], times[len(times)/2:])
+	slope, err := mixing.GrowthExponent(betas[len(betas)/2:], times[len(times)/2:])
 	if err != nil {
 		return nil, err
 	}
 	t.Note("measured t_mix inside the [Thm 5.7, Thm 5.6] envelope at every point: %v", allWithin)
-	t.Note("β-sweep slope %.3f vs predicted 2δ = %.3f", slope, 2*delta)
+	t.Note("β-sweep slope %.3f vs predicted 2δ = %.3f", slope, 2*e11Delta)
 	return t, nil
 }
 
-// runE12 tracks the stationary mass of the risk-dominant equilibrium of a
-// 2×2 coordination game as β grows (Blume 1993, the paper's Section 1).
-func runE12(cfg Config) (*Table, error) {
+// rowView is the slice of a sweep row E11's envelope check consumes.
+type rowView struct {
+	n    int
+	beta float64
+	tmix int64
+}
+
+var e12Betas = []float64{0, 0.5, 1, 2, 4, 8}
+
+// planE12 sweeps β on the 2×2 coordination game with (0,0) risk dominant.
+// The profile space has 4 states; the full grid is cheap even in Quick
+// mode, and the β=8 endpoint is what drives the mass to 1.
+func planE12(cfg Config) ([]Segment, error) {
+	return []Segment{{Name: "beta", Grid: grid(spec.Spec{Game: "coordination", Delta0: 3, Delta1: 2}, e12Betas, cfg.eps())}}, nil
+}
+
+// deriveE12 tracks the stationary mass of the risk-dominant equilibrium as
+// β grows (Blume 1993, the paper's Section 1); the masses are read from
+// the stationary vector of each point's report document.
+func deriveE12(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E12", Title: "risk-dominant selection (Blume 1993)",
 		Columns: []string{"beta", "pi(risk-dominant)", "pi(other NE)", "pi(mixed profiles)"}}
 	base, err := game.NewCoordination2x2(3, 2, 0, 0) // (0,0) risk dominant
 	if err != nil {
 		return nil, err
 	}
-	// The profile space has 4 states; the full grid is cheap even in Quick
-	// mode, and the β=8 endpoint is what drives the mass to 1.
-	betas := []float64{0, 0.5, 1, 2, 4, 8}
+	sp := game.SpaceOf(base)
 	var masses []float64
-	for _, beta := range betas {
-		a, err := core.NewAnalyzer(base, beta)
+	for i, beta := range e12Betas {
+		doc, err := res.Doc("beta", i)
 		if err != nil {
 			return nil, err
 		}
-		pi, err := a.Gibbs()
-		if err != nil {
-			return nil, err
-		}
-		sp := a.Dynamics().Space()
+		pi := doc.Stationary
 		rd := pi[sp.Encode([]int{0, 0})]
 		other := pi[sp.Encode([]int{1, 1})]
 		mixed := pi[sp.Encode([]int{0, 1})] + pi[sp.Encode([]int{1, 0})]

@@ -4,38 +4,33 @@ import (
 	"fmt"
 	"math"
 
-	"logitdyn/internal/core"
 	"logitdyn/internal/game"
-	"logitdyn/internal/logit"
 	"logitdyn/internal/mixing"
 	"logitdyn/internal/rng"
-	"logitdyn/internal/spectral"
+	"logitdyn/internal/spec"
 )
 
 func init() {
-	register(Experiment{ID: "E1", Title: "Theorem 3.1 — eigenvalues of potential-game logit chains are non-negative", Run: runE1})
-	register(Experiment{ID: "E2", Title: "Lemma 3.2 — relaxation time at β = 0 is at most n", Run: runE2})
-	register(Experiment{ID: "E3", Title: "Theorem 3.4 — all-β upper bound 2mn·e^{βΔΦ}(…)", Run: runE3})
-	register(Experiment{ID: "E4", Title: "Theorem 3.5 — double-well lower bound e^{βΔΦ(1−o(1))}", Run: runE4})
-	register(Experiment{ID: "E5", Title: "Theorem 3.6 — small β mixes in O(n log n)", Run: runE5})
-	register(Experiment{ID: "E6", Title: "Theorems 3.8/3.9 — large-β growth exponent is ζ, not ΔΦ", Run: runE6})
+	register(Experiment{ID: "E1", Title: "Theorem 3.1 — eigenvalues of potential-game logit chains are non-negative", Plan: planE1, Derive: deriveE1})
+	register(Experiment{ID: "E2", Title: "Lemma 3.2 — relaxation time at β = 0 is at most n", Plan: planE2, Derive: deriveE2})
+	register(Experiment{ID: "E3", Title: "Theorem 3.4 — all-β upper bound 2mn·e^{βΔΦ}(…)", Plan: planE3, Derive: deriveE3})
+	register(Experiment{ID: "E4", Title: "Theorem 3.5 — double-well lower bound e^{βΔΦ(1−o(1))}", Plan: planE4, Derive: deriveE4})
+	register(Experiment{ID: "E5", Title: "Theorem 3.6 — small β mixes in O(n log n)", Plan: planE5, Derive: deriveE5})
+	register(Experiment{ID: "E6", Title: "Theorems 3.8/3.9 — large-β growth exponent is ζ, not ΔΦ", Plan: planE6, Derive: deriveE6})
 }
 
-func decompose(d *logit.Dynamics) (*spectral.Decomposition, error) {
-	pi, err := d.Stationary()
-	if err != nil {
-		return nil, err
-	}
-	return spectral.Decompose(d.TransitionDense(), pi)
-}
-
-// runE1 checks λ_min >= 0 across random potential games and game families.
-func runE1(cfg Config) (*Table, error) {
-	t := &Table{ID: "E1", Title: "eigenvalue non-negativity (Theorem 3.1)",
-		Columns: []string{"game", "n", "m", "beta", "lambda_min", "lambda_2", "trel=1/(1-l2)", "nonneg"}}
-	type trial struct {
+// e1Trials lists E1's games: seed replicates of the random-potential
+// family (their split seeds spelled out so the grid is declarative) plus
+// the coordination and dominant families. The display shape (n, max m) is
+// recorded per trial.
+func e1Trials(cfg Config) []struct {
+	name string
+	base spec.Spec
+	n, m int
+} {
+	type trial = struct {
 		name string
-		g    game.Game
+		base spec.Spec
 		n, m int
 	}
 	r := rng.New(cfg.Seed)
@@ -45,112 +40,119 @@ func runE1(cfg Config) (*Table, error) {
 		sizes = append(sizes, []int{2, 3, 2}, []int{2, 2, 2, 2})
 	}
 	for si, sz := range sizes {
-		g := game.NewRandomPotential(sz, 2.0, r.Split(uint64(si)))
 		maxM := 0
 		for _, m := range sz {
 			if m > maxM {
 				maxM = m
 			}
 		}
-		trials = append(trials, trial{fmt.Sprintf("random-%d", si), g, len(sz), maxM})
+		trials = append(trials, trial{
+			name: fmt.Sprintf("random-%d", si),
+			base: spec.Spec{Game: "random", Sizes: sz, Scale: 2.0, Seed: r.SplitSeed(uint64(si))},
+			n:    len(sz), m: maxM,
+		})
 	}
-	base, err := game.NewCoordination2x2(3, 2, 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	trials = append(trials, trial{"coordination", base, 2, 2})
-	dom, err := game.NewDominantDiagonal(3, 3)
-	if err != nil {
-		return nil, err
-	}
-	trials = append(trials, trial{"dominant", dom, 3, 3})
+	trials = append(trials,
+		trial{name: "coordination", base: spec.Spec{Game: "coordination", Delta0: 3, Delta1: 2}, n: 2, m: 2},
+		trial{name: "dominant", base: spec.Spec{Game: "dominant", N: 3, M: 3}, n: 3, m: 3},
+	)
+	return trials
+}
 
-	betas := []float64{0, 0.5, 1, 2}
+var e1Betas = []float64{0, 0.5, 1, 2}
+
+// planE1 declares one segment per trial game, all swept over the same β
+// list.
+func planE1(cfg Config) ([]Segment, error) {
+	var segs []Segment
+	for _, tr := range e1Trials(cfg) {
+		segs = append(segs, Segment{Name: tr.name, Grid: grid(tr.base, e1Betas, cfg.eps())})
+	}
+	return segs, nil
+}
+
+// deriveE1 checks λ_min >= 0 across the trials. The spectrum is read off
+// the rows: λ_min directly, and λ2 as λ* (they coincide exactly when the
+// spectrum is non-negative, which is the theorem under test).
+func deriveE1(cfg Config, res *Results) (*Table, error) {
+	t := &Table{ID: "E1", Title: "eigenvalue non-negativity (Theorem 3.1)",
+		Columns: []string{"game", "n", "m", "beta", "lambda_min", "lambda_2", "trel=1/(1-l2)", "nonneg"}}
 	allNonneg := true
-	for _, tr := range trials {
-		for _, beta := range betas {
-			d, err := logit.New(tr.g, beta)
-			if err != nil {
-				return nil, err
-			}
-			dec, err := decompose(d)
-			if err != nil {
-				return nil, err
-			}
-			lmin := dec.MinEigenvalue()
-			l2 := dec.Values[1]
+	for _, tr := range e1Trials(cfg) {
+		for _, row := range res.Rows(tr.name) {
+			lmin := float64(row.MinEigenvalue)
+			l2 := float64(row.LambdaStar)
 			nonneg := lmin >= -1e-9
 			allNonneg = allNonneg && nonneg
-			t.AddRow(tr.name, tr.n, tr.m, beta, lmin, l2, 1/(1-l2), nonneg)
+			t.AddRow(tr.name, tr.n, tr.m, float64(row.Beta), lmin, l2, 1/(1-l2), nonneg)
 		}
 	}
 	t.Note("Theorem 3.1 shape check (all eigenvalues >= 0, so t_rel = 1/(1−λ2)): %v", allNonneg)
 	return t, nil
 }
 
-// runE2 measures t_rel at β = 0 against the Lemma 3.2 bound n.
-func runE2(cfg Config) (*Table, error) {
+func e2Ns(cfg Config) []int {
+	if cfg.Quick {
+		return []int{2, 3, 4, 5}
+	}
+	return []int{2, 3, 4, 5, 6, 7, 8}
+}
+
+// planE2 sweeps n over the linear weight-potential family at β = 0.
+func planE2(cfg Config) ([]Segment, error) {
+	g := grid(spec.Spec{Game: "weightpot"}, []float64{0}, cfg.eps())
+	g.Axes.N = e2Ns(cfg)
+	return []Segment{{Name: "n", Grid: g}}, nil
+}
+
+// deriveE2 compares the measured t_rel against the Lemma 3.2 bound n.
+func deriveE2(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E2", Title: "relaxation time at β=0 (Lemma 3.2)",
 		Columns: []string{"n", "trel_measured", "bound_n", "under_bound"}}
-	ns := []int{2, 3, 4, 5, 6, 7, 8}
-	if cfg.Quick {
-		ns = []int{2, 3, 4, 5}
-	}
 	ok := true
-	for _, n := range ns {
-		g, err := game.NewWeightPotential(n, func(w int) float64 { return float64(w) })
-		if err != nil {
-			return nil, err
-		}
-		d, err := logit.New(g, 0)
-		if err != nil {
-			return nil, err
-		}
-		dec, err := decompose(d)
-		if err != nil {
-			return nil, err
-		}
-		trel := dec.RelaxationTime()
-		under := trel <= float64(n)+1e-6
+	for _, row := range res.Rows("n") {
+		trel := float64(row.RelaxationTime)
+		under := trel <= float64(row.N)+1e-6
 		ok = ok && under
-		t.AddRow(n, trel, n, under)
+		t.AddRow(row.N, trel, row.N, under)
 	}
 	t.Note("Lemma 3.2 shape check (t_rel <= n at β=0; the lazy walk attains it exactly): %v", ok)
 	return t, nil
 }
 
-// runE3 sweeps β on a fixed potential game and compares the measured t_mix
-// with the Theorem 3.4 envelope and growth rate.
-func runE3(cfg Config) (*Table, error) {
+var e3Base = spec.Spec{Game: "coordination", Delta0: 3, Delta1: 2}
+
+func e3Betas(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{0, 0.5, 1, 2}
+	}
+	return []float64{0, 0.25, 0.5, 0.75, 1, 1.5, 2, 2.5, 3}
+}
+
+// planE3 sweeps β on the fixed coordination game.
+func planE3(cfg Config) ([]Segment, error) {
+	return []Segment{{Name: "beta", Grid: grid(e3Base, e3Betas(cfg), cfg.eps())}}, nil
+}
+
+// deriveE3 compares measured t_mix with the Theorem 3.4 envelope (ΔΦ read
+// from the rows) and fits the large-β growth slope.
+func deriveE3(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E3", Title: "all-β upper bound (Theorem 3.4)",
 		Columns: []string{"beta", "tmix_measured", "thm34_bound", "ratio", "under_bound"}}
-	base, err := game.NewCoordination2x2(3, 2, 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	st, err := mixing.AnalyzePotential(base)
-	if err != nil {
-		return nil, err
-	}
-	betas := []float64{0, 0.25, 0.5, 0.75, 1, 1.5, 2, 2.5, 3}
-	if cfg.Quick {
-		betas = []float64{0, 0.5, 1, 2}
-	}
+	rows := res.Rows("beta")
 	eps := cfg.eps()
 	allUnder := true
-	times := make([]float64, len(betas))
-	for i, beta := range betas {
-		a, err := core.NewAnalyzer(base, beta)
-		if err != nil {
-			return nil, err
-		}
-		tm, err := a.MixingTime(eps, 0)
-		if err != nil {
-			return nil, err
-		}
-		bound := mixing.Theorem34Upper(2, 2, beta, st.DeltaPhi, eps)
+	betas := make([]float64, len(rows))
+	times := make([]float64, len(rows))
+	var deltaPhi, zeta float64
+	for i, row := range rows {
+		beta := float64(row.Beta)
+		tm := row.MixingTime
+		deltaPhi, zeta = float64(row.DeltaPhi), float64(row.Zeta)
+		bound := mixing.Theorem34Upper(2, 2, beta, deltaPhi, eps)
 		under := float64(tm) <= bound
 		allUnder = allUnder && under
+		betas[i] = beta
 		times[i] = math.Max(float64(tm), 1)
 		t.AddRow(beta, tm, bound, float64(tm)/bound, under)
 	}
@@ -160,46 +162,51 @@ func runE3(cfg Config) (*Table, error) {
 	}
 	t.Note("measured t_mix under the Theorem 3.4 bound at every β: %v", allUnder)
 	t.Note("large-β growth slope of log t_mix: %.3f (Thm 3.4 permits at most ΔΦ = %.3f; Thm 3.8 predicts ζ = %.3f)",
-		slope, st.DeltaPhi, st.Zeta)
+		slope, deltaPhi, zeta)
 	return t, nil
 }
 
-// runE4 measures the double-well lower bound of Theorem 3.5.
-func runE4(cfg Config) (*Table, error) {
+func e4Shape(cfg Config) (n, c int) {
+	if cfg.Quick {
+		return 6, 2
+	}
+	return 8, 3
+}
+
+func e4Betas(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{1, 2, 3}
+	}
+	return []float64{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+// planE4 sweeps β on the symmetric double well.
+func planE4(cfg Config) ([]Segment, error) {
+	n, c := e4Shape(cfg)
+	base := spec.Spec{Game: "doublewell", N: n, C: c, Delta1: 1.0}
+	return []Segment{{Name: "beta", Grid: grid(base, e4Betas(cfg), cfg.eps())}}, nil
+}
+
+// deriveE4 checks the Theorem 3.5 lower bound (ΔΦ and δΦ from the rows)
+// and fits the asymptotic slope on the top half of the β grid.
+func deriveE4(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E4", Title: "double-well lower bound (Theorem 3.5)",
 		Columns: []string{"beta", "tmix_measured", "thm35_lower", "above_lower"}}
-	n, c := 8, 3
-	l := 1.0
-	if cfg.Quick {
-		n, c = 6, 2
-	}
-	dw, err := game.NewDoubleWell(n, c, l)
-	if err != nil {
-		return nil, err
-	}
-	st, err := mixing.AnalyzePotential(dw)
-	if err != nil {
-		return nil, err
-	}
-	betas := []float64{1, 2, 3, 4, 5, 6, 7, 8}
-	if cfg.Quick {
-		betas = []float64{1, 2, 3}
-	}
+	n, _ := e4Shape(cfg)
+	rows := res.Rows("beta")
 	eps := cfg.eps()
 	allAbove := true
-	times := make([]float64, len(betas))
-	for i, beta := range betas {
-		a, err := core.NewAnalyzer(dw, beta)
-		if err != nil {
-			return nil, err
-		}
-		tm, err := a.MixingTime(eps, 0)
-		if err != nil {
-			return nil, err
-		}
-		lower := mixing.Theorem35Lower(n, 2, beta, st.DeltaPhi, st.SmallDeltaPhi, eps)
+	betas := make([]float64, len(rows))
+	times := make([]float64, len(rows))
+	var deltaPhi float64
+	for i, row := range rows {
+		beta := float64(row.Beta)
+		tm := row.MixingTime
+		deltaPhi = float64(row.DeltaPhi)
+		lower := mixing.Theorem35Lower(n, 2, beta, deltaPhi, float64(row.SmallDeltaPhi), eps)
 		above := float64(tm) >= lower
 		allAbove = allAbove && above
+		betas[i] = beta
 		times[i] = math.Max(float64(tm), 1)
 		t.AddRow(beta, tm, lower, above)
 	}
@@ -210,22 +217,26 @@ func runE4(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	t.Note("measured t_mix above the Theorem 3.5 lower bound at every β: %v", allAbove)
-	t.Note("growth slope %.3f vs ΔΦ = %.3f (Thm 3.5 predicts slope → ΔΦ)", slope, st.DeltaPhi)
+	t.Note("growth slope %.3f vs ΔΦ = %.3f (Thm 3.5 predicts slope → ΔΦ)", slope, deltaPhi)
 	return t, nil
 }
 
-// runE5 checks the O(n log n) small-β regime of Theorem 3.6.
-func runE5(cfg Config) (*Table, error) {
-	t := &Table{ID: "E5", Title: "small-β fast mixing (Theorem 3.6)",
-		Columns: []string{"n", "beta=c/(n dPhi)", "tmix_measured", "thm36_bound", "tmix/(n log n)", "under_bound"}}
-	ns := []int{3, 4, 5, 6, 7, 8, 9}
+func e5Ns(cfg Config) []int {
 	if cfg.Quick {
-		ns = []int{3, 4, 5, 6}
+		return []int{3, 4, 5, 6}
 	}
-	const cConst = 0.5
-	eps := cfg.eps()
-	allUnder := true
-	for _, n := range ns {
+	return []int{3, 4, 5, 6, 7, 8, 9}
+}
+
+const e5Const = 0.5
+
+// planE5 pairs each n with its own β = c/(n·δΦ): the axes are zipped, not
+// crossed, so each n is its own one-point segment. δΦ comes from the
+// game's potential statistics, computed at plan time (game construction,
+// not chain analysis).
+func planE5(cfg Config) ([]Segment, error) {
+	var segs []Segment
+	for _, n := range e5Ns(cfg) {
 		dw, err := game.NewDoubleWell(n, n/2, 1.0)
 		if err != nil {
 			return nil, err
@@ -234,63 +245,75 @@ func runE5(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		beta := cConst / (float64(n) * st.SmallDeltaPhi)
-		a, err := core.NewAnalyzer(dw, beta)
+		beta := e5Const / (float64(n) * st.SmallDeltaPhi)
+		base := spec.Spec{Game: "doublewell", N: n, C: n / 2, Delta1: 1.0}
+		segs = append(segs, Segment{Name: fmt.Sprintf("n=%d", n), Grid: grid(base, []float64{beta}, cfg.eps())})
+	}
+	return segs, nil
+}
+
+// deriveE5 checks the O(n log n) small-β regime of Theorem 3.6.
+func deriveE5(cfg Config, res *Results) (*Table, error) {
+	t := &Table{ID: "E5", Title: "small-β fast mixing (Theorem 3.6)",
+		Columns: []string{"n", "beta=c/(n dPhi)", "tmix_measured", "thm36_bound", "tmix/(n log n)", "under_bound"}}
+	eps := cfg.eps()
+	allUnder := true
+	for _, n := range e5Ns(cfg) {
+		row, err := res.Row(fmt.Sprintf("n=%d", n), 0)
 		if err != nil {
 			return nil, err
 		}
-		tm, err := a.MixingTime(eps, 0)
-		if err != nil {
-			return nil, err
-		}
-		bound := mixing.Theorem36Upper(n, cConst, eps)
+		tm := row.MixingTime
+		bound := mixing.Theorem36Upper(n, e5Const, eps)
 		under := float64(tm) <= bound
 		allUnder = allUnder && under
-		t.AddRow(n, beta, tm, bound, float64(tm)/(float64(n)*math.Log(float64(n))), under)
+		t.AddRow(n, float64(row.Beta), tm, bound, float64(tm)/(float64(n)*math.Log(float64(n))), under)
 	}
 	t.Note("measured t_mix under the Theorem 3.6 bound at every n: %v", allUnder)
 	t.Note("t_mix/(n log n) stays bounded as n grows (Θ(n log n) scaling)")
 	return t, nil
 }
 
-// runE6 demonstrates that the large-β exponent is ζ, not ΔΦ, using the
-// asymmetric double well with ζ < ΔΦ.
-func runE6(cfg Config) (*Table, error) {
+func e6N(cfg Config) int {
+	if cfg.Quick {
+		return 5
+	}
+	return 7
+}
+
+func e6Betas(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{2, 4, 6}
+	}
+	return []float64{2, 3, 4, 5, 6, 8, 10, 12}
+}
+
+// planE6 sweeps β on the asymmetric double well (ζ < ΔΦ).
+func planE6(cfg Config) ([]Segment, error) {
+	base := spec.Spec{Game: "asymwell", N: e6N(cfg), C: 2, Depth: 3.0, Shallow: 1.0}
+	return []Segment{{Name: "beta", Grid: grid(base, e6Betas(cfg), cfg.eps())}}, nil
+}
+
+// deriveE6 demonstrates that the large-β exponent is ζ, not ΔΦ.
+func deriveE6(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E6", Title: "large-β exponent is ζ (Theorems 3.8/3.9)",
 		Columns: []string{"beta", "tmix_measured", "thm38_upper", "thm39_lower(|dR|=m^n)", "within"}}
-	n, c := 7, 2
-	deep, shallow := 3.0, 1.0
-	if cfg.Quick {
-		n = 5
-	}
-	g, err := game.NewAsymmetricDoubleWell(n, c, deep, shallow)
-	if err != nil {
-		return nil, err
-	}
-	st, err := mixing.AnalyzePotential(g)
-	if err != nil {
-		return nil, err
-	}
-	betas := []float64{2, 3, 4, 5, 6, 8, 10, 12}
-	if cfg.Quick {
-		betas = []float64{2, 4, 6}
-	}
+	n := e6N(cfg)
+	rows := res.Rows("beta")
 	eps := cfg.eps()
-	times := make([]float64, len(betas))
 	allWithin := true
-	for i, beta := range betas {
-		a, err := core.NewAnalyzer(g, beta)
-		if err != nil {
-			return nil, err
-		}
-		tm, err := a.MixingTime(eps, 0)
-		if err != nil {
-			return nil, err
-		}
-		upper := mixing.Theorem38Upper(n, 2, beta, st.Zeta, st.DeltaPhi, eps)
-		lower := mixing.Theorem39Lower(2, math.Pow(2, float64(n)), beta, st.Zeta, eps)
+	betas := make([]float64, len(rows))
+	times := make([]float64, len(rows))
+	var deltaPhi, zeta float64
+	for i, row := range rows {
+		beta := float64(row.Beta)
+		tm := row.MixingTime
+		deltaPhi, zeta = float64(row.DeltaPhi), float64(row.Zeta)
+		upper := mixing.Theorem38Upper(n, 2, beta, zeta, deltaPhi, eps)
+		lower := mixing.Theorem39Lower(2, math.Pow(2, float64(n)), beta, zeta, eps)
 		within := float64(tm) <= upper && float64(tm) >= lower
 		allWithin = allWithin && within
+		betas[i] = beta
 		times[i] = math.Max(float64(tm), 1)
 		t.AddRow(beta, tm, upper, lower, within)
 	}
@@ -298,7 +321,7 @@ func runE6(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Note("ζ = %.3f, ΔΦ = %.3f: fitted slope %.3f tracks ζ (Thm 3.8/3.9), not ΔΦ", st.Zeta, st.DeltaPhi, slope)
+	t.Note("ζ = %.3f, ΔΦ = %.3f: fitted slope %.3f tracks ζ (Thm 3.8/3.9), not ΔΦ", zeta, deltaPhi, slope)
 	t.Note("measured t_mix inside the [Thm 3.9, Thm 3.8] envelope at every β: %v", allWithin)
 	return t, nil
 }

@@ -1,60 +1,48 @@
 package bench
 
 import (
-	"logitdyn/internal/game"
-	"logitdyn/internal/graph"
-	"logitdyn/internal/logit"
-	"logitdyn/internal/mixing"
+	"logitdyn/internal/spec"
 )
 
 func init() {
-	register(Experiment{ID: "E15", Title: "extension — stationary expected social welfare vs mixing (SAGT'10 companion)", Run: runE15})
+	register(Experiment{ID: "E15", Title: "extension — stationary expected social welfare vs mixing (SAGT'10 companion)", Plan: planE15, Derive: deriveE15})
 }
 
-// runE15 reproduces the flavor of the authors' companion result (reference
-// [4]): the stationary expected social welfare of the logit dynamics as a
-// function of β, paired with the mixing time needed to realize it. Rational
+func e15Betas(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{0, 0.5, 1, 2}
+	}
+	return []float64{0, 0.25, 0.5, 1, 1.5, 2, 3}
+}
+
+// planE15 sweeps β on the ring-graphical coordination game.
+func planE15(cfg Config) ([]Segment, error) {
+	base := spec.Spec{Game: "graphical", Graph: "ring", N: 6, Delta0: 3, Delta1: 2}
+	return []Segment{{Name: "beta", Grid: grid(base, e15Betas(cfg), cfg.eps())}}, nil
+}
+
+// deriveE15 reproduces the flavor of the authors' companion result
+// (reference [4]): the stationary expected social welfare of the logit
+// dynamics as a function of β — read straight off the sweep rows' welfare
+// columns — paired with the mixing time needed to realize it. Rational
 // play (high β) extracts near-optimal welfare from the coordination game
 // but pays for it with exponentially slower convergence — the paper's
 // central trade-off in one table.
-func runE15(cfg Config) (*Table, error) {
+func deriveE15(cfg Config, res *Results) (*Table, error) {
 	t := &Table{ID: "E15", Title: "welfare/mixing trade-off",
 		Columns: []string{"beta", "E_pi[SW]", "optimum", "welfare_ratio", "tmix", "welfare_increasing"}}
-	base, err := game.NewCoordination2x2(3, 2, 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	g, err := game.NewGraphical(graph.Ring(6), base)
-	if err != nil {
-		return nil, err
-	}
-	betas := []float64{0, 0.25, 0.5, 1, 1.5, 2, 3}
-	if cfg.Quick {
-		betas = []float64{0, 0.5, 1, 2}
-	}
-	eps := cfg.eps()
 	prev := -1e18
 	allIncreasing := true
 	var ratios []float64
-	for _, beta := range betas {
-		d, err := logit.New(g, beta)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := mixing.StationaryWelfare(d, nil)
-		if err != nil {
-			return nil, err
-		}
-		res, err := mixing.ExactMixingTime(d, eps, 1<<50)
-		if err != nil {
-			return nil, err
-		}
-		increasing := rep.Expected >= prev-1e-9
+	for _, row := range res.Rows("beta") {
+		expected := float64(row.WelfareExpected)
+		optimum := float64(row.WelfareOptimum)
+		increasing := expected >= prev-1e-9
 		allIncreasing = allIncreasing && increasing
-		prev = rep.Expected
-		ratio := rep.Expected / rep.Optimum
+		prev = expected
+		ratio := expected / optimum
 		ratios = append(ratios, ratio)
-		t.AddRow(beta, rep.Expected, rep.Optimum, ratio, res.MixingTime, increasing)
+		t.AddRow(float64(row.Beta), expected, optimum, ratio, row.MixingTime, increasing)
 	}
 	t.Note("expected welfare increases with β on the aligned coordination game: %v", allIncreasing)
 	t.Note("welfare ratio climbs from %.3f (β=0) to %.3f at the largest β, while t_mix grows exponentially — the paper's rationality/convergence trade-off",

@@ -180,7 +180,7 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 	var reconPhi []float64
 
 	if backend == logit.BackendDense {
-		if res, err := mixing.ExactMixingTime(a.dyn, opts.Eps, opts.MaxT); err == nil {
+		if res, err := mixing.ExactMixingTimePar(a.dyn, opts.Eps, opts.MaxT, opts.Parallel); err == nil {
 			rep.MixingTimeExact = true
 			rep.SpectralConverged = true
 			rep.MixingTime = res.MixingTime
@@ -197,7 +197,7 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 			if maxEvo > 1<<20 {
 				maxEvo = 1 << 20
 			}
-			tm, evoErr := mixing.EvolutionMixingTime(a.dyn, opts.Eps, int(maxEvo))
+			tm, evoErr := mixing.EvolutionMixingTimePar(a.dyn, opts.Eps, int(maxEvo), opts.Parallel)
 			if evoErr != nil {
 				return nil, fmt.Errorf("core: spectral route failed (%v) and evolution fallback failed (%v)", err, evoErr)
 			}
@@ -239,7 +239,7 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 	}
 
 	if pi == nil {
-		pi, err = a.dyn.Stationary()
+		pi, err = a.dyn.StationaryPar(opts.Parallel)
 		if err != nil {
 			return nil, err
 		}

@@ -146,9 +146,16 @@ func (g *RowGen) AppendRow(idx int, row []markov.Entry) []markov.Entry {
 // accumulating the self-loop mass Σ_i σ_i(x_i | x)/n. This is the primary
 // representation; the dense and CSR forms are derived from it.
 func (d *Dynamics) TransitionSparse() *markov.Sparse {
+	return d.TransitionSparsePar(linalg.ParallelConfig{})
+}
+
+// TransitionSparsePar is TransitionSparse under an explicit worker budget,
+// so serving layers can bound the build's fan-out by their token pool. The
+// budget never changes the rows, only how many goroutines fill them.
+func (d *Dynamics) TransitionSparsePar(par linalg.ParallelConfig) *markov.Sparse {
 	size := d.space.Size()
 	s := markov.NewSparse(size)
-	linalg.ParallelFor(size, func(lo, hi int) {
+	par.For(size, func(lo, hi int) {
 		gen := d.NewRowGen()
 		for idx := lo; idx < hi; idx++ {
 			s.Rows[idx] = gen.AppendRow(idx, make([]markov.Entry, 0, 1+d.space.Players()))
@@ -215,6 +222,12 @@ func (d *Dynamics) TransitionCSRPar(par linalg.ParallelConfig) *linalg.CSR {
 // path.
 func (d *Dynamics) TransitionDense() *linalg.Dense {
 	return d.TransitionSparse().Dense()
+}
+
+// TransitionDensePar is TransitionDense under an explicit worker budget
+// (threaded through the sparse-first construction).
+func (d *Dynamics) TransitionDensePar(par linalg.ParallelConfig) *linalg.Dense {
+	return d.TransitionSparsePar(par).Dense()
 }
 
 // Operator returns the transition matrix as a linalg.Operator in the
@@ -301,6 +314,16 @@ func (d *Dynamics) Stationary() ([]float64, error) {
 		return pi, nil
 	}
 	return markov.StationaryDirect(d.TransitionDense())
+}
+
+// StationaryPar is Stationary under an explicit worker budget for the
+// Gibbs sweep and the dense materialization of the fallback solve. As
+// everywhere in the parallel layer, the budget never changes the result.
+func (d *Dynamics) StationaryPar(par linalg.ParallelConfig) ([]float64, error) {
+	if pi, err := d.GibbsPar(par); err == nil {
+		return pi, nil
+	}
+	return markov.StationaryDirect(d.TransitionDensePar(par))
 }
 
 // Step performs one logit update in place: picks a player uniformly and

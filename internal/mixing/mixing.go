@@ -44,14 +44,25 @@ type Result struct {
 // t_mix(eps), capped at maxT. The chain must be reversible (potential game,
 // or any game whose stationary distribution makes it reversible).
 func ExactMixingTime(d *logit.Dynamics, eps float64, maxT int64) (*Result, error) {
-	pi, err := d.Stationary()
+	return ExactMixingTimePar(d, eps, maxT, linalg.ParallelConfig{})
+}
+
+// ExactMixingTimePar is ExactMixingTime under an explicit worker budget:
+// the transition-matrix build and the d(t) evaluation sweep fan out at
+// most par.Workers goroutines, so a serving layer's token pool governs the
+// dense exact route the same way it governs the Lanczos route. The budget
+// never changes any reported number — the matrix rows are filled at fixed
+// positions and the worst-start TV distance is an exact max-merge.
+func ExactMixingTimePar(d *logit.Dynamics, eps float64, maxT int64, par linalg.ParallelConfig) (*Result, error) {
+	pi, err := d.StationaryPar(par)
 	if err != nil {
 		return nil, err
 	}
-	dec, err := spectral.Decompose(d.TransitionDense(), pi)
+	dec, err := spectral.Decompose(d.TransitionDensePar(par), pi)
 	if err != nil {
 		return nil, err
 	}
+	dec.WithParallel(par)
 	tm, err := dec.MixingTime(eps, maxT)
 	if err != nil {
 		return nil, err
@@ -111,7 +122,7 @@ func RelaxationSandwichPar(d *logit.Dynamics, backend logit.Backend, eps float64
 		}
 	}
 	if backend == logit.BackendDense {
-		dec, derr := spectral.Decompose(d.TransitionDense(), pi)
+		dec, derr := spectral.Decompose(d.TransitionDensePar(par), pi)
 		if derr != nil {
 			return nil, derr
 		}
@@ -159,11 +170,18 @@ func RelaxationSandwichPar(d *logit.Dynamics, backend logit.Backend, eps float64
 // until the worst TV distance drops to eps. It is O(maxT·|S|·nnz) and exists
 // as an independent cross-check of the spectral route on small chains.
 func EvolutionMixingTime(d *logit.Dynamics, eps float64, maxT int) (int64, error) {
-	pi, err := d.Stationary()
+	return EvolutionMixingTimePar(d, eps, maxT, linalg.ParallelConfig{})
+}
+
+// EvolutionMixingTimePar is EvolutionMixingTime under an explicit worker
+// budget for the per-start evolution sweep (results are worker-invariant:
+// each start's distribution evolves in its own fixed slot).
+func EvolutionMixingTimePar(d *logit.Dynamics, eps float64, maxT int, par linalg.ParallelConfig) (int64, error) {
+	pi, err := d.StationaryPar(par)
 	if err != nil {
 		return 0, err
 	}
-	s := d.TransitionSparse()
+	s := d.TransitionSparsePar(par)
 	size := s.N
 	// One distribution per starting state.
 	dists := make([][]float64, size)
@@ -187,7 +205,7 @@ func EvolutionMixingTime(d *logit.Dynamics, eps float64, maxT int) (int64, error
 		return 0, nil
 	}
 	for t := 1; t <= maxT; t++ {
-		linalg.ParallelFor(size, func(lo, hi int) {
+		par.For(size, func(lo, hi int) {
 			for x := lo; x < hi; x++ {
 				s.Evolve(next[x], dists[x])
 			}

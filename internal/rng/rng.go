@@ -53,14 +53,22 @@ func (r *RNG) Uint64() uint64 {
 	return result
 }
 
+// SplitSeed returns the seed of the child stream Split(i) would produce:
+// New(r.SplitSeed(i)) and r.Split(i) are the same generator. Declarative
+// layers (experiment grids, spec files) use this to spell a split stream
+// as a plain seed value.
+func (r *RNG) SplitSeed(i uint64) uint64 {
+	// Mix the parent state with the index through splitmix64 so children
+	// with adjacent indices are decorrelated.
+	base := r.s[0] ^ bits.RotateLeft64(r.s[2], 31) ^ (i * 0xd1342543de82ef95)
+	return splitmix64(&base)
+}
+
 // Split returns a new generator whose stream is independent of r's and of
 // any other stream split from r with a different index. The child stream
 // depends only on r's current state and i, so splitting is deterministic.
 func (r *RNG) Split(i uint64) *RNG {
-	// Mix the parent state with the index through splitmix64 so children
-	// with adjacent indices are decorrelated.
-	base := r.s[0] ^ bits.RotateLeft64(r.s[2], 31) ^ (i * 0xd1342543de82ef95)
-	return New(splitmix64(&base))
+	return New(r.SplitSeed(i))
 }
 
 // Float64 returns a uniform float64 in [0, 1).

@@ -17,11 +17,13 @@
 // budget never changes results (see linalg/parallel.go): it only decides
 // how fast a request finishes.
 //
-// Scope: the budget governs the scaling hot paths — the sparse/matfree
-// operator pipeline, the Lanczos sweeps, replica simulation and request
-// materialization. The dense exact route (capped at the ≤4096-profile
-// dense limit) still uses its legacy GOMAXPROCS-default loops internally;
-// those bursts are brief and bounded by the dense cap, not by this pool.
+// Scope: the budget governs ALL analysis CPU — the sparse/matfree
+// operator pipeline, the Lanczos sweeps, replica simulation, request
+// materialization, and (since the dense-route unification) the dense
+// exact route too: the transition-matrix build and the d(t) evaluation
+// sweep thread the same worker budget instead of their former
+// GOMAXPROCS-default loops, so one budget truly bounds every goroutine
+// the service fans out.
 package service
 
 import (

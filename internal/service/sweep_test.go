@@ -288,3 +288,49 @@ func TestMalformedSpecIs400Not500(t *testing.T) {
 		}
 	}
 }
+
+// An eps axis rides through the daemon's sweep path: the per-point options
+// come from the job (not the grid), the serving key matches the runner key
+// (the internal guard would fail the rows otherwise), and distinct eps
+// targets occupy distinct cache slots.
+func TestSweepJobEpsAxis(t *testing.T) {
+	srv := startServer(t, service.Config{})
+	grid := map[string]any{
+		"axes": map[string]any{
+			"eps":  []float64{0.125, 0.25},
+			"beta": []float64{0.5},
+		},
+		"base": map[string]any{"game": "doublewell", "n": 6, "c": 2, "delta1": 1},
+	}
+	status, raw := postJSON(t, srv.URL+"/v1/sweeps", grid, nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d: %s", status, raw)
+	}
+	var created service.SweepCreatedDoc
+	if err := json.Unmarshal([]byte(raw), &created); err != nil {
+		t.Fatal(err)
+	}
+	doc := waitSweepDone(t, srv.URL, created.ID)
+	if doc.Status != "done" {
+		t.Fatalf("sweep ended %q (%s)", doc.Status, doc.Error)
+	}
+	if len(doc.Rows) != 2 || doc.Stats.Unique != 2 {
+		t.Fatalf("eps axis collapsed: %+v", doc.Stats)
+	}
+	for i, want := range []float64{0.125, 0.25} {
+		row := doc.Rows[i]
+		if row.Error != "" {
+			t.Fatalf("row %d failed: %s", i, row.Error)
+		}
+		if float64(row.Eps) != want {
+			t.Fatalf("row %d eps = %v, want %v", i, float64(row.Eps), want)
+		}
+	}
+	if doc.Rows[0].Key == doc.Rows[1].Key {
+		t.Fatal("different eps targets share a serving key")
+	}
+	// A tighter target can only take longer to mix.
+	if doc.Rows[0].MixingTime < doc.Rows[1].MixingTime {
+		t.Fatalf("t_mix(0.125) = %d < t_mix(0.25) = %d", doc.Rows[0].MixingTime, doc.Rows[1].MixingTime)
+	}
+}

@@ -99,8 +99,11 @@ func (s *Service) sweepEval(g *sweep.Grid) sweep.Eval {
 		if err != nil {
 			return sweep.Outcome{}, err
 		}
+		// Options come from the job, not the grid: an eps axis resolves
+		// per point, and j.Opts carries the normalized result the key was
+		// derived from.
 		resp, src, err := s.analyzeBuiltTier(
-			table, j.Digest, j.Spec.Game, j.Beta, g.Eps, g.MaxT, g.Backend)
+			table, j.Digest, j.Spec.Game, j.Beta, j.Opts.Eps, j.Opts.MaxT, g.Backend)
 		if err != nil {
 			return sweep.Outcome{}, err
 		}

@@ -161,6 +161,11 @@ func (l Limits) CheckSpecFor(s Spec, backend string) error {
 	if s.Game == "coordination" {
 		players = 2
 	}
+	if s.Game == "random" && len(s.Sizes) > 0 {
+		// Heterogeneous random games declare their exact shape; validate
+		// the vector directly (it overrides N and M).
+		return l.CheckSizesFor(s.Sizes, backend)
+	}
 	if l.MaxPlayers > 0 && players > l.MaxPlayers {
 		return fmt.Errorf("spec: %d players exceed the limit %d", players, l.MaxPlayers)
 	}

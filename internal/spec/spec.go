@@ -15,7 +15,7 @@ import (
 // wire format shared by the cmd/ binaries and internal/service.
 type Spec struct {
 	// Game selects the family: coordination, graphical, ising, doublewell,
-	// asymwell, dominant, congestion, random.
+	// weightpot, asymwell, dominant, congestion, random.
 	Game string `json:"game"`
 	// Graph selects the social graph for graphical/ising games: ring, path,
 	// clique, star, grid, torus.
@@ -25,6 +25,9 @@ type Spec struct {
 	N int `json:"n,omitempty"`
 	// M is the strategies-per-player count for dominant/random/congestion.
 	M int `json:"m,omitempty"`
+	// Sizes optionally gives the random family a heterogeneous per-player
+	// strategy-count vector; when set it overrides N and M.
+	Sizes []int `json:"sizes,omitempty"`
 	// C is the double-well barrier location.
 	C int `json:"c,omitempty"`
 	// Delta0, Delta1 are the coordination payoff gaps (δ0, δ1); Delta1
@@ -152,6 +155,16 @@ func (s Spec) Build() (game.Game, error) {
 		return game.NewIsing(g, s.Delta1)
 	case "doublewell":
 		return game.NewDoubleWell(s.N, s.C, s.Delta1)
+	case "weightpot":
+		// The linear weight potential Φ(x) = scale·w(x); Scale 0 means 1.
+		sc := s.Scale
+		if sc < 0 {
+			return nil, fmt.Errorf("spec: weightpot needs scale >= 0, got %v", s.Scale)
+		}
+		if sc == 0 {
+			sc = 1
+		}
+		return game.NewWeightPotential(s.N, func(w int) float64 { return sc * float64(w) })
 	case "asymwell":
 		return game.NewAsymmetricDoubleWell(s.N, s.C, s.Depth, s.Shallow)
 	case "dominant":
@@ -172,18 +185,28 @@ func (s Spec) Build() (game.Game, error) {
 	case "random":
 		// Validate before the eager tabulating constructor, which panics on
 		// degenerate shapes.
-		if s.N < 1 {
-			return nil, fmt.Errorf("spec: random needs n >= 1, got %d", s.N)
-		}
-		if s.M < 1 {
-			return nil, fmt.Errorf("spec: random needs m >= 1, got %d", s.M)
+		var sizes []int
+		if len(s.Sizes) > 0 {
+			for i, m := range s.Sizes {
+				if m < 1 {
+					return nil, fmt.Errorf("spec: random sizes[%d] = %d, need >= 1", i, m)
+				}
+			}
+			sizes = append(sizes, s.Sizes...)
+		} else {
+			if s.N < 1 {
+				return nil, fmt.Errorf("spec: random needs n >= 1, got %d", s.N)
+			}
+			if s.M < 1 {
+				return nil, fmt.Errorf("spec: random needs m >= 1, got %d", s.M)
+			}
+			sizes = make([]int, s.N)
+			for i := range sizes {
+				sizes[i] = s.M
+			}
 		}
 		if s.Scale < 0 {
 			return nil, fmt.Errorf("spec: random needs scale >= 0, got %v", s.Scale)
-		}
-		sizes := make([]int, s.N)
-		for i := range sizes {
-			sizes[i] = s.M
 		}
 		scale := s.Scale
 		if scale == 0 {
@@ -191,6 +214,6 @@ func (s Spec) Build() (game.Game, error) {
 		}
 		return game.NewRandomPotential(sizes, scale, rng.New(s.Seed)), nil
 	default:
-		return nil, fmt.Errorf("spec: unknown game %q (coordination|graphical|ising|weighted|doublewell|asymwell|dominant|congestion|random)", s.Game)
+		return nil, fmt.Errorf("spec: unknown game %q (coordination|graphical|ising|weighted|doublewell|weightpot|asymwell|dominant|congestion|random)", s.Game)
 	}
 }

@@ -38,6 +38,19 @@ type Decomposition struct {
 	Pi []float64
 	// sqrtPi caches sqrt(π).
 	sqrtPi []float64
+	// par is the worker budget for the d(t) evaluation sweep; the zero
+	// value selects GOMAXPROCS. It never changes the computed distance —
+	// the per-start worst is an exact max-merge.
+	par linalg.ParallelConfig
+}
+
+// WithParallel sets the worker budget used by Distance evaluations (and
+// everything built on them, like MixingTime) and returns d. Serving layers
+// pass their token-pool budget here so the dense exact route cannot fan
+// out past it.
+func (d *Decomposition) WithParallel(par linalg.ParallelConfig) *Decomposition {
+	d.par = par
+	return d
 }
 
 // Decompose symmetrizes the reversible chain (P, π) and computes its full
@@ -155,7 +168,7 @@ func (d *Decomposition) Distance(t int64) float64 {
 	worst := 0.0
 	var mu sync.Mutex
 	// For each start x: P^t(x,y) − π(y) = (sqrtPi[y]/sqrtPi[x]) Σ λ^t ψ(x)ψ(y).
-	linalg.ParallelFor(n, func(lo, hi int) {
+	d.par.For(n, func(lo, hi int) {
 		localWorst := 0.0
 		coef := make([]float64, len(modes))
 		for x := lo; x < hi; x++ {

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -45,7 +46,9 @@ func FuzzGridExpand(f *testing.F) {
 		// Expansion is deterministic: a second pass is identical.
 		again, _ := g.Expand(cap)
 		for i := range points {
-			if points[i] != again[i] {
+			// Spec carries a slice field (random-family Sizes), so the
+			// comparison is structural.
+			if !reflect.DeepEqual(points[i], again[i]) {
 				t.Fatalf("re-expansion diverged at point %d", i)
 			}
 		}

@@ -139,14 +139,36 @@ func (s Schedule) Expand() ([]float64, error) {
 }
 
 // Axes are the swept dimensions. An empty axis keeps the Base spec's value
-// for that field; Beta is the one axis every grid must declare.
+// for that field; Beta is the one axis every grid must declare. Every
+// numeric spec field is sweepable — the δ-parameters, the asymmetric-well
+// depths, the random-family scale and seed, the grid/torus shape — plus
+// Eps, which sweeps the analysis target rather than the game. Dedup is
+// untouched by which axis produced a point: keys are derived from the
+// materialized game content, β and the normalized options, so two axes
+// spelling the same game collapse to one analysis.
 type Axes struct {
-	Game  []string  `json:"game,omitempty"`
-	Graph []string  `json:"graph,omitempty"`
-	N     []int     `json:"n,omitempty"`
-	M     []int     `json:"m,omitempty"`
-	C     []int     `json:"c,omitempty"`
-	Beta  *Schedule `json:"beta,omitempty"`
+	Game  []string `json:"game,omitempty"`
+	Graph []string `json:"graph,omitempty"`
+	N     []int    `json:"n,omitempty"`
+	M     []int    `json:"m,omitempty"`
+	C     []int    `json:"c,omitempty"`
+	// Rows and Cols shape grid/torus graphs.
+	Rows []int `json:"rows,omitempty"`
+	Cols []int `json:"cols,omitempty"`
+	// Delta0/Delta1 are the coordination payoff gaps (Delta1 doubles as
+	// the Ising coupling δ); Depth/Shallow parameterize the asymmetric
+	// double well; Scale is the random-potential amplitude.
+	Delta0  []float64 `json:"delta0,omitempty"`
+	Delta1  []float64 `json:"delta1,omitempty"`
+	Depth   []float64 `json:"depth,omitempty"`
+	Shallow []float64 `json:"shallow,omitempty"`
+	Scale   []float64 `json:"scale,omitempty"`
+	// Seed sweeps random constructions (seed replicates of one family).
+	Seed []uint64 `json:"seed,omitempty"`
+	// Eps sweeps the total-variation target of the analysis itself; values
+	// must lie in (0, 1). An empty axis uses the grid-level Eps.
+	Eps  []float64 `json:"eps,omitempty"`
+	Beta *Schedule `json:"beta,omitempty"`
 }
 
 // Grid declares one sweep: the cross product of the axes over a base spec,
@@ -165,12 +187,14 @@ type Grid struct {
 	Backend string  `json:"backend,omitempty"`
 }
 
-// Point is one expanded grid point: a fully-resolved spec plus β, at its
-// position in the canonical expansion order.
+// Point is one expanded grid point: a fully-resolved spec plus β and the
+// analysis target, at its position in the canonical expansion order.
 type Point struct {
 	Index int
 	Spec  spec.Spec
 	Beta  float64
+	// Eps is the point's TV target; 0 means the grid-level Eps.
+	Eps float64
 }
 
 // ParseGrid strictly decodes a grid file.
@@ -194,6 +218,16 @@ func axisLen(n int) int {
 		return 1
 	}
 	return n
+}
+
+// checkAxisFloats rejects non-finite values on a float axis.
+func checkAxisFloats(name string, vals []float64) error {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sweep: %s axis: non-finite value %v", name, v)
+		}
+	}
+	return nil
 }
 
 // validate checks the non-combinatorial parts of the grid against the
@@ -222,22 +256,63 @@ func (g *Grid) validate(maxPoints int) ([]float64, error) {
 	if g.MaxT < 0 {
 		return nil, fmt.Errorf("sweep: max_t must be nonnegative, got %d", g.MaxT)
 	}
+	for name, vals := range map[string][]float64{
+		"delta0": g.Axes.Delta0, "delta1": g.Axes.Delta1,
+		"depth": g.Axes.Depth, "shallow": g.Axes.Shallow, "scale": g.Axes.Scale,
+	} {
+		if err := checkAxisFloats(name, vals); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range g.Axes.Eps {
+		if math.IsNaN(e) || e <= 0 || e >= 1 {
+			return nil, fmt.Errorf("sweep: eps axis values must be in (0, 1), got %v", e)
+		}
+	}
 	return g.Axes.Beta.Expand()
+}
+
+// axes returns the swept dimensions in their canonical nesting order —
+// outermost first, β always innermost — as (length, apply) pairs. The
+// order is part of the grid contract: the same grid file always expands
+// to the identical point list.
+func (g *Grid) axes(betas []float64) []axisSetter {
+	ax := &g.Axes
+	return []axisSetter{
+		{len(ax.Game), func(p *Point, i int) { p.Spec.Game = ax.Game[i] }},
+		{len(ax.Graph), func(p *Point, i int) { p.Spec.Graph = ax.Graph[i] }},
+		{len(ax.N), func(p *Point, i int) { p.Spec.N = ax.N[i] }},
+		{len(ax.M), func(p *Point, i int) { p.Spec.M = ax.M[i] }},
+		{len(ax.C), func(p *Point, i int) { p.Spec.C = ax.C[i] }},
+		{len(ax.Rows), func(p *Point, i int) { p.Spec.Rows = ax.Rows[i] }},
+		{len(ax.Cols), func(p *Point, i int) { p.Spec.Cols = ax.Cols[i] }},
+		{len(ax.Delta0), func(p *Point, i int) { p.Spec.Delta0 = ax.Delta0[i] }},
+		{len(ax.Delta1), func(p *Point, i int) { p.Spec.Delta1 = ax.Delta1[i] }},
+		{len(ax.Depth), func(p *Point, i int) { p.Spec.Depth = ax.Depth[i] }},
+		{len(ax.Shallow), func(p *Point, i int) { p.Spec.Shallow = ax.Shallow[i] }},
+		{len(ax.Scale), func(p *Point, i int) { p.Spec.Scale = ax.Scale[i] }},
+		{len(ax.Seed), func(p *Point, i int) { p.Spec.Seed = ax.Seed[i] }},
+		{len(ax.Eps), func(p *Point, i int) { p.Eps = ax.Eps[i] }},
+		{len(betas), func(p *Point, i int) { p.Beta = betas[i] }},
+	}
+}
+
+// axisSetter is one swept dimension: its declared length (0 = not swept)
+// and the field it writes.
+type axisSetter struct {
+	n     int
+	apply func(p *Point, i int)
 }
 
 // countPoints applies the cap to the axis cross product (overflow-safe:
 // the running product is checked after every factor).
-func (g *Grid) countPoints(nBetas, maxPoints int) (int, error) {
+func (g *Grid) countPoints(betas []float64, maxPoints int) (int, error) {
 	if maxPoints <= 0 {
 		maxPoints = DefaultMaxPoints
 	}
 	total := 1
-	for _, n := range []int{
-		axisLen(len(g.Axes.Game)), axisLen(len(g.Axes.Graph)),
-		axisLen(len(g.Axes.N)), axisLen(len(g.Axes.M)), axisLen(len(g.Axes.C)),
-		nBetas,
-	} {
-		total *= n
+	for _, s := range g.axes(betas) {
+		total *= axisLen(s.n)
 		if total > maxPoints {
 			return 0, fmt.Errorf("sweep: grid expands to more than %d points (cap %d)", total, maxPoints)
 		}
@@ -251,53 +326,41 @@ func (g *Grid) Points(maxPoints int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return g.countPoints(len(betas), maxPoints)
+	return g.countPoints(betas, maxPoints)
 }
 
 // Expand produces the grid points in canonical order — axes nest
-// game → graph → n → m → c → β, each in declaration order — so the same
-// grid file always expands to the identical point list. maxPoints <= 0
-// applies DefaultMaxPoints.
+// game → graph → n → m → c → rows → cols → δ0 → δ1 → depth → shallow →
+// scale → seed → eps → β, each in declaration order — so the same grid
+// file always expands to the identical point list. maxPoints <= 0 applies
+// DefaultMaxPoints.
 func (g *Grid) Expand(maxPoints int) ([]Point, error) {
 	betas, err := g.validate(maxPoints)
 	if err != nil {
 		return nil, err
 	}
-	total, err := g.countPoints(len(betas), maxPoints)
+	total, err := g.countPoints(betas, maxPoints)
 	if err != nil {
 		return nil, err
 	}
-	// pick iterates an axis: the base value when the axis is empty.
-	pickS := func(axis []string, base string, i int) string {
-		if len(axis) == 0 {
-			return base
-		}
-		return axis[i]
-	}
-	pickI := func(axis []int, base int, i int) int {
-		if len(axis) == 0 {
-			return base
-		}
-		return axis[i]
-	}
+	setters := g.axes(betas)
+	idx := make([]int, len(setters))
 	points := make([]Point, 0, total)
-	for gi := 0; gi < axisLen(len(g.Axes.Game)); gi++ {
-		for hi := 0; hi < axisLen(len(g.Axes.Graph)); hi++ {
-			for ni := 0; ni < axisLen(len(g.Axes.N)); ni++ {
-				for mi := 0; mi < axisLen(len(g.Axes.M)); mi++ {
-					for ci := 0; ci < axisLen(len(g.Axes.C)); ci++ {
-						for _, beta := range betas {
-							sp := g.Base
-							sp.Game = pickS(g.Axes.Game, g.Base.Game, gi)
-							sp.Graph = pickS(g.Axes.Graph, g.Base.Graph, hi)
-							sp.N = pickI(g.Axes.N, g.Base.N, ni)
-							sp.M = pickI(g.Axes.M, g.Base.M, mi)
-							sp.C = pickI(g.Axes.C, g.Base.C, ci)
-							points = append(points, Point{Index: len(points), Spec: sp, Beta: beta})
-						}
-					}
-				}
+	for count := 0; count < total; count++ {
+		p := Point{Index: count, Spec: g.Base}
+		for ai, s := range setters {
+			if s.n > 0 {
+				s.apply(&p, idx[ai])
 			}
+		}
+		points = append(points, p)
+		// Mixed-radix increment, innermost (β) axis fastest.
+		for ai := len(setters) - 1; ai >= 0; ai-- {
+			idx[ai]++
+			if idx[ai] < axisLen(setters[ai].n) {
+				break
+			}
+			idx[ai] = 0
 		}
 	}
 	return points, nil

@@ -139,3 +139,72 @@ func TestParseGridStrict(t *testing.T) {
 		t.Fatal("unsupported grid version accepted")
 	}
 }
+
+// The generalized axes: every numeric spec field expands in the canonical
+// nesting order (δ1 outside seed outside eps outside β), and base values
+// fill whatever no axis overrides.
+func TestExpandGeneralizedAxes(t *testing.T) {
+	g, err := ParseGrid(strings.NewReader(`{
+		"axes": {"delta1": [0.5, 1], "seed": [7, 8], "eps": [0.125, 0.25], "beta": [1, 2]},
+		"base": {"game": "doublewell", "n": 6, "c": 2}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := g.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 16 {
+		t.Fatalf("expanded %d points, want 16", len(points))
+	}
+	// First block: delta1=0.5, seed=7; eps flips before β resets.
+	want := []struct {
+		delta1 float64
+		seed   uint64
+		eps    float64
+		beta   float64
+	}{
+		{0.5, 7, 0.125, 1}, {0.5, 7, 0.125, 2}, {0.5, 7, 0.25, 1}, {0.5, 7, 0.25, 2},
+		{0.5, 8, 0.125, 1}, {0.5, 8, 0.125, 2}, {0.5, 8, 0.25, 1}, {0.5, 8, 0.25, 2},
+		{1, 7, 0.125, 1},
+	}
+	for i, w := range want {
+		p := points[i]
+		if p.Spec.Delta1 != w.delta1 || p.Spec.Seed != w.seed || p.Eps != w.eps || p.Beta != w.beta {
+			t.Fatalf("point %d = (δ1=%v seed=%d eps=%v β=%v), want %+v",
+				i, p.Spec.Delta1, p.Spec.Seed, p.Eps, p.Beta, w)
+		}
+		if p.Spec.Game != "doublewell" || p.Spec.N != 6 || p.Spec.C != 2 {
+			t.Fatalf("point %d lost base fields: %+v", i, p.Spec)
+		}
+	}
+}
+
+// Axis values that cannot be analysis inputs are rejected at validation,
+// before any expansion work.
+func TestGeneralizedAxisValidation(t *testing.T) {
+	bad := []string{
+		`{"axes":{"eps":[0],"beta":[1]}}`,
+		`{"axes":{"eps":[1],"beta":[1]}}`,
+		`{"axes":{"eps":[0.5,"NaN"],"beta":[1]}}`,
+		`{"axes":{"delta0":[1e999],"beta":[1]}}`,
+	}
+	for _, js := range bad {
+		g, err := ParseGrid(strings.NewReader(js))
+		if err != nil {
+			continue // rejected at parse, also fine
+		}
+		if _, err := g.Expand(0); err == nil {
+			t.Fatalf("grid %s expanded without error", js)
+		}
+	}
+	// The point cap covers the new axes too.
+	g := &Grid{Axes: Axes{
+		Delta0: make([]float64, 20), Seed: make([]uint64, 20), Eps: []float64{0.1, 0.2},
+		Beta: &Schedule{Values: []float64{1, 2, 3, 4, 5, 6}},
+	}}
+	if _, err := g.Expand(0); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("4800-point generalized grid not capped: %v", err)
+	}
+}

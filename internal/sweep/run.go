@@ -113,30 +113,39 @@ type Row struct {
 	M     int             `json:"m,omitempty"`
 	C     int             `json:"c,omitempty"`
 	Beta  serialize.Float `json:"beta"`
-	Key   string          `json:"key,omitempty"`
+	// Eps is the point's resolved TV target (the grid default unless an
+	// eps axis overrode it); 0 only on rows that failed before analysis
+	// options were derived.
+	Eps serialize.Float `json:"eps,omitempty"`
+	Key string          `json:"key,omitempty"`
 	// Error is set when the point failed (bad spec, over-limit game,
 	// analysis error, cancellation); the analysis fields are then zero.
 	Error string `json:"error,omitempty"`
 
-	Backend         string          `json:"backend,omitempty"`
-	NumProfiles     int             `json:"num_profiles,omitempty"`
-	MixingTimeExact bool            `json:"mixing_time_exact,omitempty"`
-	MixingTime      int64           `json:"mixing_time,omitempty"`
-	SpectralLower   serialize.Float `json:"spectral_lower"`
-	SpectralUpper   serialize.Float `json:"spectral_upper"`
-	RelaxationTime  serialize.Float `json:"relaxation_time"`
-	LambdaStar      serialize.Float `json:"lambda_star"`
-	DeltaPhi        serialize.Float `json:"delta_phi"`
-	Zeta            serialize.Float `json:"zeta"`
-	WelfareExpected serialize.Float `json:"welfare_expected"`
-	WelfareOptimum  serialize.Float `json:"welfare_optimum"`
-	WelfareWorst    serialize.Float `json:"welfare_worst_nash"`
+	Backend           string          `json:"backend,omitempty"`
+	NumProfiles       int             `json:"num_profiles,omitempty"`
+	MixingTimeExact   bool            `json:"mixing_time_exact,omitempty"`
+	MixingTime        int64           `json:"mixing_time,omitempty"`
+	SpectralLower     serialize.Float `json:"spectral_lower"`
+	SpectralUpper     serialize.Float `json:"spectral_upper"`
+	RelaxationTime    serialize.Float `json:"relaxation_time"`
+	LambdaStar        serialize.Float `json:"lambda_star"`
+	MinEigenvalue     serialize.Float `json:"min_eigenvalue"`
+	LanczosIterations int             `json:"lanczos_iterations,omitempty"`
+	SpectralConverged bool            `json:"spectral_converged,omitempty"`
+	DeltaPhi          serialize.Float `json:"delta_phi"`
+	SmallDeltaPhi     serialize.Float `json:"small_delta_phi"`
+	Zeta              serialize.Float `json:"zeta"`
+	WelfareExpected   serialize.Float `json:"welfare_expected"`
+	WelfareOptimum    serialize.Float `json:"welfare_optimum"`
+	WelfareWorst      serialize.Float `json:"welfare_worst_nash"`
 }
 
 // rowFrom fills a point's row from its report document.
 func rowFrom(p Point, key string, doc serialize.ReportDoc) Row {
 	row := baseRow(p)
 	row.Key = key
+	row.Eps = doc.Eps
 	row.Backend = doc.Backend
 	row.NumProfiles = doc.NumProfiles
 	row.MixingTimeExact = doc.MixingTimeExact
@@ -145,8 +154,12 @@ func rowFrom(p Point, key string, doc serialize.ReportDoc) Row {
 	row.SpectralUpper = doc.SpectralUpper
 	row.RelaxationTime = doc.RelaxationTime
 	row.LambdaStar = doc.LambdaStar
+	row.MinEigenvalue = doc.MinEigenvalue
+	row.LanczosIterations = doc.LanczosIterations
+	row.SpectralConverged = doc.SpectralConverged
 	if doc.Stats != nil {
 		row.DeltaPhi = doc.Stats.DeltaPhi
+		row.SmallDeltaPhi = doc.Stats.SmallDeltaPhi
 		row.Zeta = doc.Stats.Zeta
 	}
 	if doc.Welfare != nil {
@@ -166,6 +179,7 @@ func baseRow(p Point) Row {
 		M:     p.Spec.M,
 		C:     p.Spec.C,
 		Beta:  serialize.Float(p.Beta),
+		Eps:   serialize.Float(p.Eps),
 	}
 }
 
@@ -203,6 +217,20 @@ type RunStats struct {
 	CacheHits int `json:"cache_hits"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+}
+
+// Add accumulates another run's stats into s — the one place the field
+// list is spelled, so multi-grid callers (the experiment executor, CLIs)
+// cannot drift when a counter is added.
+func (s *RunStats) Add(o RunStats) {
+	s.Points += o.Points
+	s.Unique += o.Unique
+	s.Duplicates += o.Duplicates
+	s.Analyzed += o.Analyzed
+	s.StoreHits += o.StoreHits
+	s.CacheHits += o.CacheHits
+	s.Failed += o.Failed
+	s.Cancelled += o.Cancelled
 }
 
 // Runner executes grids. Eval is required; the zero value of everything
@@ -330,6 +358,9 @@ func (r *Runner) Run(ctx context.Context, g *Grid) (*Result, RunStats, error) {
 					for _, p := range pr.points {
 						row := baseRow(p)
 						row.Key = pr.job.Key
+						// The options were already derived at prep time, so
+						// the row keeps its resolved eps even without a report.
+						row.Eps = serialize.Float(pr.job.Opts.Eps)
 						row.Error = "sweep cancelled before this point ran"
 						finish(row)
 					}
@@ -344,6 +375,7 @@ func (r *Runner) Run(ctx context.Context, g *Grid) (*Result, RunStats, error) {
 					for _, p := range pr.points {
 						row := baseRow(p)
 						row.Key = pr.job.Key
+						row.Eps = serialize.Float(pr.job.Opts.Eps)
 						row.Error = err.Error()
 						finish(row)
 					}
@@ -397,8 +429,12 @@ func (r *Runner) prepare(p Point, g *Grid, limits spec.Limits) (*Job, error) {
 		return nil, err
 	}
 	size := game.SpaceOf(table).Size()
+	eps := g.Eps
+	if p.Eps != 0 {
+		eps = p.Eps
+	}
 	opts := core.Options{
-		Eps:            g.Eps,
+		Eps:            eps,
 		MaxT:           g.MaxT,
 		MaxExactStates: limits.MaxProfiles,
 		Backend:        string(b.Resolve(size, limits.MaxProfiles)),
@@ -486,11 +522,12 @@ func EncodeJSON(w io.Writer, res *Result) error {
 
 // csvHeader is the fixed CSV column set.
 var csvHeader = []string{
-	"point", "game", "graph", "n", "m", "c", "beta", "key", "backend",
+	"point", "game", "graph", "n", "m", "c", "beta", "eps", "key", "backend",
 	"num_profiles", "mixing_time_exact", "mixing_time",
 	"spectral_lower", "spectral_upper", "relaxation_time", "lambda_star",
-	"delta_phi", "zeta", "welfare_expected", "welfare_optimum",
-	"welfare_worst_nash", "error",
+	"min_eigenvalue", "lanczos_iterations", "spectral_converged",
+	"delta_phi", "small_delta_phi", "zeta", "welfare_expected",
+	"welfare_optimum", "welfare_worst_nash", "error",
 }
 
 func fmtF(f serialize.Float) string {
@@ -508,12 +545,14 @@ func EncodeCSV(w io.Writer, res *Result) error {
 		rec := []string{
 			strconv.Itoa(r.Point), r.Game, r.Graph,
 			strconv.Itoa(r.N), strconv.Itoa(r.M), strconv.Itoa(r.C),
-			fmtF(r.Beta), r.Key, r.Backend,
+			fmtF(r.Beta), fmtF(r.Eps), r.Key, r.Backend,
 			strconv.Itoa(r.NumProfiles), strconv.FormatBool(r.MixingTimeExact),
 			strconv.FormatInt(r.MixingTime, 10),
 			fmtF(r.SpectralLower), fmtF(r.SpectralUpper),
 			fmtF(r.RelaxationTime), fmtF(r.LambdaStar),
-			fmtF(r.DeltaPhi), fmtF(r.Zeta),
+			fmtF(r.MinEigenvalue), strconv.Itoa(r.LanczosIterations),
+			strconv.FormatBool(r.SpectralConverged),
+			fmtF(r.DeltaPhi), fmtF(r.SmallDeltaPhi), fmtF(r.Zeta),
 			fmtF(r.WelfareExpected), fmtF(r.WelfareOptimum), fmtF(r.WelfareWorst),
 			r.Error,
 		}

@@ -234,3 +234,86 @@ func TestSweepFailedPointsAreRecorded(t *testing.T) {
 		t.Fatalf("error row says %q", res.Rows[1].Error)
 	}
 }
+
+// The generalized axes keep the canonical-hash dedup guarantees: an axis
+// the family ignores (seed on the deterministic double well) collapses to
+// one analysis, while an eps axis splits keys — a different TV target is a
+// different answer — and stamps each row with its resolved eps.
+func TestGeneralizedAxesDedupAndEpsKeys(t *testing.T) {
+	g := &Grid{
+		Axes: Axes{
+			Seed: []uint64{1, 2, 3},
+			Eps:  []float64{0.125, 0.25},
+			Beta: &Schedule{Values: []float64{1}},
+		},
+		Base: spec.Spec{Game: "doublewell", N: 6, C: 2, Delta1: 1},
+	}
+	var evals atomic.Int64
+	inner := DirectEval(nil, nil)
+	r := &Runner{
+		Eval: func(j *Job) (Outcome, error) {
+			evals.Add(1)
+			return inner(j)
+		},
+		Workers: 2,
+	}
+	res, stats, err := r.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 seeds × 2 eps = 6 points; the seed axis dedups away, eps does not.
+	if stats.Points != 6 || stats.Unique != 2 || stats.Duplicates != 4 {
+		t.Fatalf("stats = %+v, want 6 points / 2 unique", stats)
+	}
+	if evals.Load() != 2 {
+		t.Fatalf("ran %d evals, want 2", evals.Load())
+	}
+	byEps := map[float64]string{}
+	for _, row := range res.Rows {
+		if row.Error != "" {
+			t.Fatalf("row %d failed: %s", row.Point, row.Error)
+		}
+		eps := float64(row.Eps)
+		if eps != 0.125 && eps != 0.25 {
+			t.Fatalf("row %d carries eps %v", row.Point, eps)
+		}
+		if key, ok := byEps[eps]; ok && key != row.Key {
+			t.Fatalf("same eps, different keys: %s vs %s", key, row.Key)
+		}
+		byEps[eps] = row.Key
+	}
+	if byEps[0.125] == byEps[0.25] {
+		t.Fatal("different eps targets share a cache key")
+	}
+}
+
+// A δ-parameter axis produces genuinely different games (distinct keys,
+// distinct measurements) — the ROADMAP "richer grid axes" coverage of the
+// paper's coupling-constant sweeps without per-point code.
+func TestDeltaAxisSweepsCoupling(t *testing.T) {
+	g := &Grid{
+		Axes: Axes{
+			Delta1: []float64{0.5, 1, 2},
+			Beta:   &Schedule{Values: []float64{0.5}},
+		},
+		Base: spec.Spec{Game: "ising", Graph: "ring", N: 4},
+	}
+	res, stats := runAll(t, nil, g)
+	if stats.Unique != 3 || stats.Analyzed != 3 {
+		t.Fatalf("stats = %+v, want 3 unique analyses", stats)
+	}
+	seen := map[string]bool{}
+	for _, row := range res.Rows {
+		if row.Error != "" {
+			t.Fatalf("row %d failed: %s", row.Point, row.Error)
+		}
+		seen[row.Key] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("3 couplings produced %d distinct keys", len(seen))
+	}
+	// Stronger coupling on the ring mixes slower.
+	if !(res.Rows[0].MixingTime < res.Rows[2].MixingTime) {
+		t.Fatalf("t_mix not increasing in δ: %d vs %d", res.Rows[0].MixingTime, res.Rows[2].MixingTime)
+	}
+}
