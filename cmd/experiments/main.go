@@ -27,6 +27,7 @@ import (
 	"syscall"
 
 	"logitdyn/internal/bench"
+	"logitdyn/internal/obs"
 	"logitdyn/internal/service"
 	"logitdyn/internal/store"
 	"logitdyn/internal/sweep"
@@ -44,17 +45,25 @@ func idRange() string {
 
 func main() {
 	var (
-		ids      = flag.String("id", "all", "comma-separated experiment IDs or 'all'")
-		list     = flag.Bool("list", false, "list registered experiments and exit")
-		quick    = flag.Bool("quick", false, "small grids for a fast run")
-		seed     = flag.Uint64("seed", 1, "base RNG seed")
-		eps      = flag.Float64("eps", 0.25, "total-variation target ε")
-		csv      = flag.String("csv", "", "optional directory for per-experiment CSV output")
-		storeDir = flag.String("store", "", "persistent report-store directory shared with logitdynd/logitsweep (empty = run everything cold, keep nothing)")
-		storeMax = flag.Int64("storemax", 0, "report-store size budget in bytes (0 = unbounded)")
-		workers  = flag.Int("workers", 0, "worker cap for ALL parallel stages (sets GOMAXPROCS; 0 = all cores); never changes table entries")
+		ids       = flag.String("id", "all", "comma-separated experiment IDs or 'all'")
+		list      = flag.Bool("list", false, "list registered experiments and exit")
+		quick     = flag.Bool("quick", false, "small grids for a fast run")
+		seed      = flag.Uint64("seed", 1, "base RNG seed")
+		eps       = flag.Float64("eps", 0.25, "total-variation target ε")
+		csv       = flag.String("csv", "", "optional directory for per-experiment CSV output")
+		storeDir  = flag.String("store", "", "persistent report-store directory shared with logitdynd/logitsweep (empty = run everything cold, keep nothing)")
+		storeMax  = flag.Int64("storemax", 0, "report-store size budget in bytes (0 = unbounded)")
+		workers   = flag.Int("workers", 0, "worker cap for ALL parallel stages (sets GOMAXPROCS; 0 = all cores); never changes table entries")
+		logFormat = flag.String("logformat", "text", "structured log format on stderr: text or json")
+		logLevel  = flag.String("loglevel", "info", "log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -93,7 +102,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "experiments: store %s (%d entries)\n", *storeDir, st.Len())
+		logger.Info("store open", "dir", *storeDir, "entries", st.Len())
 		// One worker-token pool bounds the whole run, exactly like the
 		// daemon and logitsweep: each in-flight point holds one token and
 		// borrows idle ones for its mat-vecs.
@@ -115,6 +124,9 @@ func main() {
 			os.Exit(1)
 		}
 		total.Add(stats)
+		logger.Debug("experiment done",
+			"id", e.ID, "points", stats.Points, "analyzed", stats.Analyzed,
+			"store_hits", stats.StoreHits, "cache_hits", stats.CacheHits)
 		if err := tab.Format(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
@@ -138,7 +150,9 @@ func main() {
 		}
 	}
 	// The run summary goes to stderr so table output stays byte-stable; a
-	// warm -store rerun reports analyzed=0.
-	fmt.Fprintf(os.Stderr, "experiments: points=%d unique=%d analyzed=%d store_hits=%d\n",
-		total.Points, total.Unique, total.Analyzed, total.StoreHits)
+	// warm -store rerun reports analyzed=0. The attr order is load-bearing:
+	// CI greps the text rendering for "analyzed=N store_hits=M".
+	logger.Info("run complete",
+		"points", total.Points, "unique", total.Unique,
+		"analyzed", total.Analyzed, "store_hits", total.StoreHits)
 }

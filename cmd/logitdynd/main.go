@@ -10,19 +10,22 @@
 //	logitdynd -addr :8080 -cache 512 -workers 4 -store /var/lib/logitdyn/store
 //	curl -s localhost:8080/v1/analyze -d '{"spec":{"game":"doublewell","n":6,"c":2,"delta1":1},"beta":1.5}'
 //	curl -s localhost:8080/v1/sweeps -d '{"axes":{"game":["doublewell"],"n":[8,10],"beta":{"from":0.5,"to":2,"steps":4}},"base":{"c":2,"delta1":1}}'
+//	curl -s 'localhost:8080/metrics?format=prometheus'
+//	curl -s localhost:8080/v1/traces
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"logitdyn/internal/obs"
 	"logitdyn/internal/service"
 	"logitdyn/internal/spec"
 	"logitdyn/internal/store"
@@ -39,7 +42,19 @@ func main() {
 	storeDir := flag.String("store", "", "persistent report-store directory: the second cache tier, shared with logitsweep (empty = memory-only)")
 	storeMax := flag.Int64("storemax", 0, "report-store size budget in bytes; LRU entries are evicted above it (0 = unbounded)")
 	maxSweepPoints := flag.Int("maxsweeppoints", 0, "max grid points per /v1/sweeps job (0 = default)")
+	logFormat := flag.String("logformat", "text", "structured log format: text or json")
+	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn or error")
+	slowReq := flag.Duration("slowreq", 5*time.Second, "log a warning for requests at least this slow (0 = never)")
+	traceRing := flag.Int("tracering", obs.DefaultRingSize, "recent traces retained for /v1/traces (0 = default)")
+	noObs := flag.Bool("noobs", false, "disable tracing and stage histograms entirely")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "logitdynd: %v\n", err)
+		os.Exit(2)
+	}
 
 	limits := spec.DefaultLimits()
 	if *maxProfiles > 0 {
@@ -53,12 +68,16 @@ func main() {
 	}
 	var st *store.Store
 	if *storeDir != "" {
-		var err error
 		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
 		if err != nil {
-			log.Fatalf("logitdynd: %v", err)
+			logger.Error("store open failed", "dir", *storeDir, "err", err.Error())
+			os.Exit(1)
 		}
-		log.Printf("logitdynd: report store %s (%d entries, %d bytes)", *storeDir, st.Len(), st.SizeBytes())
+		logger.Info("report store open", "dir", *storeDir, "entries", st.Len(), "bytes", st.SizeBytes())
+	}
+	observer := obs.New(*traceRing)
+	if *noObs {
+		observer = obs.Disabled()
 	}
 	svc := service.New(service.Config{
 		CacheSize:      *cacheSize,
@@ -67,7 +86,27 @@ func main() {
 		MaxSweepPoints: *maxSweepPoints,
 		Limits:         limits,
 		Store:          st,
+		Obs:            observer,
+		Logger:         logger,
+		SlowRequest:    *slowReq,
 	})
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: profiling stays
+		// opt-in and off the public API surface.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if perr := http.ListenAndServe(*pprofAddr, pm); perr != nil {
+				logger.Error("pprof server failed", "err", perr.Error())
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -80,20 +119,31 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("logitdynd listening on %s (cache=%d workers=%d maxprofiles=%d maxsparseprofiles=%d)",
-		*addr, *cacheSize, *workers, limits.MaxProfiles, limits.MaxSparseProfiles)
+	logger.Info("logitdynd listening",
+		"addr", *addr, "cache", *cacheSize, "workers", *workers,
+		"maxprofiles", limits.MaxProfiles, "maxsparseprofiles", limits.MaxSparseProfiles,
+		"store", *storeDir, "observability", observer.Enabled())
 
 	select {
 	case err := <-errc:
-		log.Fatalf("logitdynd: %v", err)
+		logger.Error("server failed", "err", err.Error())
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
+	// Drain: record what was in flight when the signal landed, then time
+	// how long the graceful shutdown took to let it finish.
+	inFlight := svc.Metrics().Work.InFlight
+	logger.Info("shutdown signal received", "in_flight", inFlight)
+	drainStart := time.Now()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "logitdynd: shutdown: %v\n", err)
+		logger.Error("shutdown failed",
+			"err", err.Error(), "drain_ms", float64(time.Since(drainStart).Nanoseconds())/1e6)
 		os.Exit(1)
 	}
-	log.Printf("logitdynd: drained and stopped")
+	logger.Info("drained and stopped",
+		"in_flight_at_signal", inFlight,
+		"drain_ms", float64(time.Since(drainStart).Nanoseconds())/1e6)
 }

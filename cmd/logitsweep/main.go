@@ -30,6 +30,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"logitdyn/internal/obs"
 	"logitdyn/internal/service"
 	"logitdyn/internal/spec"
 	"logitdyn/internal/store"
@@ -51,7 +52,14 @@ func main() {
 	maxSparseProfiles := flag.Int("maxsparseprofiles", 0, "max profile-space size per point on the sparse/matfree backends (0 = default)")
 	format := flag.String("format", "table", "output format: table|json|csv")
 	out := flag.String("o", "", "write the aggregate table to this file (default stdout)")
+	logFormat := flag.String("logformat", "text", "structured log format on stderr: text or json")
+	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn or error")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	if *gridPath == "" {
 		fatalf("missing -grid (a JSON grid file, or - for stdin)")
@@ -94,7 +102,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "logitsweep: store %s (%d entries)\n", *storeDir, st.Len())
+		logger.Info("store open", "dir", *storeDir, "entries", st.Len())
 	}
 
 	limits := spec.DefaultLimits()
@@ -123,9 +131,10 @@ func main() {
 	if res == nil {
 		fatalf("%v", runErr)
 	}
-	fmt.Fprintf(os.Stderr,
-		"logitsweep: %d points (%d unique, %d duplicate) — %d analyzed, %d from store, %d failed, %d cancelled\n",
-		stats.Points, stats.Unique, stats.Duplicates, stats.Analyzed, stats.StoreHits, stats.Failed, stats.Cancelled)
+	logger.Info("sweep complete",
+		"points", stats.Points, "unique", stats.Unique, "duplicates", stats.Duplicates,
+		"analyzed", stats.Analyzed, "store_hits", stats.StoreHits,
+		"failed", stats.Failed, "cancelled", stats.Cancelled)
 
 	switch *format {
 	case "table":
@@ -142,7 +151,7 @@ func main() {
 		}
 	}
 	if runErr != nil {
-		fmt.Fprintf(os.Stderr, "logitsweep: interrupted — rerun the same command to resume from the store\n")
+		logger.Warn("interrupted — rerun the same command to resume from the store")
 		os.Exit(1)
 	}
 }

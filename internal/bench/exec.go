@@ -105,8 +105,8 @@ func (x *Executor) Run(ctx context.Context, e Experiment, cfg Config) (*Table, s
 		var mu sync.Mutex
 		inner := sweep.DirectEval(x.Store, x.Pool)
 		runner := &sweep.Runner{
-			Eval: func(j *sweep.Job) (sweep.Outcome, error) {
-				out, err := inner(j)
+			Eval: func(ctx context.Context, j *sweep.Job) (sweep.Outcome, error) {
+				out, err := inner(ctx, j)
 				if err == nil {
 					mu.Lock()
 					docs[j.Key] = out.Doc

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,6 +23,7 @@ import (
 	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
 	"logitdyn/internal/mixing"
+	"logitdyn/internal/obs"
 	"logitdyn/internal/rng"
 	"logitdyn/internal/sim"
 	"logitdyn/internal/spectral"
@@ -157,6 +159,18 @@ type Report struct {
 // payload vectors (stationary distribution, potential table) are elided
 // from the report to keep it serializable.
 func (a *Analyzer) Analyze(opts Options) (*Report, error) {
+	return a.AnalyzeCtx(context.Background(), opts)
+}
+
+// AnalyzeCtx is Analyze with observability: when ctx carries an
+// obs.Observer (and optionally a live trace), the pipeline records
+// per-stage spans — stationary/Gibbs, the dense spectral route or the
+// Lanczos sweep, the potential-stats/equilibrium/welfare pass — into the
+// stage histograms and the request's trace. The spans are pure
+// observation: the returned report is bit-identical to Analyze's
+// (pinned by the golden-invariance test), because no timer value ever
+// enters the report.
+func (a *Analyzer) AnalyzeCtx(ctx context.Context, opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	sp := a.dyn.Space()
 	size := sp.Size()
@@ -180,6 +194,7 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 	var reconPhi []float64
 
 	if backend == logit.BackendDense {
+		endSpectral := obs.StartSpan(ctx, obs.StageSpectral)
 		if res, err := mixing.ExactMixingTimePar(a.dyn, opts.Eps, opts.MaxT, opts.Parallel); err == nil {
 			rep.MixingTimeExact = true
 			rep.SpectralConverged = true
@@ -199,6 +214,7 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 			}
 			tm, evoErr := mixing.EvolutionMixingTimePar(a.dyn, opts.Eps, int(maxEvo), opts.Parallel)
 			if evoErr != nil {
+				endSpectral()
 				return nil, fmt.Errorf("core: spectral route failed (%v) and evolution fallback failed (%v)", err, evoErr)
 			}
 			rep.MixingTimeExact = true
@@ -210,7 +226,9 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 			rep.SpectralLower = math.NaN()
 			rep.SpectralUpper = math.NaN()
 		}
+		endSpectral()
 	} else {
+		endStationary := obs.StartSpan(ctx, obs.StageStationary)
 		gibbs, gerr := a.dyn.GibbsPar(opts.Parallel)
 		if gerr != nil {
 			// A game can be an exact potential game without declaring Φ
@@ -219,13 +237,17 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 			// stats — and build the Gibbs measure from it.
 			phi, ok := game.ReconstructPotential(a.dyn.Game(), 1e-9)
 			if !ok {
+				endStationary()
 				return nil, fmt.Errorf("core: the %s backend needs a potential game (reversible chain with closed-form π): %w", backend, gerr)
 			}
 			reconPhi = phi
 			gibbs = gibbsFromPhi(phi, a.dyn.Beta())
 		}
 		pi = gibbs
+		endStationary()
+		endLanczos := obs.StartSpan(ctx, obs.StageLanczos)
 		res, lerr := mixing.RelaxationSandwichPar(a.dyn, backend, opts.Eps, pi, opts.Parallel)
+		endLanczos()
 		if lerr != nil {
 			return nil, lerr
 		}
@@ -239,7 +261,9 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 	}
 
 	if pi == nil {
+		endStationary := obs.StartSpan(ctx, obs.StageStationary)
 		pi, err = a.dyn.StationaryPar(opts.Parallel)
+		endStationary()
 		if err != nil {
 			return nil, err
 		}
@@ -251,6 +275,8 @@ func (a *Analyzer) Analyze(opts Options) (*Report, error) {
 		rep.Stationary = pi
 	}
 
+	endStats := obs.StartSpan(ctx, obs.StageStats)
+	defer endStats()
 	g := a.dyn.Game()
 	if p, ok := game.AsPotential(g); ok {
 		rep.IsPotentialGame = true
@@ -322,11 +348,18 @@ func gibbsFromPhi(phi []float64, beta float64) []float64 {
 // and run the exact pipeline. Serving layers use it as the cache-miss
 // path, keyed on the canonical game hash plus Normalized options.
 func AnalyzeGame(g game.Game, beta float64, opts Options) (*Report, error) {
+	return AnalyzeGameCtx(context.Background(), g, beta, opts)
+}
+
+// AnalyzeGameCtx is AnalyzeGame with observability context: stage spans
+// are recorded against the ctx's observer/trace and never change the
+// report (see AnalyzeCtx).
+func AnalyzeGameCtx(ctx context.Context, g game.Game, beta float64, opts Options) (*Report, error) {
 	a, err := NewAnalyzer(g, beta)
 	if err != nil {
 		return nil, err
 	}
-	return a.Analyze(opts)
+	return a.AnalyzeCtx(ctx, opts)
 }
 
 // MixingTime is a convenience wrapper returning only the exact t_mix(ε).

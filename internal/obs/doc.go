@@ -1,0 +1,31 @@
+// Package obs is the dependency-free observability layer: per-request
+// traces with stage spans, lock-free log-scaled latency histograms, a
+// Prometheus text-exposition writer and slog construction helpers. The
+// serving layers thread an Observer plus a Trace through context.Context
+// into every hot path (pool queue, cache tiers, store I/O, the analysis
+// stages), so a request's time is attributable stage by stage without the
+// instrumented code knowing anything about HTTP or metrics formats.
+//
+// The pieces compose but do not depend on each other:
+//
+//   - Observer — the recording sink: a ring of recent traces plus a
+//     registry of named histograms. New(ringSize) records; Disabled()
+//     (or a nil Observer) turns every call into a few branch
+//     instructions, letting callers keep instrumentation unconditional.
+//   - Trace / Span — one trace per HTTP request or sweep job, identified
+//     by a 128-bit crypto/rand hex ID; StartSpan(ctx, stage) times one
+//     pipeline stage and also feeds the stage's histogram.
+//   - Histogram — fixed-bucket log2-scaled (microsecond) latency
+//     histogram with an atomic record path, snapshotted for both the
+//     JSON metrics document and the Prometheus exposition.
+//   - Prom — minimal Prometheus text-format writer (text/plain;
+//     version=0.0.4): counters, gauges, and cumulative-bucket
+//     histograms with _sum/_count.
+//   - NewLogger / NopLogger — log/slog construction shared by the cmds.
+//
+// Hard contract: observation never changes results. Spans and histograms
+// record wall-clock durations on the side; no timer value ever flows into
+// a report, a sweep row or a golden table (trace IDs travel in the
+// X-Trace-Id response header, never in a body), and the service test
+// suite pins instrumented output byte-identical to uninstrumented.
+package obs

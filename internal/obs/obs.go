@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names for the spans and histograms the pipeline records. The
+// serving layers may observe additional names (per-endpoint request
+// timers); these are the fixed set every deployment has.
+const (
+	// StageQueueWait is time spent blocked on a worker token.
+	StageQueueWait = "queue_wait"
+	// StageCacheLookup is a memory-tier lookup that answered (hit or
+	// singleflight join) without running the miss path.
+	StageCacheLookup = "cache_lookup"
+	// StageStoreGet / StageStorePut are persistent-store reads and
+	// write-throughs as seen from the serving path.
+	StageStoreGet = "store_get"
+	StageStorePut = "store_put"
+	// StageBuild is game construction + materialization.
+	StageBuild = "build"
+	// StageStationary is the Gibbs/stationary-distribution computation.
+	StageStationary = "stationary"
+	// StageSpectral is the dense exact route (eigendecomposition or
+	// evolution fallback); StageLanczos is the iterative sparse/matfree
+	// route's mat-vec loop.
+	StageSpectral = "spectral"
+	StageLanczos  = "lanczos"
+	// StageStats is the potential statistics, bounds, equilibrium and
+	// welfare sweeps.
+	StageStats = "stats"
+	// StageSimulate is trajectory sampling.
+	StageSimulate = "simulate"
+	// StageSerialize is response encoding.
+	StageSerialize = "serialize"
+)
+
+// stages is the preallocated histogram set; names outside it fall back to
+// a sync.Map so callers may observe arbitrary timers (request:<endpoint>).
+var stages = []string{
+	StageQueueWait, StageCacheLookup, StageStoreGet, StageStorePut,
+	StageBuild, StageStationary, StageSpectral, StageLanczos,
+	StageStats, StageSimulate, StageSerialize,
+}
+
+// DefaultRingSize is how many recent traces an Observer retains.
+const DefaultRingSize = 256
+
+// Observer owns the trace ring and the stage histograms. A nil Observer
+// is valid and disabled; construct live ones with New.
+type Observer struct {
+	enabled bool
+
+	// hists is read-only after New; lookups on the hot path are lock-free.
+	hists map[string]*Histogram
+	// extra holds histograms observed under names outside the fixed stage
+	// set (per-endpoint request timers).
+	extra sync.Map // string -> *Histogram
+
+	ringMu  sync.Mutex
+	ring    []*Trace
+	next    int
+	started atomic.Uint64
+
+	spansDropped atomic.Uint64
+}
+
+// New builds an enabled Observer retaining ringSize recent traces
+// (<= 0 selects DefaultRingSize).
+func New(ringSize int) *Observer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	o := &Observer{
+		enabled: true,
+		hists:   make(map[string]*Histogram, len(stages)),
+		ring:    make([]*Trace, 0, ringSize),
+	}
+	for _, s := range stages {
+		o.hists[s] = &Histogram{}
+	}
+	return o
+}
+
+// Disabled returns an Observer whose every method is a no-op — the
+// instrumentation-off configuration benchmarks compare against.
+func Disabled() *Observer { return &Observer{} }
+
+// Enabled reports whether the observer records anything; nil-safe.
+func (o *Observer) Enabled() bool { return o != nil && o.enabled }
+
+// Hist returns the histogram recorded under name, creating it on first
+// use for names outside the fixed stage set. Returns nil when disabled.
+func (o *Observer) Hist(name string) *Histogram {
+	if !o.Enabled() {
+		return nil
+	}
+	if h, ok := o.hists[name]; ok {
+		return h
+	}
+	if h, ok := o.extra.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h, _ := o.extra.LoadOrStore(name, &Histogram{})
+	return h.(*Histogram)
+}
+
+// Observe records one duration under name; no-op when disabled.
+func (o *Observer) Observe(name string, d time.Duration) {
+	if h := o.Hist(name); h != nil {
+		h.Observe(d)
+	}
+}
+
+// newTraceID mints a 128-bit crypto/rand hex trace ID.
+func newTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID beats
+		// panicking inside instrumentation.
+		return "0000000000000000/rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// StartTrace mints a trace of the given kind and registers it in the ring
+// immediately, so in-flight requests are visible at /v1/traces before they
+// finish. Returns nil when disabled (all Trace methods are nil-safe).
+func (o *Observer) StartTrace(kind string) *Trace {
+	if !o.Enabled() {
+		return nil
+	}
+	t := &Trace{id: newTraceID(), kind: kind, start: time.Now(), obs: o}
+	o.started.Add(1)
+	o.ringMu.Lock()
+	if len(o.ring) < cap(o.ring) {
+		o.ring = append(o.ring, t)
+	} else {
+		o.ring[o.next] = t
+		o.next = (o.next + 1) % cap(o.ring)
+	}
+	o.ringMu.Unlock()
+	return t
+}
+
+// Traces snapshots the retained traces, newest first.
+func (o *Observer) Traces() []TraceDoc {
+	if !o.Enabled() {
+		return nil
+	}
+	o.ringMu.Lock()
+	all := make([]*Trace, len(o.ring))
+	// Unroll the ring into chronological order: oldest at next.
+	for i := range o.ring {
+		all[i] = o.ring[(o.next+i)%len(o.ring)]
+	}
+	o.ringMu.Unlock()
+	docs := make([]TraceDoc, 0, len(all))
+	for i := len(all) - 1; i >= 0; i-- {
+		docs = append(docs, all[i].Doc(false))
+	}
+	return docs
+}
+
+// TraceByID returns the full document (spans included) of one retained
+// trace.
+func (o *Observer) TraceByID(id string) (TraceDoc, bool) {
+	if !o.Enabled() {
+		return TraceDoc{}, false
+	}
+	o.ringMu.Lock()
+	var found *Trace
+	for _, t := range o.ring {
+		if t.id == id {
+			found = t
+			break
+		}
+	}
+	o.ringMu.Unlock()
+	if found == nil {
+		return TraceDoc{}, false
+	}
+	return found.Doc(true), true
+}
+
+// HistogramDoc is one named histogram's snapshot in MetricsDoc.
+type HistogramDoc struct {
+	Name string `json:"name"`
+	HistogramSnapshot
+}
+
+// MetricsDoc is the observer's contribution to a /metrics response.
+type MetricsDoc struct {
+	Enabled bool `json:"enabled"`
+	// Stages lists every histogram with at least one observation, sorted
+	// by name so the document is deterministic.
+	Stages         []HistogramDoc `json:"stages,omitempty"`
+	TracesStarted  uint64         `json:"traces_started"`
+	TracesRetained int            `json:"traces_retained"`
+	SpansDropped   uint64         `json:"spans_dropped"`
+}
+
+// Snapshot collects every non-empty histogram plus trace-ring counters.
+func (o *Observer) Snapshot() MetricsDoc {
+	if !o.Enabled() {
+		return MetricsDoc{}
+	}
+	doc := MetricsDoc{
+		Enabled:       true,
+		TracesStarted: o.started.Load(),
+		SpansDropped:  o.spansDropped.Load(),
+	}
+	o.ringMu.Lock()
+	doc.TracesRetained = len(o.ring)
+	o.ringMu.Unlock()
+	collect := func(name string, h *Histogram) {
+		if snap := h.Snapshot(); snap.Count > 0 {
+			doc.Stages = append(doc.Stages, HistogramDoc{Name: name, HistogramSnapshot: snap})
+		}
+	}
+	for name, h := range o.hists {
+		collect(name, h)
+	}
+	o.extra.Range(func(k, v any) bool {
+		collect(k.(string), v.(*Histogram))
+		return true
+	})
+	sortHistDocs(doc.Stages)
+	return doc
+}
+
+func sortHistDocs(docs []HistogramDoc) {
+	// Insertion sort: the set is small (a dozen stages + endpoints) and
+	// this keeps the package dependency-free of sort's reflection path.
+	for i := 1; i < len(docs); i++ {
+		for j := i; j > 0 && docs[j].Name < docs[j-1].Name; j-- {
+			docs[j], docs[j-1] = docs[j-1], docs[j]
+		}
+	}
+}

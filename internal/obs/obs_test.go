@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},         // 1024µs > 2^9, ≤ 2^10
+		{time.Second, 20},              // 1e6µs ≤ 2^20
+		{time.Hour, 32},                // 3.6e9µs ≤ 2^32
+		{1000 * time.Hour, NumBuckets}, // overflow
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must contain the bucket's durations.
+	for i := 0; i < NumBuckets; i++ {
+		up := BucketUpperSeconds(i)
+		d := time.Duration(up * 1e9)
+		if got := bucketOf(d); got != i {
+			t.Errorf("upper bound of bucket %d (%gs) landed in bucket %d", i, up, got)
+		}
+	}
+	if !math.IsInf(BucketUpperSeconds(NumBuckets), 1) {
+		t.Error("overflow bucket bound must be +Inf")
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(-time.Second) // clock step: counted, not summed negative
+	snap := h.Snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("count = %d, want 3", snap.Count)
+	}
+	wantSum := (500*time.Nanosecond + 3*time.Millisecond).Seconds()
+	if math.Abs(snap.SumSeconds-wantSum) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", snap.SumSeconds, wantSum)
+	}
+	if snap.P50Seconds <= 0 || snap.P99Seconds < snap.P50Seconds {
+		t.Fatalf("bad quantiles: p50=%g p99=%g", snap.P50Seconds, snap.P99Seconds)
+	}
+	var total uint64
+	for _, c := range snap.Buckets {
+		total += c
+	}
+	if total != snap.Count {
+		t.Fatalf("bucket total %d != count %d", total, snap.Count)
+	}
+}
+
+// The satellite's -race requirement: N goroutines record into stage
+// histograms and traces while M goroutines snapshot and serve the ring.
+func TestConcurrentRecordingAndSnapshot(t *testing.T) {
+	o := New(16)
+	const recorders, snapshotters, perG = 8, 4, 500
+	var wg sync.WaitGroup
+	for g := 0; g < recorders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr := o.StartTrace("load")
+				tr.SetAttr("g", fmt.Sprint(g))
+				ctx := With(context.Background(), o, tr)
+				end := StartSpan(ctx, StageBuild)
+				end()
+				o.Observe(StageQueueWait, time.Duration(i)*time.Microsecond)
+				o.Observe("request:analyze", time.Millisecond)
+				tr.Finish("ok")
+			}
+		}(g)
+	}
+	for g := 0; g < snapshotters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				_ = o.Snapshot()
+				for _, d := range o.Traces() {
+					_, _ = o.TraceByID(d.ID)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := o.Snapshot()
+	if snap.TracesStarted != recorders*perG {
+		t.Fatalf("traces started = %d, want %d", snap.TracesStarted, recorders*perG)
+	}
+	if snap.TracesRetained != 16 {
+		t.Fatalf("ring retained %d, want 16", snap.TracesRetained)
+	}
+	var qw *HistogramDoc
+	for i := range snap.Stages {
+		if snap.Stages[i].Name == StageQueueWait {
+			qw = &snap.Stages[i]
+		}
+	}
+	if qw == nil || qw.Count != recorders*perG {
+		t.Fatalf("queue_wait histogram missing or short: %+v", qw)
+	}
+}
+
+func TestDisabledObserverIsFreeAndNilSafe(t *testing.T) {
+	for _, o := range []*Observer{nil, Disabled()} {
+		tr := o.StartTrace("x")
+		if tr != nil {
+			t.Fatal("disabled observer minted a trace")
+		}
+		tr.SetAttr("k", "v") // nil-safe
+		tr.Finish("ok")
+		ctx := With(context.Background(), o, tr)
+		end := StartSpan(ctx, StageBuild)
+		end()
+		o.Observe(StageBuild, time.Second)
+		if snap := o.Snapshot(); snap.Enabled || len(snap.Stages) != 0 {
+			t.Fatalf("disabled snapshot not empty: %+v", snap)
+		}
+	}
+}
+
+func TestTraceSpansAndRing(t *testing.T) {
+	o := New(2)
+	t1 := o.StartTrace("http")
+	ctx := With(context.Background(), o, t1)
+	end := StartSpan(ctx, StageStoreGet)
+	time.Sleep(time.Millisecond)
+	end()
+	t1.SetAttr("endpoint", "analyze")
+	t1.Finish("200")
+
+	doc, ok := o.TraceByID(t1.ID())
+	if !ok {
+		t.Fatal("trace not found by id")
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Stage != StageStoreGet {
+		t.Fatalf("spans = %+v", doc.Spans)
+	}
+	if doc.Spans[0].DurNanos < int64(time.Millisecond) {
+		t.Fatalf("span duration %dns < 1ms", doc.Spans[0].DurNanos)
+	}
+	if !doc.Done || doc.Status != "200" || doc.Attrs["endpoint"] != "analyze" {
+		t.Fatalf("doc = %+v", doc)
+	}
+
+	// Ring evicts oldest: after two more traces, t1 is gone.
+	o.StartTrace("a")
+	o.StartTrace("b")
+	if _, ok := o.TraceByID(t1.ID()); ok {
+		t.Fatal("evicted trace still findable")
+	}
+	docs := o.Traces()
+	if len(docs) != 2 || docs[0].Kind != "b" || docs[1].Kind != "a" {
+		t.Fatalf("ring order wrong: %+v", docs)
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	o := New(1)
+	tr := o.StartTrace("sweep")
+	ctx := With(context.Background(), o, tr)
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		StartSpan(ctx, StageStoreGet)()
+	}
+	doc, _ := o.TraceByID(tr.ID())
+	if doc.SpanCount != maxSpansPerTrace {
+		t.Fatalf("span count = %d, want cap %d", doc.SpanCount, maxSpansPerTrace)
+	}
+	if doc.SpansDropped != 10 {
+		t.Fatalf("dropped = %d, want 10", doc.SpansDropped)
+	}
+}
+
+// TestPromExposition validates the text format the smoke tests and real
+// scrapers parse: HELP/TYPE once per family, cumulative buckets ending at
+// +Inf, _sum/_count present, counts monotone.
+func TestPromExposition(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Microsecond)
+	h.Observe(3 * time.Second)
+
+	var b strings.Builder
+	p := NewProm(&b)
+	p.Counter("x_total", "a counter", []Label{{"endpoint", "analyze"}}, 3)
+	p.Counter("x_total", "a counter", []Label{{"endpoint", "batch"}}, 4)
+	p.Gauge("g", "a gauge", nil, 1.5)
+	p.Histogram("d_seconds", "durations", []Label{{"stage", "build"}}, h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if strings.Count(out, "# TYPE x_total counter") != 1 {
+		t.Fatalf("TYPE header not emitted exactly once:\n%s", out)
+	}
+	for _, want := range []string{
+		`x_total{endpoint="analyze"} 3`,
+		`x_total{endpoint="batch"} 4`,
+		"g 1.5",
+		`d_seconds_bucket{stage="build",le="+Inf"} 2`,
+		`d_seconds_count{stage="build"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `d_seconds_sum{stage="build"} `) {
+		t.Fatalf("missing _sum in:\n%s", out)
+	}
+
+	// Bucket counts must be cumulative and non-decreasing.
+	var prev uint64
+	sc := bufio.NewScanner(strings.NewReader(out))
+	buckets := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "d_seconds_bucket") {
+			continue
+		}
+		buckets++
+		var v uint64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts decreased at %q", line)
+		}
+		prev = v
+	}
+	if buckets != NumBuckets+1 {
+		t.Fatalf("bucket lines = %d, want %d", buckets, NumBuckets+1)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "trace_id", "abc")
+	out := b.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, `"trace_id":"abc"`) {
+		t.Fatalf("unexpected log output: %q", out)
+	}
+	if _, err := NewLogger(&b, "yaml", ""); err == nil {
+		t.Fatal("bad format must error")
+	}
+	if _, err := NewLogger(&b, "", "loud"); err == nil {
+		t.Fatal("bad level must error")
+	}
+}

@@ -1,0 +1,122 @@
+// A minimal Prometheus text-exposition (version 0.0.4) writer: enough of
+// the format — HELP/TYPE headers, labeled series, histogram
+// _bucket/_sum/_count triplets with cumulative le buckets — for any
+// Prometheus-compatible scraper, without pulling a client library into
+// the module.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair; series emit labels in the order given.
+type Label struct{ Name, Value string }
+
+// Prom writes one exposition document. Errors stick: the first write
+// failure short-circuits the rest and surfaces from Err.
+type Prom struct {
+	w     io.Writer
+	err   error
+	typed map[string]bool
+}
+
+// NewProm starts an exposition document on w.
+func NewProm(w io.Writer) *Prom {
+	return &Prom{w: w, typed: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *Prom) Err() error { return p.err }
+
+func (p *Prom) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// header emits the HELP/TYPE preamble once per metric family.
+func (p *Prom) header(name, typ, help string) {
+	if p.typed[name] {
+		return
+	}
+	p.typed[name] = true
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, help)
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter emits one counter series (header on first use of name).
+func (p *Prom) Counter(name, help string, labels []Label, v float64) {
+	p.header(name, "counter", help)
+	p.printf("%s%s %s\n", name, labelString(labels), formatValue(v))
+}
+
+// Gauge emits one gauge series.
+func (p *Prom) Gauge(name, help string, labels []Label, v float64) {
+	p.header(name, "gauge", help)
+	p.printf("%s%s %s\n", name, labelString(labels), formatValue(v))
+}
+
+// Histogram emits one histogram series: cumulative le buckets (including
+// the +Inf bucket), then _sum and _count. Durations are in seconds, as
+// Prometheus convention demands.
+func (p *Prom) Histogram(name, help string, labels []Label, snap HistogramSnapshot) {
+	p.header(name, "histogram", help)
+	var cum uint64
+	for i, c := range snap.Buckets {
+		cum += c
+		// Elide interior zero-tail buckets? No: exposition parsers expect
+		// the declared bucket layout to be stable across scrapes, so every
+		// bucket is always written.
+		le := formatValue(BucketUpperSeconds(i))
+		bl := make([]Label, 0, len(labels)+1)
+		bl = append(bl, labels...)
+		bl = append(bl, Label{Name: "le", Value: le})
+		p.printf("%s_bucket%s %d\n", name, labelString(bl), cum)
+	}
+	p.printf("%s_sum%s %s\n", name, labelString(labels), formatValue(snap.SumSeconds))
+	p.printf("%s_count%s %d\n", name, labelString(labels), snap.Count)
+}

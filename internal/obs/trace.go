@@ -1,0 +1,198 @@
+// Traces: one Trace per HTTP request or sweep job, carrying stage spans
+// recorded by whatever code the request's context flows through. Traces
+// live in the Observer's fixed-size ring and are served at /v1/traces.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace bounds one trace's memory: a 10k-point sweep job would
+// otherwise accumulate every store lookup it ever made. Beyond the cap,
+// spans are counted (SpansDropped) but not retained.
+const maxSpansPerTrace = 512
+
+// Span is one timed stage inside a trace. Start is the offset from the
+// trace's start, so spans order and nest without absolute clocks.
+type Span struct {
+	Stage      string `json:"stage"`
+	StartNanos int64  `json:"start_ns"`
+	DurNanos   int64  `json:"duration_ns"`
+}
+
+// Trace is one request's (or job's) record. All methods are nil-safe, so
+// instrumented code never branches on whether tracing is on.
+type Trace struct {
+	id    string
+	kind  string
+	start time.Time
+	obs   *Observer
+
+	mu       sync.Mutex
+	spans    []Span
+	dropped  uint64
+	attrs    map[string]string
+	done     bool
+	durNanos int64
+	status   string
+}
+
+// ID returns the trace ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetAttr attaches a label (endpoint, backend, profiles, …) to the trace.
+func (t *Trace) SetAttr(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.attrs == nil {
+		t.attrs = make(map[string]string, 4)
+	}
+	t.attrs[key] = value
+	t.mu.Unlock()
+}
+
+// addSpan records one completed stage.
+func (t *Trace) addSpan(stage string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.spans) >= maxSpansPerTrace {
+		t.dropped++
+		t.mu.Unlock()
+		if t.obs != nil {
+			t.obs.spansDropped.Add(1)
+		}
+		return
+	}
+	t.spans = append(t.spans, Span{
+		Stage:      stage,
+		StartNanos: start.Sub(t.start).Nanoseconds(),
+		DurNanos:   d.Nanoseconds(),
+	})
+	t.mu.Unlock()
+}
+
+// Finish marks the trace complete with a terminal status ("ok", an HTTP
+// status code, "failed", …). Idempotent; later calls keep the first state.
+func (t *Trace) Finish(status string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.durNanos = time.Since(t.start).Nanoseconds()
+		t.status = status
+	}
+	t.mu.Unlock()
+}
+
+// TraceDoc is the wire form of a trace.
+type TraceDoc struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	Start string `json:"start"`
+	// Done reports whether the trace finished; DurationNanos is 0 while
+	// the request is still in flight.
+	Done          bool              `json:"done"`
+	Status        string            `json:"status,omitempty"`
+	DurationNanos int64             `json:"duration_ns,omitempty"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+	SpanCount     int               `json:"span_count"`
+	SpansDropped  uint64            `json:"spans_dropped,omitempty"`
+	Spans         []Span            `json:"spans,omitempty"`
+}
+
+// Doc snapshots the trace; withSpans includes the span list (the detail
+// endpoint), otherwise only the count (the list endpoint).
+func (t *Trace) Doc(withSpans bool) TraceDoc {
+	if t == nil {
+		return TraceDoc{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	doc := TraceDoc{
+		ID:            t.id,
+		Kind:          t.kind,
+		Start:         t.start.UTC().Format(time.RFC3339Nano),
+		Done:          t.done,
+		Status:        t.status,
+		DurationNanos: t.durNanos,
+		SpanCount:     len(t.spans),
+		SpansDropped:  t.dropped,
+	}
+	if len(t.attrs) > 0 {
+		doc.Attrs = make(map[string]string, len(t.attrs))
+		for k, v := range t.attrs {
+			doc.Attrs[k] = v
+		}
+	}
+	if withSpans {
+		doc.Spans = append([]Span(nil), t.spans...)
+	}
+	return doc
+}
+
+// ctxKey carries the (Observer, Trace) pair through context.Context.
+type ctxKey struct{}
+
+type ctxVal struct {
+	obs   *Observer
+	trace *Trace
+}
+
+// With returns ctx carrying the observer and trace; downstream code
+// records spans with StartSpan without knowing either exists.
+func With(ctx context.Context, o *Observer, t *Trace) context.Context {
+	if !o.Enabled() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{obs: o, trace: t})
+}
+
+// FromContext extracts the observer and trace (nil, nil when absent).
+func FromContext(ctx context.Context) (*Observer, *Trace) {
+	if ctx == nil {
+		return nil, nil
+	}
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.obs, v.trace
+	}
+	return nil, nil
+}
+
+// TraceFrom returns the context's trace, if any.
+func TraceFrom(ctx context.Context) *Trace {
+	_, t := FromContext(ctx)
+	return t
+}
+
+// nop is the span-end function when no observer is attached.
+func nop() {}
+
+// StartSpan begins a stage span against the context's observer and trace.
+// The returned end function records the duration into the stage histogram
+// and appends the span to the trace; with no observer in ctx it does
+// nothing. Always call end exactly once (defer-friendly).
+func StartSpan(ctx context.Context, stage string) (end func()) {
+	o, t := FromContext(ctx)
+	if !o.Enabled() {
+		return nop
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		o.Observe(stage, d)
+		t.addSpan(stage, start, d)
+	}
+}

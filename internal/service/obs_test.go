@@ -1,0 +1,334 @@
+package service_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"logitdyn/internal/obs"
+	"logitdyn/internal/service"
+	"logitdyn/internal/spec"
+	"logitdyn/internal/store"
+)
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %s: %v", raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// The tentpole's acceptance path: an analyze request leaves a finished
+// trace whose spans name the pipeline stages, the trace is retrievable by
+// the ID the response header carried, and the Prometheus exposition
+// parses with populated histogram families.
+func TestObservabilityEndToEnd(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, service.Config{Store: st})
+
+	req := service.AnalyzeRequest{
+		Spec: &spec.Spec{Game: "ising", Graph: "ring", N: 5, Delta1: 1},
+		Beta: 0.7,
+	}
+	buf, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("analyze response carried no X-Trace-Id header")
+	}
+
+	// The trace is listed, finished with the response status, and its
+	// detail document carries per-stage spans for the analysis pipeline.
+	var list service.TraceListDoc
+	if code := getJSON(t, srv.URL+"/v1/traces", &list); code != http.StatusOK {
+		t.Fatalf("traces list: status %d", code)
+	}
+	if !list.Enabled || len(list.Traces) == 0 {
+		t.Fatalf("trace list empty or disabled: %+v", list)
+	}
+	var doc obs.TraceDoc
+	if code := getJSON(t, srv.URL+"/v1/traces/"+traceID, &doc); code != http.StatusOK {
+		t.Fatalf("trace detail: status %d", code)
+	}
+	if !doc.Done || doc.Status != "200" {
+		t.Fatalf("trace not finished as 200: %+v", doc)
+	}
+	if doc.Attrs["endpoint"] != "analyze" || doc.Attrs["backend"] == "" {
+		t.Fatalf("trace attrs missing endpoint/backend: %v", doc.Attrs)
+	}
+	stages := map[string]bool{}
+	for _, sp := range doc.Spans {
+		stages[sp.Stage] = true
+		if sp.DurNanos < 0 || sp.StartNanos < 0 {
+			t.Fatalf("span with negative time: %+v", sp)
+		}
+	}
+	for _, want := range []string{obs.StageQueueWait, obs.StageBuild, obs.StageStoreGet, obs.StageSerialize, obs.StageStats} {
+		if !stages[want] {
+			t.Errorf("trace has no %q span; got %v", want, stages)
+		}
+	}
+	// The analysis route records exactly one of the backend stages.
+	if !stages[obs.StageSpectral] && !stages[obs.StageLanczos] {
+		t.Errorf("trace has neither spectral nor lanczos span: %v", stages)
+	}
+
+	// An unknown trace ID is a 404, not a 500.
+	if code := getJSON(t, srv.URL+"/v1/traces/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown trace: status %d, want 404", code)
+	}
+
+	// A repeat of the same request is a memory hit: its trace must carry
+	// the cache-lookup span and the hit source attribute.
+	resp2, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	var hitDoc obs.TraceDoc
+	if code := getJSON(t, srv.URL+"/v1/traces/"+resp2.Header.Get("X-Trace-Id"), &hitDoc); code != http.StatusOK {
+		t.Fatalf("hit trace: status %d", code)
+	}
+	hitStages := map[string]bool{}
+	for _, sp := range hitDoc.Spans {
+		hitStages[sp.Stage] = true
+	}
+	if !hitStages[obs.StageCacheLookup] {
+		t.Errorf("memory-hit trace has no cache_lookup span: %v", hitStages)
+	}
+	if hitDoc.Attrs["source"] != "memory" {
+		t.Errorf("memory-hit trace source = %q, want memory", hitDoc.Attrs["source"])
+	}
+
+	// JSON metrics fold the observer in: stage histograms present, the
+	// store's per-op latencies populated.
+	m := getMetrics(t, srv.URL)
+	if m.Observability == nil || !m.Observability.Enabled {
+		t.Fatal("metrics carry no observability section")
+	}
+	if len(m.Observability.Stages) == 0 || m.Observability.TracesStarted == 0 {
+		t.Fatalf("observability section empty: %+v", m.Observability)
+	}
+	if m.Store == nil || m.Store.Store.Ops["get"].Count == 0 {
+		t.Fatalf("store op latencies missing: %+v", m.Store)
+	}
+	if m.Work.Workers <= 0 || m.Work.QueueDepth < 0 {
+		t.Fatalf("work gauges malformed: %+v", m.Work)
+	}
+}
+
+// The Prometheus exposition must parse line by line: every sample line is
+// `name{labels} value`, histogram families have cumulative _bucket lines
+// ending at +Inf plus _sum and _count, and the core families are present.
+func TestPrometheusExposition(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, service.Config{Store: st})
+
+	var out service.AnalyzeResponse
+	code, raw := postJSON(t, srv.URL+"/v1/analyze", service.AnalyzeRequest{
+		Spec: &spec.Spec{Game: "doublewell", N: 4, C: 1, Delta1: 1},
+		Beta: 1.0,
+	}, &out)
+	if code != http.StatusOK {
+		t.Fatalf("analyze: %d: %s", code, raw)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	for _, want := range []string{
+		`logitdyn_requests_total{endpoint="analyze"} 1`,
+		"# TYPE logitdyn_requests_total counter",
+		"# TYPE logitdyn_stage_duration_seconds histogram",
+		"# TYPE logitdyn_request_duration_seconds histogram",
+		"logitdyn_workers ",
+		"logitdyn_store_op_duration_seconds_bucket",
+		`logitdyn_analyses_total{backend="dense"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Structural parse: every non-comment line is name{...} value; every
+	// histogram family's buckets are cumulative and end at +Inf with a
+	// matching _count.
+	bucketRuns := 0
+	var prevBucket uint64
+	inBuckets := ""
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unbalanced labels in %q", line)
+			}
+			name = name[:i]
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			var v uint64
+			if _, err := json.Number(line[sp+1:]).Int64(); err == nil {
+				n, _ := json.Number(line[sp+1:]).Int64()
+				v = uint64(n)
+			}
+			series := line[:strings.Index(line, `le="`)]
+			if series != inBuckets {
+				inBuckets, prevBucket = series, 0
+				bucketRuns++
+			}
+			if v < prevBucket {
+				t.Fatalf("non-cumulative buckets at %q", line)
+			}
+			prevBucket = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inBuckets = ""
+			}
+		}
+	}
+	if bucketRuns == 0 {
+		t.Fatal("exposition has no histogram bucket lines")
+	}
+}
+
+// The hard constraint pinned as a test: the same requests against an
+// instrumented service and an instrumentation-disabled one produce
+// byte-identical response bodies — timers, trace IDs and histograms never
+// leak into results.
+func TestInstrumentationGoldenInvariance(t *testing.T) {
+	on := startServer(t, service.Config{Obs: obs.New(32)})
+	off := startServer(t, service.Config{Obs: obs.Disabled()})
+
+	requests := []struct {
+		path string
+		body any
+	}{
+		{"/v1/analyze", service.AnalyzeRequest{
+			Spec: &spec.Spec{Game: "ising", Graph: "ring", N: 5, Delta1: 1}, Beta: 0.9}},
+		{"/v1/analyze", service.AnalyzeRequest{
+			Spec: &spec.Spec{Game: "doublewell", N: 4, C: 1, Delta1: 1}, Beta: 2.0, Backend: "sparse"}},
+		{"/v1/analyze/batch", service.BatchRequest{
+			Spec: &spec.Spec{Game: "doublewell", N: 4, C: 1, Delta1: 1}, Betas: []float64{0.5, 1.5}}},
+		{"/v1/simulate", service.SimulateRequest{
+			Spec: &spec.Spec{Game: "ising", Graph: "ring", N: 5, Delta1: 1},
+			Beta: 0.9, Steps: 200, Replicas: 3, Seed: 7}},
+	}
+	for _, rq := range requests {
+		codeOn, rawOn := postJSON(t, on.URL+rq.path, rq.body, nil)
+		codeOff, rawOff := postJSON(t, off.URL+rq.path, rq.body, nil)
+		if codeOn != codeOff {
+			t.Fatalf("%s: status diverged %d vs %d", rq.path, codeOn, codeOff)
+		}
+		if rawOn != rawOff {
+			t.Fatalf("%s: instrumented body differs from uninstrumented:\n%s\n----\n%s", rq.path, rawOn, rawOff)
+		}
+	}
+}
+
+// Sweep jobs carry their trace ID and progress fields; the finished job's
+// rows match a fresh identical sweep (observability never feeds the table).
+func TestSweepJobTraceAndProgress(t *testing.T) {
+	srv := startServer(t, service.Config{})
+	grid := map[string]any{
+		"axes": map[string]any{
+			"game": []string{"doublewell"},
+			"n":    []int{3, 4},
+			"beta": []float64{0.5, 1.0},
+		},
+		"base": map[string]any{"c": 1, "delta1": 1},
+	}
+	var created service.SweepCreatedDoc
+	if code, raw := postJSON(t, srv.URL+"/v1/sweeps", grid, nil); code != http.StatusAccepted {
+		t.Fatalf("sweep create: %d: %s", code, raw)
+	} else if err := json.Unmarshal([]byte(raw), &created); err != nil {
+		t.Fatal(err)
+	}
+
+	var status service.SweepStatusDoc
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, srv.URL+"/v1/sweeps/"+created.ID, &status); code != http.StatusOK {
+			t.Fatalf("sweep get: status %d", code)
+		}
+		if status.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep still running after 30s: %+v", status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if status.Status != "done" {
+		t.Fatalf("sweep status %q: %s", status.Status, status.Error)
+	}
+	if status.TraceID == "" {
+		t.Fatal("finished sweep carries no trace_id")
+	}
+	if status.ElapsedSeconds <= 0 {
+		t.Fatalf("finished sweep elapsed_seconds = %g", status.ElapsedSeconds)
+	}
+	if status.Done != created.Points || len(status.Rows) != created.Points {
+		t.Fatalf("done=%d rows=%d, want %d", status.Done, len(status.Rows), created.Points)
+	}
+
+	// The job's trace exists and carries sweep spans.
+	var doc obs.TraceDoc
+	if code := getJSON(t, srv.URL+"/v1/traces/"+status.TraceID, &doc); code != http.StatusOK {
+		t.Fatalf("sweep trace: status %d", code)
+	}
+	if doc.Kind != "sweep" || !doc.Done {
+		t.Fatalf("sweep trace malformed: %+v", doc)
+	}
+	if doc.SpanCount == 0 {
+		t.Fatal("sweep trace has no spans")
+	}
+}

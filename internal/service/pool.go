@@ -27,8 +27,11 @@
 package service
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
+
+	"logitdyn/internal/obs"
 )
 
 // Pool is the service-wide worker-token semaphore.
@@ -36,6 +39,9 @@ type Pool struct {
 	sem      chan struct{}
 	inFlight atomic.Int64
 	done     atomic.Uint64
+	// waiting is the queue depth: goroutines currently blocked in Run
+	// waiting for a token — the saturation gauge /metrics exposes.
+	waiting atomic.Int64
 	// borrowed tracks extra tokens currently on loan to intra-request
 	// parallelism; granted/denied are cumulative utilization counters.
 	borrowed atomic.Int64
@@ -53,8 +59,18 @@ func NewPool(workers int) *Pool {
 }
 
 // Run blocks until a worker token is free, then runs fn holding it.
-func (p *Pool) Run(fn func()) {
+func (p *Pool) Run(fn func()) { p.RunCtx(context.Background(), fn) }
+
+// RunCtx is Run with observability: the time spent blocked on the token
+// is recorded as a queue-wait span against ctx's observer/trace. The
+// context does NOT cancel the wait — a request that queued keeps its
+// guarantee of progress.
+func (p *Pool) RunCtx(ctx context.Context, fn func()) {
+	endWait := obs.StartSpan(ctx, obs.StageQueueWait)
+	p.waiting.Add(1)
 	p.sem <- struct{}{}
+	p.waiting.Add(-1)
+	endWait()
 	p.inFlight.Add(1)
 	defer func() {
 		p.inFlight.Add(-1)
@@ -96,6 +112,13 @@ func (p *Pool) Workers() int { return cap(p.sem) }
 
 // InFlight is the number of requests currently holding a Run token.
 func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
+// Waiting is the queue depth: goroutines blocked in Run right now.
+func (p *Pool) Waiting() int64 { return p.waiting.Load() }
+
+// TokensInUse is the worker-token occupancy (Run tokens plus borrowed
+// extras) at this instant.
+func (p *Pool) TokensInUse() int { return len(p.sem) }
 
 // Borrowed is the number of extra tokens currently on loan.
 func (p *Pool) Borrowed() int64 { return p.borrowed.Load() }

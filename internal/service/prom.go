@@ -1,0 +1,114 @@
+// Prometheus text exposition for /metrics?format=prometheus: the same
+// counters the JSON document carries, rewritten as logitdyn_-prefixed
+// families a stock Prometheus scraper ingests without any client library.
+// Every value is read from the same snapshots as the JSON path, so the two
+// formats never disagree about what happened.
+package service
+
+import (
+	"net/http"
+	"strings"
+
+	"logitdyn/internal/obs"
+)
+
+func (s *Service) writeProm(w http.ResponseWriter) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewProm(w)
+
+	p.Gauge("logitdyn_uptime_seconds", "Seconds since the service started.", nil, m.UptimeSeconds)
+
+	reqs := []struct {
+		ep string
+		n  uint64
+	}{
+		{"analyze", m.Requests.Analyze},
+		{"batch", m.Requests.Batch},
+		{"simulate", m.Requests.Simulate},
+		{"sweeps", m.Requests.Sweeps},
+		{"traces", m.Requests.Traces},
+		{"healthz", m.Requests.Healthz},
+		{"metrics", m.Requests.Metrics},
+	}
+	for _, r := range reqs {
+		p.Counter("logitdyn_requests_total", "Requests served, by endpoint.",
+			[]obs.Label{{Name: "endpoint", Value: r.ep}}, float64(r.n))
+	}
+
+	cacheHelp := "In-memory report cache events, by kind."
+	p.Counter("logitdyn_cache_events_total", cacheHelp, []obs.Label{{Name: "kind", Value: "hit"}}, float64(m.Cache.Hits))
+	p.Counter("logitdyn_cache_events_total", cacheHelp, []obs.Label{{Name: "kind", Value: "miss"}}, float64(m.Cache.Misses))
+	p.Counter("logitdyn_cache_events_total", cacheHelp, []obs.Label{{Name: "kind", Value: "eviction"}}, float64(m.Cache.Evictions))
+	p.Counter("logitdyn_cache_events_total", cacheHelp, []obs.Label{{Name: "kind", Value: "singleflight_wait"}}, float64(m.Cache.SingleflightWaits))
+	p.Gauge("logitdyn_cache_size", "Reports held in the in-memory cache.", nil, float64(m.Cache.Size))
+	p.Gauge("logitdyn_cache_capacity", "In-memory cache capacity.", nil, float64(m.Cache.Capacity))
+
+	if m.Store != nil {
+		tierHelp := "Persistent store tier outcomes for memory-cache misses."
+		p.Counter("logitdyn_store_tier_total", tierHelp, []obs.Label{{Name: "kind", Value: "hit"}}, float64(m.Store.Hits))
+		p.Counter("logitdyn_store_tier_total", tierHelp, []obs.Label{{Name: "kind", Value: "miss"}}, float64(m.Store.Misses))
+		st := m.Store.Store
+		stHelp := "Persistent report-store events, by kind."
+		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "hit"}}, float64(st.Hits))
+		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "miss"}}, float64(st.Misses))
+		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "put"}}, float64(st.Puts))
+		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "write_error"}}, float64(st.WriteErrors))
+		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "read_error"}}, float64(st.ReadErrors))
+		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "eviction"}}, float64(st.Evictions))
+		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "corrupt_dropped"}}, float64(st.CorruptDropped))
+		p.Gauge("logitdyn_store_entries", "Entries in the persistent store.", nil, float64(st.Entries))
+		p.Gauge("logitdyn_store_bytes", "Bytes in the persistent store.", nil, float64(st.SizeBytes))
+		for _, op := range []string{"get", "put", "evict", "scrub"} {
+			if snap, ok := st.Ops[op]; ok {
+				p.Histogram("logitdyn_store_op_duration_seconds",
+					"Persistent-store operation latency, by op.",
+					[]obs.Label{{Name: "op", Value: op}}, snap)
+			}
+		}
+	}
+
+	backHelp := "Completed analyses, by linear-algebra backend."
+	p.Counter("logitdyn_analyses_total", backHelp, []obs.Label{{Name: "backend", Value: "dense"}}, float64(m.Work.AnalysesByBackend.Dense))
+	p.Counter("logitdyn_analyses_total", backHelp, []obs.Label{{Name: "backend", Value: "sparse"}}, float64(m.Work.AnalysesByBackend.Sparse))
+	p.Counter("logitdyn_analyses_total", backHelp, []obs.Label{{Name: "backend", Value: "matfree"}}, float64(m.Work.AnalysesByBackend.MatFree))
+	p.Counter("logitdyn_analyses_failed_total", "Analysis attempts that errored.", nil, float64(m.Work.AnalysesFailed))
+	p.Counter("logitdyn_simulations_total", "Completed simulation requests.", nil, float64(m.Work.Simulations))
+
+	p.Gauge("logitdyn_workers", "Worker-token budget.", nil, float64(m.Work.Workers))
+	p.Gauge("logitdyn_in_flight", "Requests currently holding a worker token.", nil, float64(m.Work.InFlight))
+	p.Gauge("logitdyn_queue_depth", "Requests blocked waiting for a worker token.", nil, float64(m.Work.QueueDepth))
+	p.Gauge("logitdyn_worker_tokens_in_use", "Worker-token occupancy (run tokens plus borrowed extras).", nil, float64(m.Work.TokensInUse))
+	p.Counter("logitdyn_parallel_extra_granted_total", "Extra worker tokens granted to intra-request parallelism.", nil, float64(m.Work.ParallelExtraGranted))
+	p.Counter("logitdyn_parallel_extra_denied_total", "Extra worker tokens denied to intra-request parallelism.", nil, float64(m.Work.ParallelExtraDenied))
+
+	sweepHelp := "Sweep jobs in the registry, by state."
+	p.Gauge("logitdyn_sweep_jobs", sweepHelp, []obs.Label{{Name: "state", Value: "running"}}, float64(m.Sweeps.Running))
+	p.Gauge("logitdyn_sweep_jobs", sweepHelp, []obs.Label{{Name: "state", Value: "done"}}, float64(m.Sweeps.Done))
+	p.Gauge("logitdyn_sweep_jobs", sweepHelp, []obs.Label{{Name: "state", Value: "cancelled"}}, float64(m.Sweeps.Cancelled))
+	p.Gauge("logitdyn_sweep_jobs", sweepHelp, []obs.Label{{Name: "state", Value: "failed"}}, float64(m.Sweeps.Failed))
+
+	if m.Observability != nil {
+		p.Counter("logitdyn_traces_started_total", "Traces minted since start.", nil, float64(m.Observability.TracesStarted))
+		p.Gauge("logitdyn_traces_retained", "Traces currently in the ring.", nil, float64(m.Observability.TracesRetained))
+		p.Counter("logitdyn_trace_spans_dropped_total", "Spans dropped by the per-trace cap.", nil, float64(m.Observability.SpansDropped))
+		// The stage histograms split into two families: request:<endpoint>
+		// timers become request_duration_seconds{endpoint}, everything else
+		// is a pipeline stage.
+		for _, h := range m.Observability.Stages {
+			if ep, ok := strings.CutPrefix(h.Name, "request:"); ok {
+				p.Histogram("logitdyn_request_duration_seconds",
+					"End-to-end request latency, by endpoint.",
+					[]obs.Label{{Name: "endpoint", Value: ep}}, h.HistogramSnapshot)
+			}
+		}
+		for _, h := range m.Observability.Stages {
+			if _, ok := strings.CutPrefix(h.Name, "request:"); !ok {
+				p.Histogram("logitdyn_stage_duration_seconds",
+					"Pipeline stage latency, by stage.",
+					[]obs.Label{{Name: "stage", Value: h.Name}}, h.HistogramSnapshot)
+			}
+		}
+	}
+	_ = p.Err()
+}

@@ -14,11 +14,15 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +32,7 @@ import (
 	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
 	"logitdyn/internal/markov"
+	"logitdyn/internal/obs"
 	"logitdyn/internal/rng"
 	"logitdyn/internal/serialize"
 	"logitdyn/internal/sim"
@@ -59,6 +64,15 @@ type Config struct {
 	// misses read through to it, and every completed analysis is written
 	// back, so reports survive daemon restarts and sweeps resume for free.
 	Store *store.Store
+	// Obs is the observability layer (traces + stage histograms); nil means
+	// a fresh enabled observer with the default trace-ring size. Pass
+	// obs.Disabled() to turn instrumentation off entirely.
+	Obs *obs.Observer
+	// Logger receives structured request/job logs; nil discards them.
+	Logger *slog.Logger
+	// SlowRequest, when > 0, logs a warning for any request that takes at
+	// least this long (with its trace id, so the spans are one GET away).
+	SlowRequest time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +84,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Limits == (spec.Limits{}) {
 		c.Limits = spec.DefaultLimits()
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New(obs.DefaultRingSize)
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -83,6 +103,7 @@ type Service struct {
 
 	reqAnalyze, reqBatch, reqSimulate atomic.Uint64
 	reqHealthz, reqMetrics, reqSweeps atomic.Uint64
+	reqTraces                         atomic.Uint64
 	analyses, simulations             atomic.Uint64
 	// Per-backend analysis counters: which linear-algebra backend actually
 	// ran each performed (non-cached) analysis.
@@ -120,9 +141,13 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
+	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return recoverJSON(mux)
+	// instrument sits outside recoverJSON so the request timer and trace
+	// status see panics as the 500s they become, not as vanished requests.
+	return s.instrument(recoverJSON(mux))
 }
 
 // recoverJSON converts any handler panic into a JSON 500 instead of a
@@ -137,6 +162,98 @@ func recoverJSON(next http.Handler) http.Handler {
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// statusWriter records the response status for the request timer and log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpointOf maps a request to its metric label — a small fixed set so the
+// per-endpoint histograms and counters have bounded cardinality whatever
+// paths clients probe.
+func endpointOf(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/analyze":
+		return "analyze"
+	case p == "/v1/analyze/batch":
+		return "batch"
+	case p == "/v1/simulate":
+		return "simulate"
+	case strings.HasPrefix(p, "/v1/sweeps"):
+		return "sweeps"
+	case strings.HasPrefix(p, "/v1/traces"):
+		return "traces"
+	case p == "/healthz":
+		return "healthz"
+	case p == "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
+// instrument is the outermost middleware: it mints a trace per request
+// (work endpoints only — probes would churn the ring), threads the
+// observer through the request context, times the request into a
+// per-endpoint histogram, and logs completion — at warn level with the
+// trace id when the request exceeded the slow threshold.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := endpointOf(r)
+		var tr *obs.Trace
+		switch ep {
+		case "healthz", "metrics", "traces":
+			// Probe endpoints are timed but not traced.
+		default:
+			tr = s.cfg.Obs.StartTrace("http")
+			tr.SetAttr("endpoint", ep)
+			tr.SetAttr("method", r.Method)
+			tr.SetAttr("path", r.URL.Path)
+		}
+		if id := tr.ID(); id != "" {
+			// The header (not the body) carries the trace id: response
+			// bodies stay byte-identical with instrumentation off.
+			w.Header().Set("X-Trace-Id", id)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(obs.With(r.Context(), s.cfg.Obs, tr)))
+		dur := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		tr.SetAttr("status", strconv.Itoa(status))
+		tr.Finish(strconv.Itoa(status))
+		s.cfg.Obs.Observe("request:"+ep, dur)
+		slow := s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest
+		lvl := slog.LevelDebug
+		msg := "request"
+		if slow {
+			lvl, msg = slog.LevelWarn, "slow request"
+		}
+		s.cfg.Logger.Log(r.Context(), lvl, msg,
+			"trace_id", tr.ID(), "endpoint", ep, "method", r.Method,
+			"path", r.URL.Path, "status", status,
+			"duration_ms", float64(dur.Nanoseconds())/1e6)
+	})
+}
+
+// writeJSONCtx is writeJSON timed as the response's serialize stage.
+func writeJSONCtx(ctx context.Context, w http.ResponseWriter, status int, v any) {
+	end := obs.StartSpan(ctx, obs.StageSerialize)
+	writeJSON(w, status, v)
+	end()
 }
 
 // AnalyzeRequest asks for the full analysis of one (game, β) pair. The
@@ -301,15 +418,15 @@ func (s *Service) buildGame(sp *spec.Spec, doc *serialize.GameDoc, name, backend
 
 // analyzeOne serves one analysis through the cache, pool and singleflight
 // layers.
-func (s *Service) analyzeOne(req AnalyzeRequest) (*AnalyzeResponse, error) {
+func (s *Service) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeResponse, error) {
 	g, name, err := s.buildGame(req.Spec, req.Game, req.Name, req.Backend)
 	if err != nil {
 		return nil, err
 	}
 	// Materialize once and analyze the table, so the digest and the
 	// analysis don't each re-evaluate every lazy utility.
-	table := s.materialize(g)
-	return s.analyzeBuilt(table, GameDigest(table), name, req.Beta, req.Eps, req.MaxT, req.Backend)
+	table := s.materialize(ctx, g)
+	return s.analyzeBuilt(ctx, table, GameDigest(table), name, req.Beta, req.Eps, req.MaxT, req.Backend)
 }
 
 // borrowFor sizes and takes an extra-token loan for a task with n
@@ -327,7 +444,9 @@ func (s *Service) borrowFor(n int) (par linalg.ParallelConfig, release func()) {
 // materialize tabulates a request's game on borrowed worker tokens: the
 // handler holds no Run token at this point, so every goroutine it spawns
 // must come out of the shared budget. A denied borrow tabulates serially.
-func (s *Service) materialize(g game.Game) *game.TableGame {
+func (s *Service) materialize(ctx context.Context, g game.Game) *game.TableGame {
+	end := obs.StartSpan(ctx, obs.StageBuild)
+	defer end()
 	par, release := s.borrowFor(game.SpaceOf(g).Size())
 	defer release()
 	return game.MaterializePar(g, par)
@@ -344,15 +463,15 @@ const (
 
 // analyzeBuilt is the shared serving path once the game is built and
 // digested; β-sweeps reuse one digest across all their items.
-func (s *Service) analyzeBuilt(g game.Game, digest [32]byte, name string, beta, eps float64, maxT int64, backend string) (*AnalyzeResponse, error) {
-	resp, _, err := s.analyzeBuiltTier(g, digest, name, beta, eps, maxT, backend)
+func (s *Service) analyzeBuilt(ctx context.Context, g game.Game, digest [32]byte, name string, beta, eps float64, maxT int64, backend string) (*AnalyzeResponse, error) {
+	resp, _, err := s.analyzeBuiltTier(ctx, g, digest, name, beta, eps, maxT, backend)
 	return resp, err
 }
 
 // analyzeBuiltTier is analyzeBuilt plus tier attribution: the lookup walks
 // LRU → persistent store → fresh analysis, and reports which tier
 // answered.
-func (s *Service) analyzeBuiltTier(g game.Game, digest [32]byte, name string, beta, eps float64, maxT int64, backend string) (*AnalyzeResponse, evalSource, error) {
+func (s *Service) analyzeBuiltTier(ctx context.Context, g game.Game, digest [32]byte, name string, beta, eps float64, maxT int64, backend string) (*AnalyzeResponse, evalSource, error) {
 	if err := s.cfg.Limits.CheckBeta(beta); err != nil {
 		return nil, "", err
 	}
@@ -375,14 +494,24 @@ func (s *Service) analyzeBuiltTier(g game.Game, digest [32]byte, name string, be
 	// budget never changes the report (linalg's parallel reductions use
 	// fixed block boundaries), so Parallel must not split cache slots.
 	key := KeyFrom(digest, beta, opts)
-	// fromStore is written at most once, by the one goroutine singleflight
-	// lets into the miss function, and read only after Do returns.
+	// fromStore/missed are written at most once, by the one goroutine
+	// singleflight lets into the miss function (Do runs it inline), and
+	// read only after Do returns.
 	fromStore := false
+	missed := false
+	// endLookup is called only when the memory tier answered (hit or
+	// singleflight join) — on a miss the "lookup" would span the whole
+	// analysis, which the stages inside the miss function already cover.
+	endLookup := obs.StartSpan(ctx, obs.StageCacheLookup)
 	rep, cached, err := s.cache.Do(key, func() (*core.Report, error) {
+		missed = true
 		// Memory miss: the persistent store is the second tier. A stored
 		// report is decode-validated (fail-closed) before it is trusted.
 		if s.cfg.Store != nil {
-			if doc, ok := s.cfg.Store.Get(key); ok {
+			endGet := obs.StartSpan(ctx, obs.StageStoreGet)
+			doc, ok := s.cfg.Store.Get(key)
+			endGet()
+			if ok {
 				s.storeTierHits.Add(1)
 				fromStore = true
 				return doc.Report(), nil
@@ -391,7 +520,7 @@ func (s *Service) analyzeBuiltTier(g game.Game, digest [32]byte, name string, be
 		}
 		var rep *core.Report
 		var aerr error
-		s.pool.Run(func() {
+		s.pool.RunCtx(ctx, func() {
 			// Borrow idle tokens for intra-request parallelism, sized by
 			// the profile space (holding tokens a small game cannot use
 			// would starve request-level concurrency). The one Run token
@@ -401,7 +530,7 @@ func (s *Service) analyzeBuiltTier(g game.Game, digest [32]byte, name string, be
 			defer release()
 			runOpts := opts
 			runOpts.Parallel = par
-			rep, aerr = core.AnalyzeGame(g, beta, runOpts)
+			rep, aerr = core.AnalyzeGameCtx(ctx, g, beta, runOpts)
 		})
 		if aerr != nil {
 			s.analysesFailed.Add(1)
@@ -414,10 +543,15 @@ func (s *Service) analyzeBuiltTier(g game.Game, digest [32]byte, name string, be
 		// Write-through: persistence failures only cost durability, never
 		// the response (the store counts them).
 		if s.cfg.Store != nil {
+			endPut := obs.StartSpan(ctx, obs.StageStorePut)
 			_ = s.cfg.Store.Put(key, serialize.FromReport(rep, name, opts.Eps))
+			endPut()
 		}
 		return rep, nil
 	})
+	if !missed {
+		endLookup()
+	}
 	if err != nil {
 		return nil, "", err
 	}
@@ -427,6 +561,11 @@ func (s *Service) analyzeBuiltTier(g game.Game, digest [32]byte, name string, be
 		src = sourceMemory
 	case fromStore:
 		src = sourceStore
+	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tr.SetAttr("backend", rep.Backend)
+		tr.SetAttr("profiles", strconv.Itoa(size))
+		tr.SetAttr("source", string(src))
 	}
 	return &AnalyzeResponse{
 		Key: key,
@@ -456,12 +595,12 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.analyzeOne(req)
+	resp, err := s.analyzeOne(r.Context(), req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONCtx(r.Context(), w, http.StatusOK, resp)
 }
 
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -488,7 +627,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case len(req.Items) > 0:
 		results = sim.Map(req.Items, 0, s.pool.Workers(), func(_ int, it AnalyzeRequest, _ *rng.RNG) BatchItemResult {
-			resp, err := s.analyzeOne(it)
+			resp, err := s.analyzeOne(r.Context(), it)
 			if err != nil {
 				return BatchItemResult{Error: err.Error()}
 			}
@@ -503,10 +642,10 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		table := s.materialize(g)
+		table := s.materialize(r.Context(), g)
 		digest := GameDigest(table)
 		results = sim.Map(req.Betas, 0, s.pool.Workers(), func(_ int, beta float64, _ *rng.RNG) BatchItemResult {
-			resp, err := s.analyzeBuilt(table, digest, name, beta, req.Eps, req.MaxT, req.Backend)
+			resp, err := s.analyzeBuilt(r.Context(), table, digest, name, beta, req.Eps, req.MaxT, req.Backend)
 			if err != nil {
 				return BatchItemResult{Error: err.Error()}
 			}
@@ -516,7 +655,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty batch: give \"items\" or \"betas\""))
 		return
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	writeJSONCtx(r.Context(), w, http.StatusOK, BatchResponse{Results: results})
 }
 
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -526,15 +665,15 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	doc, err := s.simulate(req)
+	doc, err := s.simulate(r.Context(), req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, doc)
+	writeJSONCtx(r.Context(), w, http.StatusOK, doc)
 }
 
-func (s *Service) simulate(req SimulateRequest) (*serialize.SimulationDoc, error) {
+func (s *Service) simulate(ctx context.Context, req SimulateRequest) (*serialize.SimulationDoc, error) {
 	if err := s.cfg.Limits.CheckBeta(req.Beta); err != nil {
 		return nil, err
 	}
@@ -580,7 +719,9 @@ func (s *Service) simulate(req SimulateRequest) (*serialize.SimulationDoc, error
 		NumProfiles: space.Size(),
 		Start:       start,
 	}
-	s.pool.Run(func() {
+	s.pool.RunCtx(ctx, func() {
+		endSim := obs.StartSpan(ctx, obs.StageSimulate)
+		defer endSim()
 		s.simulations.Add(1)
 		// Replicas fan out on borrowed worker tokens. Unlike borrowFor's
 		// per-row sizing, every single replica can saturate a worker, so
@@ -623,9 +764,28 @@ func (s *Service) simulate(req SimulateRequest) (*serialize.SimulationDoc, error
 	return doc, nil
 }
 
+// HealthDoc answers /healthz: liveness plus enough build identity to tell
+// which binary is running without shelling into the host.
+type HealthDoc struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version,omitempty"`
+	// Revision/Modified come from the VCS stamp when the binary was built
+	// from a checkout; empty under plain `go test` builds.
+	Revision string `json:"revision,omitempty"`
+	Modified bool   `json:"modified,omitempty"`
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.reqHealthz.Add(1)
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	id := buildIdentity()
+	writeJSON(w, http.StatusOK, HealthDoc{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     id.goVersion,
+		Revision:      id.revision,
+		Modified:      id.modified,
+	})
 }
 
 // RequestMetrics counts requests per endpoint.
@@ -634,6 +794,7 @@ type RequestMetrics struct {
 	Batch    uint64 `json:"batch"`
 	Simulate uint64 `json:"simulate"`
 	Sweeps   uint64 `json:"sweeps"`
+	Traces   uint64 `json:"traces"`
 	Healthz  uint64 `json:"healthz"`
 	Metrics  uint64 `json:"metrics"`
 }
@@ -664,6 +825,12 @@ type WorkMetrics struct {
 	Simulations    uint64 `json:"simulations"`
 	InFlight       int64  `json:"in_flight"`
 	Workers        int    `json:"workers"`
+	// QueueDepth is how many requests are blocked waiting for a worker
+	// token right now; TokensInUse is the semaphore occupancy (Run tokens
+	// plus borrowed extras). Together they say whether latency is queueing
+	// or computing.
+	QueueDepth  int64 `json:"queue_depth"`
+	TokensInUse int   `json:"worker_tokens_in_use"`
 	// Worker-utilization counters for the single worker-token pool:
 	// ParallelExtraInUse is how many extra tokens intra-request parallelism
 	// holds right now; the Granted/Denied totals say how often fan-out got
@@ -690,6 +857,9 @@ type MetricsDoc struct {
 	Store         *StoreTierMetrics `json:"store,omitempty"`
 	Work          WorkMetrics       `json:"work"`
 	Sweeps        SweepGauges       `json:"sweep_jobs"`
+	// Observability is the stage-latency histograms and trace-ring state;
+	// omitted when the observer is disabled.
+	Observability *obs.MetricsDoc `json:"observability,omitempty"`
 }
 
 // Metrics snapshots the service counters.
@@ -702,6 +872,11 @@ func (s *Service) Metrics() MetricsDoc {
 			Store:  s.cfg.Store.Metrics(),
 		}
 	}
+	var obsDoc *obs.MetricsDoc
+	if s.cfg.Obs.Enabled() {
+		d := s.cfg.Obs.Snapshot()
+		obsDoc = &d
+	}
 	return MetricsDoc{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests: RequestMetrics{
@@ -709,12 +884,14 @@ func (s *Service) Metrics() MetricsDoc {
 			Batch:    s.reqBatch.Load(),
 			Simulate: s.reqSimulate.Load(),
 			Sweeps:   s.reqSweeps.Load(),
+			Traces:   s.reqTraces.Load(),
 			Healthz:  s.reqHealthz.Load(),
 			Metrics:  s.reqMetrics.Load(),
 		},
-		Cache:  s.cache.Metrics(),
-		Store:  storeTier,
-		Sweeps: s.sweepGauges(),
+		Cache:         s.cache.Metrics(),
+		Store:         storeTier,
+		Sweeps:        s.sweepGauges(),
+		Observability: obsDoc,
 		Work: WorkMetrics{
 			AnalysesPerformed: s.analyses.Load(),
 			AnalysesByBackend: BackendMetrics{
@@ -726,6 +903,8 @@ func (s *Service) Metrics() MetricsDoc {
 			Simulations:          s.simulations.Load(),
 			InFlight:             s.pool.InFlight(),
 			Workers:              s.pool.Workers(),
+			QueueDepth:           s.pool.Waiting(),
+			TokensInUse:          s.pool.TokensInUse(),
 			ParallelExtraInUse:   s.pool.Borrowed(),
 			ParallelExtraGranted: s.pool.ExtraGranted(),
 			ParallelExtraDenied:  s.pool.ExtraDenied(),
@@ -735,6 +914,10 @@ func (s *Service) Metrics() MetricsDoc {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reqMetrics.Add(1)
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.writeProm(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -165,7 +166,7 @@ func TestAnalyzeRejectsOverLimitRequests(t *testing.T) {
 		},
 	}
 	for name, req := range cases {
-		if _, err := svc.analyzeOne(req); err == nil {
+		if _, err := svc.analyzeOne(context.Background(), req); err == nil {
 			t.Errorf("%s: expected rejection", name)
 		}
 	}
@@ -178,7 +179,7 @@ func TestAnalyzeRejectsEagerBlowupBeforeConstruction(t *testing.T) {
 	// random n=10 m=8 would eagerly tabulate 8^10 ≈ 1e9 profiles at Build
 	// time; the limits must reject it before any allocation happens.
 	svc := New(Config{})
-	_, err := svc.analyzeOne(AnalyzeRequest{
+	_, err := svc.analyzeOne(context.Background(), AnalyzeRequest{
 		Spec: &spec.Spec{Game: "random", N: 10, M: 8, Seed: 1}, Beta: 1,
 	})
 	if err == nil {
@@ -196,7 +197,7 @@ func TestAnalyzeConvertsConstructorPanicsToErrors(t *testing.T) {
 		"neg-scale": {Spec: &spec.Spec{Game: "random", N: 3, M: 2, Scale: -1, Seed: 1}, Beta: 1},
 	}
 	for name, req := range cases {
-		if _, err := svc.analyzeOne(req); err == nil {
+		if _, err := svc.analyzeOne(context.Background(), req); err == nil {
 			t.Errorf("%s: expected an error, not a panic", name)
 		}
 	}

@@ -13,17 +13,26 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"logitdyn/internal/obs"
 	"logitdyn/internal/sweep"
 )
+
+// progressWindow is how many recent point-completion timestamps a job
+// keeps for its rolling rate/ETA estimate.
+const progressWindow = 64
 
 // sweepJob is one background sweep run.
 type sweepJob struct {
 	id      string
 	created time.Time
 	cancel  context.CancelFunc
+	// trace is the job's trace (nil with observability off); its ID links
+	// a status document to the job's stage spans at /v1/traces/{id}.
+	trace *obs.Trace
 
 	// mu guards everything below; rows arrive from runner workers while
 	// GET handlers snapshot.
@@ -34,6 +43,12 @@ type sweepJob struct {
 	stats  sweep.RunStats
 	result *sweep.Result
 	errMsg string
+	// finished is when the job reached a terminal state (zero while
+	// running); comp is a ring of the last progressWindow point-completion
+	// times and compN the total completions recorded into it.
+	finished time.Time
+	comp     [progressWindow]time.Time
+	compN    int
 }
 
 // SweepStatusDoc is the wire form of a sweep job's state.
@@ -42,10 +57,20 @@ type SweepStatusDoc struct {
 	Status  string `json:"status"`
 	Error   string `json:"error,omitempty"`
 	Created string `json:"created"`
+	// TraceID links to /v1/traces/{id}, where the job's stage spans
+	// (store gets, builds, analyses) are; empty with observability off.
+	TraceID string `json:"trace_id,omitempty"`
 	// Points is the full grid size; Done counts points with a final row.
 	Points int            `json:"points"`
 	Done   int            `json:"done"`
 	Stats  sweep.RunStats `json:"stats"`
+	// ElapsedSeconds is run time so far (total on terminal jobs).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// PointsPerSecond and ETASeconds are the rolling completion rate over
+	// the last few points and the remaining-work projection from it; both
+	// only appear on a running job that has completed at least two points.
+	PointsPerSecond float64 `json:"points_per_second,omitempty"`
+	ETASeconds      float64 `json:"eta_seconds,omitempty"`
 	// Rows are the completed rows so far (point order); on a finished job
 	// this is the full deterministic aggregate table.
 	Rows []sweep.Row `json:"rows,omitempty"`
@@ -91,11 +116,13 @@ func (s *Service) sweepGauges() SweepGauges {
 // serving path, so daemon sweeps and live /v1/analyze traffic share the
 // cache, the store, the singleflight layer and the worker-token pool.
 func (s *Service) sweepEval(g *sweep.Grid) sweep.Eval {
-	return func(j *sweep.Job) (sweep.Outcome, error) {
+	return func(ctx context.Context, j *sweep.Job) (sweep.Outcome, error) {
 		// Rebuild the table here rather than holding one per prepared
 		// point: same cost profile as /v1/analyze, which materializes
 		// before its cache lookup too.
+		endBuild := obs.StartSpan(ctx, obs.StageBuild)
 		table, err := j.Materialize()
+		endBuild()
 		if err != nil {
 			return sweep.Outcome{}, err
 		}
@@ -103,7 +130,7 @@ func (s *Service) sweepEval(g *sweep.Grid) sweep.Eval {
 		// per point, and j.Opts carries the normalized result the key was
 		// derived from.
 		resp, src, err := s.analyzeBuiltTier(
-			table, j.Digest, j.Spec.Game, j.Beta, j.Opts.Eps, j.Opts.MaxT, g.Backend)
+			ctx, table, j.Digest, j.Spec.Game, j.Beta, j.Opts.Eps, j.Opts.MaxT, g.Backend)
 		if err != nil {
 			return sweep.Outcome{}, err
 		}
@@ -149,10 +176,19 @@ func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		status:  "running",
 		points:  points,
 	}
+	// The job gets its own trace (kind "sweep"), detached from the HTTP
+	// request that created it: the POST returns immediately, the job's
+	// store gets, builds and analyses span its whole background life.
+	job.trace = s.cfg.Obs.StartTrace("sweep")
+	job.trace.SetAttr("sweep_id", job.id)
+	job.trace.SetAttr("points", strconv.Itoa(points))
+	ctx = obs.With(ctx, s.cfg.Obs, job.trace)
 	s.sweepMu.Lock()
 	s.sweeps[job.id] = job
 	s.pruneSweepsLocked()
 	s.sweepMu.Unlock()
+	s.cfg.Logger.Info("sweep started",
+		"sweep_id", job.id, "trace_id", job.trace.ID(), "points", points)
 
 	runner := &sweep.Runner{
 		Eval:      s.sweepEval(&grid),
@@ -162,6 +198,8 @@ func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		OnRow: func(row sweep.Row) {
 			job.mu.Lock()
 			job.rows = append(job.rows, row)
+			job.comp[job.compN%progressWindow] = time.Now()
+			job.compN++
 			job.mu.Unlock()
 		},
 		// Live stats for GET while the run is in flight; the final
@@ -184,6 +222,17 @@ func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 				job.errMsg = fmt.Sprintf("sweep panicked: %v", rec)
 				job.mu.Unlock()
 			}
+			job.mu.Lock()
+			job.finished = time.Now()
+			status, errMsg, st := job.status, job.errMsg, job.stats
+			elapsed := job.finished.Sub(job.created)
+			job.mu.Unlock()
+			job.trace.Finish(status)
+			s.cfg.Logger.Info("sweep finished",
+				"sweep_id", job.id, "trace_id", job.trace.ID(), "status", status,
+				"error", errMsg, "points", st.Points, "analyzed", st.Analyzed,
+				"store_hits", st.StoreHits, "cache_hits", st.CacheHits,
+				"failed", st.Failed, "duration_ms", float64(elapsed.Nanoseconds())/1e6)
 		}()
 		res, stats, runErr := runner.Run(ctx, &grid)
 		cancel()
@@ -255,9 +304,29 @@ func (j *sweepJob) statusDoc(withRows bool) SweepStatusDoc {
 		Status:  j.status,
 		Error:   j.errMsg,
 		Created: j.created.UTC().Format(time.RFC3339),
+		TraceID: j.trace.ID(),
 		Points:  j.points,
 		Done:    len(j.rows),
 		Stats:   j.stats,
+	}
+	if j.finished.IsZero() {
+		doc.ElapsedSeconds = time.Since(j.created).Seconds()
+		// Rolling rate over the last ≤progressWindow completions, and the
+		// projection for what's left. Only meaningful with two samples and
+		// a nonzero window (coarse clocks can stamp both identically).
+		if n := min(j.compN, progressWindow); n >= 2 {
+			newest := j.comp[(j.compN-1)%progressWindow]
+			oldest := j.comp[j.compN%progressWindow]
+			if j.compN < progressWindow {
+				oldest = j.comp[0]
+			}
+			if window := newest.Sub(oldest).Seconds(); window > 0 {
+				doc.PointsPerSecond = float64(n-1) / window
+				doc.ETASeconds = float64(j.points-len(j.rows)) / doc.PointsPerSecond
+			}
+		}
+	} else {
+		doc.ElapsedSeconds = j.finished.Sub(j.created).Seconds()
 	}
 	if j.result != nil {
 		// Finished: the runner's result is the deterministic table.

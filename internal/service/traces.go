@@ -1,0 +1,65 @@
+// The trace endpoints: GET /v1/traces lists the observer's retained
+// traces (newest first, spans elided), GET /v1/traces/{id} returns one
+// trace with its full span list — the request's or sweep job's time,
+// attributed stage by stage. The ring is fixed-size and in-memory: traces
+// are a debugging window, not a durable record.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync"
+
+	"logitdyn/internal/obs"
+)
+
+// TraceListDoc answers GET /v1/traces.
+type TraceListDoc struct {
+	// Enabled is false when the daemon runs with observability off — the
+	// empty list then means "not recording", not "no traffic".
+	Enabled bool           `json:"enabled"`
+	Traces  []obs.TraceDoc `json:"traces"`
+}
+
+func (s *Service) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	s.reqTraces.Add(1)
+	docs := s.cfg.Obs.Traces()
+	if docs == nil {
+		docs = []obs.TraceDoc{}
+	}
+	writeJSON(w, http.StatusOK, TraceListDoc{Enabled: s.cfg.Obs.Enabled(), Traces: docs})
+}
+
+func (s *Service) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	s.reqTraces.Add(1)
+	id := r.PathValue("id")
+	doc, ok := s.cfg.Obs.TraceByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace %q (the ring retains the most recent %d)", id, obs.DefaultRingSize))
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// buildIdentity reads the binary's build info once: Go toolchain version
+// plus the VCS revision stamped into binaries built from a checkout.
+var buildIdentity = sync.OnceValue(func() (id struct {
+	goVersion, revision string
+	modified            bool
+}) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return id
+	}
+	id.goVersion = info.GoVersion
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			id.revision = kv.Value
+		case "vcs.modified":
+			id.modified = kv.Value == "true"
+		}
+	}
+	return id
+})

@@ -1,0 +1,103 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+// The per-operation latency satellite: Get/Put/evict record into their op
+// histograms, Metrics folds only the ops that actually ran, and concurrent
+// recording with snapshotting is race-clean (run under -race in CI).
+func TestStoreOpLatencies(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops := s.OpLatencies(); len(ops) != 0 {
+		t.Fatalf("fresh store reports op latencies: %v", ops)
+	}
+
+	k := testKey("oplat")
+	if err := s.Put(k, testDoc(1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("lost the entry")
+	}
+	s.Get(testKey("absent")) // a miss is still a timed get
+
+	m := s.Metrics()
+	if m.Ops["put"].Count != 1 {
+		t.Fatalf("put count = %d, want 1", m.Ops["put"].Count)
+	}
+	if m.Ops["get"].Count != 2 {
+		t.Fatalf("get count = %d, want 2 (hit + miss)", m.Ops["get"].Count)
+	}
+	if m.Ops["put"].SumSeconds < 0 || m.Ops["get"].SumSeconds < 0 {
+		t.Fatalf("negative op latency sums: %+v", m.Ops)
+	}
+	if _, ok := m.Ops["evict"]; ok {
+		t.Fatal("evict latency reported though nothing was evicted")
+	}
+	if m.ReadErrors != 0 {
+		t.Fatalf("read errors = %d on a healthy store", m.ReadErrors)
+	}
+
+	// Concurrent Get/Put vs Metrics snapshots: the histograms are atomic,
+	// so this must be clean under -race.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := testKey("oplat-conc")
+				if g%2 == 0 {
+					s.Put(key, testDoc(float64(i)))
+				} else {
+					s.Get(key)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = s.Metrics()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Metrics().Ops["get"].Count; got < 2 {
+		t.Fatalf("get count regressed to %d", got)
+	}
+}
+
+// Eviction latency only appears once the size budget actually evicts.
+func TestStoreEvictLatency(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey("e-one"), testDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	one := s.SizeBytes()
+	s2, err := Open(dir, Options{MaxBytes: one + one/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put(testKey("e-two"), testDoc(2)); err != nil {
+		t.Fatal(err)
+	}
+	m := s2.Metrics()
+	if m.Evictions == 0 {
+		t.Fatalf("no eviction under a %d-byte budget: %+v", one+one/2, m)
+	}
+	if m.Ops["evict"].Count == 0 {
+		t.Fatal("eviction ran but evict latency histogram is empty")
+	}
+}

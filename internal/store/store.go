@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"logitdyn/internal/obs"
 	"logitdyn/internal/serialize"
 )
 
@@ -74,7 +75,17 @@ type Store struct {
 	bytes int64
 
 	hits, misses, puts, evictions, corrupt, writeErrs atomic.Uint64
-	tmpSeq                                            atomic.Uint64
+	// readErrs counts Get failures that were real I/O errors, not absent
+	// keys — the disk-tier health signal a plain miss count hides.
+	readErrs atomic.Uint64
+	tmpSeq   atomic.Uint64
+
+	// Per-op latency histograms (lock-free; zero values are ready), so the
+	// disk tier is no longer latency-blind: Get covers read+decode (hits
+	// and misses alike), Put covers encode+write+rename, evict covers one
+	// eviction pass that deleted at least one entry, scrub covers dropping
+	// a damaged entry.
+	opGet, opPut, opEvict, opScrub obs.Histogram
 }
 
 type indexEntry struct {
@@ -259,12 +270,17 @@ func DecodeEntry(key string, data []byte) (serialize.ReportDoc, error) {
 // has no record of the key, so entries written by another Store instance
 // on the same directory are found.
 func (s *Store) Get(key string) (serialize.ReportDoc, bool) {
+	start := time.Now()
+	defer func() { s.opGet.Observe(time.Since(start)) }()
 	if !ValidKey(key) {
 		s.misses.Add(1)
 		return serialize.ReportDoc{}, false
 	}
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
+		if !os.IsNotExist(err) {
+			s.readErrs.Add(1)
+		}
 		s.misses.Add(1)
 		s.forget(key)
 		return serialize.ReportDoc{}, false
@@ -272,10 +288,12 @@ func (s *Store) Get(key string) (serialize.ReportDoc, bool) {
 	doc, derr := DecodeEntry(key, data)
 	if derr != nil {
 		// Fail closed: drop the damaged entry so the next Put heals it.
+		scrubStart := time.Now()
 		s.corrupt.Add(1)
 		s.misses.Add(1)
 		os.Remove(s.path(key))
 		s.forget(key)
+		s.opScrub.Observe(time.Since(scrubStart))
 		return serialize.ReportDoc{}, false
 	}
 	s.hits.Add(1)
@@ -286,6 +304,8 @@ func (s *Store) Get(key string) (serialize.ReportDoc, bool) {
 // Put writes the report under key atomically (temp file + rename in the
 // same directory) and enforces the size budget.
 func (s *Store) Put(key string, doc serialize.ReportDoc) error {
+	start := time.Now()
+	defer func() { s.opPut.Observe(time.Since(start)) }()
 	data, err := EncodeEntry(key, doc)
 	if err != nil {
 		return err
@@ -359,6 +379,8 @@ func (s *Store) evictLocked() {
 	if s.maxBytes <= 0 {
 		return
 	}
+	evicted := false
+	start := time.Now()
 	for s.bytes > s.maxBytes && s.ll.Len() > 1 {
 		oldest := s.ll.Back()
 		ent := oldest.Value.(*indexEntry)
@@ -367,6 +389,10 @@ func (s *Store) evictLocked() {
 		s.bytes -= ent.size
 		os.Remove(s.path(ent.key))
 		s.evictions.Add(1)
+		evicted = true
+	}
+	if evicted {
+		s.opEvict.Observe(time.Since(start))
 	}
 }
 
@@ -398,6 +424,12 @@ type Metrics struct {
 	Evictions      uint64 `json:"evictions"`
 	CorruptDropped uint64 `json:"corrupt_dropped"`
 	WriteErrors    uint64 `json:"write_errors"`
+	// ReadErrors counts Get failures that were I/O errors rather than
+	// absent keys.
+	ReadErrors uint64 `json:"read_errors"`
+	// Ops holds per-operation latency snapshots (get/put/evict/scrub);
+	// operations that never ran are omitted.
+	Ops map[string]obs.HistogramSnapshot `json:"op_latency,omitempty"`
 }
 
 // Metrics snapshots the counters.
@@ -405,7 +437,7 @@ func (s *Store) Metrics() Metrics {
 	s.mu.Lock()
 	entries, bytes := s.ll.Len(), s.bytes
 	s.mu.Unlock()
-	return Metrics{
+	m := Metrics{
 		Entries:        entries,
 		SizeBytes:      bytes,
 		MaxBytes:       s.maxBytes,
@@ -415,5 +447,28 @@ func (s *Store) Metrics() Metrics {
 		Evictions:      s.evictions.Load(),
 		CorruptDropped: s.corrupt.Load(),
 		WriteErrors:    s.writeErrs.Load(),
+		ReadErrors:     s.readErrs.Load(),
 	}
+	for op, snap := range s.OpLatencies() {
+		if m.Ops == nil {
+			m.Ops = make(map[string]obs.HistogramSnapshot, 4)
+		}
+		m.Ops[op] = snap
+	}
+	return m
+}
+
+// OpLatencies snapshots the per-op latency histograms for operations that
+// have run at least once; exposition layers fold them into Prometheus
+// output.
+func (s *Store) OpLatencies() map[string]obs.HistogramSnapshot {
+	out := make(map[string]obs.HistogramSnapshot, 4)
+	for op, h := range map[string]*obs.Histogram{
+		"get": &s.opGet, "put": &s.opPut, "evict": &s.opEvict, "scrub": &s.opScrub,
+	} {
+		if snap := h.Snapshot(); snap.Count > 0 {
+			out[op] = snap
+		}
+	}
+	return out
 }

@@ -20,6 +20,7 @@ import (
 	"logitdyn/internal/game"
 	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
+	"logitdyn/internal/obs"
 	"logitdyn/internal/serialize"
 	"logitdyn/internal/spec"
 	"logitdyn/internal/store"
@@ -88,8 +89,10 @@ type Outcome struct {
 
 // Eval evaluates one unique job. Implementations decide the tiering
 // (store lookup, daemon cache, direct analysis); the runner handles
-// expansion, dedup, fan-out and aggregation either way.
-type Eval func(j *Job) (Outcome, error)
+// expansion, dedup, fan-out and aggregation either way. ctx is the run's
+// context — it carries cancellation and, when the host wired one up, an
+// obs observer/trace that evaluators record stage spans against.
+type Eval func(ctx context.Context, j *Job) (Outcome, error)
 
 // TokenPool is the worker-token semaphore the runner's evaluators borrow
 // from (satisfied by internal/service.Pool): Run holds one blocking token,
@@ -366,7 +369,7 @@ func (r *Runner) Run(ctx context.Context, g *Grid) (*Result, RunStats, error) {
 					}
 					continue
 				}
-				out, err := evalSafely(r.Eval, pr.job)
+				out, err := evalSafely(ctx, r.Eval, pr.job)
 				if err != nil {
 					mu.Lock()
 					stats.Failed += len(pr.points)
@@ -456,13 +459,13 @@ func (r *Runner) prepare(p Point, g *Grid, limits spec.Limits) (*Job, error) {
 // evalSafely runs the evaluator with panic containment: a panicking
 // analysis must fail its grid point, never crash the process hosting the
 // sweep (the daemon serves live traffic on sibling goroutines).
-func evalSafely(eval Eval, j *Job) (out Outcome, err error) {
+func evalSafely(ctx context.Context, eval Eval, j *Job) (out Outcome, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("sweep: point evaluation panicked: %v", rec)
 		}
 	}()
-	return eval(j)
+	return eval(ctx, j)
 }
 
 // DirectEval evaluates jobs against the store with no daemon in the loop:
@@ -471,13 +474,18 @@ func evalSafely(eval Eval, j *Job) (out Outcome, err error) {
 // intra-analysis parallelism) and writes the report back. st and pool may
 // each be nil (no persistence / unbounded by tokens).
 func DirectEval(st *store.Store, pool TokenPool) Eval {
-	return func(j *Job) (Outcome, error) {
+	return func(ctx context.Context, j *Job) (Outcome, error) {
 		if st != nil {
-			if doc, ok := st.Get(j.Key); ok {
+			endGet := obs.StartSpan(ctx, obs.StageStoreGet)
+			doc, ok := st.Get(j.Key)
+			endGet()
+			if ok {
 				return Outcome{Doc: doc, Source: SourceStore}, nil
 			}
 		}
+		endBuild := obs.StartSpan(ctx, obs.StageBuild)
 		table, err := j.Materialize()
+		endBuild()
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -491,12 +499,19 @@ func DirectEval(st *store.Store, pool TokenPool) Eval {
 				defer release()
 				opts.Parallel = linalg.ParallelConfig{Workers: 1 + extra}
 			}
-			rep, aerr = core.AnalyzeGame(table, j.Beta, opts)
+			rep, aerr = core.AnalyzeGameCtx(ctx, table, j.Beta, opts)
 		}
-		if pool != nil {
-			pool.Run(run)
-		} else {
+		switch p := pool.(type) {
+		case nil:
 			run()
+		case interface {
+			RunCtx(ctx context.Context, fn func())
+		}:
+			// The service pool records the token wait as a queue-wait span
+			// when given the job's context.
+			p.RunCtx(ctx, run)
+		default:
+			pool.Run(run)
 		}
 		if aerr != nil {
 			return Outcome{}, aerr
@@ -505,7 +520,9 @@ func DirectEval(st *store.Store, pool TokenPool) Eval {
 		if st != nil {
 			// A failed write only costs durability (the store counts it);
 			// the report itself is still good.
+			endPut := obs.StartSpan(ctx, obs.StageStorePut)
 			_ = st.Put(j.Key, doc)
+			endPut()
 		}
 		return Outcome{Doc: doc, Source: SourceAnalyzed}, nil
 	}

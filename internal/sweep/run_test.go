@@ -159,9 +159,9 @@ func TestSweepDedupByCanonicalHash(t *testing.T) {
 	var evals atomic.Int64
 	inner := DirectEval(nil, nil)
 	r := &Runner{
-		Eval: func(j *Job) (Outcome, error) {
+		Eval: func(ctx context.Context, j *Job) (Outcome, error) {
 			evals.Add(1)
-			return inner(j)
+			return inner(ctx, j)
 		},
 		Workers: 2,
 	}
@@ -251,9 +251,9 @@ func TestGeneralizedAxesDedupAndEpsKeys(t *testing.T) {
 	var evals atomic.Int64
 	inner := DirectEval(nil, nil)
 	r := &Runner{
-		Eval: func(j *Job) (Outcome, error) {
+		Eval: func(ctx context.Context, j *Job) (Outcome, error) {
 			evals.Add(1)
-			return inner(j)
+			return inner(ctx, j)
 		},
 		Workers: 2,
 	}
