@@ -28,6 +28,7 @@ import (
 
 	"logitdyn/internal/bench"
 	"logitdyn/internal/obs"
+	"logitdyn/internal/scratch"
 	"logitdyn/internal/service"
 	"logitdyn/internal/store"
 	"logitdyn/internal/sweep"
@@ -45,17 +46,18 @@ func idRange() string {
 
 func main() {
 	var (
-		ids       = flag.String("id", "all", "comma-separated experiment IDs or 'all'")
-		list      = flag.Bool("list", false, "list registered experiments and exit")
-		quick     = flag.Bool("quick", false, "small grids for a fast run")
-		seed      = flag.Uint64("seed", 1, "base RNG seed")
-		eps       = flag.Float64("eps", 0.25, "total-variation target ε")
-		csv       = flag.String("csv", "", "optional directory for per-experiment CSV output")
-		storeDir  = flag.String("store", "", "persistent report-store directory shared with logitdynd/logitsweep (empty = run everything cold, keep nothing)")
-		storeMax  = flag.Int64("storemax", 0, "report-store size budget in bytes (0 = unbounded)")
-		workers   = flag.Int("workers", 0, "worker cap for ALL parallel stages (sets GOMAXPROCS; 0 = all cores); never changes table entries")
-		logFormat = flag.String("logformat", "text", "structured log format on stderr: text or json")
-		logLevel  = flag.String("loglevel", "info", "log level: debug, info, warn or error")
+		ids         = flag.String("id", "all", "comma-separated experiment IDs or 'all'")
+		list        = flag.Bool("list", false, "list registered experiments and exit")
+		quick       = flag.Bool("quick", false, "small grids for a fast run")
+		seed        = flag.Uint64("seed", 1, "base RNG seed")
+		eps         = flag.Float64("eps", 0.25, "total-variation target ε")
+		csv         = flag.String("csv", "", "optional directory for per-experiment CSV output")
+		storeDir    = flag.String("store", "", "persistent report-store directory shared with logitdynd/logitsweep (empty = run everything cold, keep nothing)")
+		storeMax    = flag.Int64("storemax", 0, "report-store size budget in bytes (0 = unbounded)")
+		workers     = flag.Int("workers", 0, "worker cap for ALL parallel stages (sets GOMAXPROCS; 0 = all cores); never changes table entries")
+		logFormat   = flag.String("logformat", "text", "structured log format on stderr: text or json")
+		logLevel    = flag.String("loglevel", "info", "log level: debug, info, warn or error")
+		scratchMode = flag.String("scratch", "on", "per-worker scratch arenas for analysis working memory: on|off; never changes table entries")
 	)
 	flag.Parse()
 
@@ -95,7 +97,12 @@ func main() {
 		}
 	}
 
-	exec := &bench.Executor{}
+	scratchPool, err := scratch.PoolFromFlag(*scratchMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	exec := &bench.Executor{Scratch: scratchPool}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
 		if err != nil {

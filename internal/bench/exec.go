@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"logitdyn/internal/scratch"
 	"logitdyn/internal/serialize"
 	"logitdyn/internal/spec"
 	"logitdyn/internal/store"
@@ -78,6 +79,9 @@ type Executor struct {
 	// Pool is the worker-token semaphore evaluators borrow from; nil
 	// leaves intra-analysis parallelism unbounded by tokens.
 	Pool sweep.TokenPool
+	// Scratch is the per-worker arena pool analyses draw working memory
+	// from; nil allocates fresh everywhere. Never affects any table value.
+	Scratch *scratch.Pool
 	// Limits bounds each point; the zero value selects spec.DefaultLimits.
 	Limits spec.Limits
 }
@@ -103,7 +107,7 @@ func (x *Executor) Run(ctx context.Context, e Experiment, cfg Config) (*Table, s
 		}
 		docs := make(map[string]serialize.ReportDoc)
 		var mu sync.Mutex
-		inner := sweep.DirectEval(x.Store, x.Pool)
+		inner := sweep.DirectEvalScratch(x.Store, x.Pool, x.Scratch)
 		runner := &sweep.Runner{
 			Eval: func(ctx context.Context, j *sweep.Job) (sweep.Outcome, error) {
 				out, err := inner(ctx, j)

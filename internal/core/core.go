@@ -25,6 +25,7 @@ import (
 	"logitdyn/internal/mixing"
 	"logitdyn/internal/obs"
 	"logitdyn/internal/rng"
+	"logitdyn/internal/scratch"
 	"logitdyn/internal/sim"
 	"logitdyn/internal/spectral"
 )
@@ -74,6 +75,15 @@ type Options struct {
 	// block boundaries — which is why serving layers exclude it from cache
 	// keys and why the golden-report corpus is stable across machines.
 	Parallel linalg.ParallelConfig
+	// Scratch, when set, supplies the analysis' working memory: the sparse
+	// operator's CSR arrays, the potential table and ζ scan temporaries,
+	// and the whole Lanczos workspace check out of this arena instead of
+	// the heap. The caller owns the arena and must not Reset or reuse it
+	// while the analysis runs; serving layers hand one out per worker
+	// token. Like Parallel, Scratch NEVER changes any reported number
+	// (checkouts come back zeroed, exactly like make) and is excluded from
+	// cache keys. nil means every temporary is freshly allocated.
+	Scratch *scratch.Arena
 }
 
 func (o Options) withDefaults() Options {
@@ -229,7 +239,7 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, opts Options) (*Report, error
 		endSpectral()
 	} else {
 		endStationary := obs.StartSpan(ctx, obs.StageStationary)
-		gibbs, gerr := a.dyn.GibbsPar(opts.Parallel)
+		gibbs, gerr := a.dyn.GibbsScratch(opts.Parallel, opts.Scratch)
 		if gerr != nil {
 			// A game can be an exact potential game without declaring Φ
 			// (e.g. a utility-table document): reconstruct the potential —
@@ -246,7 +256,7 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, opts Options) (*Report, error
 		pi = gibbs
 		endStationary()
 		endLanczos := obs.StartSpan(ctx, obs.StageLanczos)
-		res, lerr := mixing.RelaxationSandwichPar(a.dyn, backend, opts.Eps, pi, opts.Parallel)
+		res, lerr := mixing.RelaxationSandwichScratch(a.dyn, backend, opts.Eps, pi, opts.Parallel, opts.Scratch)
 		endLanczos()
 		if lerr != nil {
 			return nil, lerr
@@ -280,11 +290,15 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, opts Options) (*Report, error
 	g := a.dyn.Game()
 	if p, ok := game.AsPotential(g); ok {
 		rep.IsPotentialGame = true
-		rep.Stats, err = mixing.AnalyzePotentialPar(p, opts.Parallel)
+		// The table escapes into the report only for small games; large
+		// reports elide it below, so it may live in the arena.
+		rep.Stats, err = mixing.AnalyzePotentialScratch(p, opts.Parallel, opts.Scratch, !large)
 		if err != nil {
 			return nil, err
 		}
-		rep.Bounds, err = mixing.Report(p, a.dyn.Beta(), opts.Eps)
+		// The serial and parallel potential analyses agree exactly, so the
+		// bounds built from these stats match what mixing.Report computes.
+		rep.Bounds, err = mixing.ReportFromStats(p, a.dyn.Beta(), opts.Eps, rep.Stats)
 		if err != nil {
 			return nil, err
 		}
@@ -297,7 +311,7 @@ func (a *Analyzer) AnalyzeCtx(ctx context.Context, opts Options) (*Report, error
 		}
 		if phi != nil {
 			rep.IsPotentialGame = true
-			rep.Stats, err = mixing.AnalyzePhiTablePar(sp, phi, opts.Parallel)
+			rep.Stats, err = mixing.AnalyzePhiTableScratch(sp, phi, opts.Parallel, opts.Scratch)
 			if err != nil {
 				return nil, err
 			}

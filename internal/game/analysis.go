@@ -46,21 +46,27 @@ func BestResponses(g Game, i int, x []int, tol float64) []int {
 }
 
 // IsPureNash reports whether x is a pure Nash equilibrium: no player can
-// improve by more than tol with a unilateral deviation.
+// improve by more than tol with a unilateral deviation. x is mutated while
+// the deviations are swept and restored before every return — callers may
+// not read x concurrently, but they get it back unchanged. (This predicate
+// runs once per profile in the equilibrium and welfare sweeps; copying the
+// profile per call was the single largest allocation source of a large
+// analysis.)
 func IsPureNash(g Game, x []int, tol float64) bool {
-	y := append([]int(nil), x...)
 	for i := 0; i < g.Players(); i++ {
+		orig := x[i]
 		cur := g.Utility(i, x)
 		for v := 0; v < g.Strategies(i); v++ {
-			if v == x[i] {
+			if v == orig {
 				continue
 			}
-			y[i] = v
-			if g.Utility(i, y) > cur+tol {
+			x[i] = v
+			if g.Utility(i, x) > cur+tol {
+				x[i] = orig
 				return false
 			}
 		}
-		y[i] = x[i]
+		x[i] = orig
 	}
 	return true
 }

@@ -148,39 +148,71 @@ func (c *CSR) Dense() *Dense {
 	return d
 }
 
-// MatVec computes dst = c·x, sharded over row ranges. Each row's
-// accumulation is an independent serial loop, so results are bit-identical
-// for every worker count.
+// csrTileRows is the row-strip height of the blocked CSR apply: strips of
+// this many rows keep one strip's dst slice plus its Col/Val segments —
+// the logit chains here carry ~n+1 entries per row, so a strip is a few
+// hundred KB — inside L2 while the row loop streams through them. The
+// strip boundaries are fixed (they depend only on the chunk, never on the
+// worker count) and every row still accumulates in its own serial loop,
+// so tiling cannot change a single bit.
+const csrTileRows = 2048
+
+// csrApplyRows runs the per-row accumulation dst[i] = Σ Val·x[Col] over
+// [lo, hi) in fixed row strips. It is the one shared kernel of MatVec and
+// the per-shard body of MatVecTrans' forward sweep.
+func (c *CSR) csrApplyRows(lo, hi int, dst, x []float64) {
+	for s0 := lo; s0 < hi; s0 += csrTileRows {
+		s1 := s0 + csrTileRows
+		if s1 > hi {
+			s1 = hi
+		}
+		rowPtr, col, val := c.RowPtr, c.Col, c.Val
+		for i := s0; i < s1; i++ {
+			acc := 0.0
+			for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+				acc += val[k] * x[col[k]]
+			}
+			dst[i] = acc
+		}
+	}
+}
+
+// MatVec computes dst = c·x, sharded over row ranges and blocked into
+// L2-sized row strips inside each shard. Each row's accumulation is an
+// independent serial loop, so results are bit-identical for every worker
+// count and every strip size.
 func (c *CSR) MatVec(dst, x []float64) {
 	if len(x) != c.NCols || len(dst) != c.NRows {
 		panic("linalg: CSR.MatVec size mismatch")
 	}
 	c.Par.For(c.NRows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			acc := 0.0
-			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
-				acc += c.Val[k] * x[c.Col[k]]
-			}
-			dst[i] = acc
-		}
+		c.csrApplyRows(lo, hi, dst, x)
 	})
 }
 
 // MatVecTrans computes dst = cᵀ·x by row scatter over fixed row shards,
-// each accumulating into its own column buffer; the partials combine in
-// shard order, so the result is bit-identical for every worker count.
+// each accumulating into its own column buffer in fixed row strips; the
+// partials combine in shard order, so the result is bit-identical for
+// every worker count.
 func (c *CSR) MatVecTrans(dst, x []float64) {
 	if len(x) != c.NRows || len(dst) != c.NCols {
 		panic("linalg: CSR.MatVecTrans size mismatch")
 	}
 	c.Par.Scatter(c.NRows, c.NCols, dst, func(lo, hi int, acc []float64) {
-		for i := lo; i < hi; i++ {
-			xi := x[i]
-			if xi == 0 {
-				continue
+		rowPtr, col, val := c.RowPtr, c.Col, c.Val
+		for s0 := lo; s0 < hi; s0 += csrTileRows {
+			s1 := s0 + csrTileRows
+			if s1 > hi {
+				s1 = hi
 			}
-			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
-				acc[c.Col[k]] += xi * c.Val[k]
+			for i := s0; i < s1; i++ {
+				xi := x[i]
+				if xi == 0 {
+					continue
+				}
+				for k := rowPtr[i]; k < rowPtr[i+1]; k++ {
+					acc[col[k]] += xi * val[k]
+				}
 			}
 		}
 	})

@@ -167,11 +167,35 @@ func (c ParallelConfig) BlockSum(n int, block func(lo, hi int) float64) float64 
 // Dot is the deterministic parallel inner product: per-block partial dots
 // combined in block order. For vectors at or below ReduceBlock it returns
 // exactly what the serial Dot returns.
+//
+// The serial path (one block, or a one-worker budget) is written out
+// inline rather than through BlockSum: the callback would escape into
+// BlockSum's goroutine branch and cost one closure allocation per call,
+// which the Lanczos re-orthogonalization pays tens of thousands of times
+// per analysis. The inline loop accumulates over the same fixed blocks in
+// the same order, so the bits are identical.
 func (c ParallelConfig) Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("linalg: ParallelConfig.Dot length mismatch")
 	}
-	return c.BlockSum(len(a), func(lo, hi int) float64 {
+	n := len(a)
+	blocks := (n + ReduceBlock - 1) / ReduceBlock
+	if blocks <= 1 || c.workersFor(n) <= 1 {
+		s := 0.0
+		for b0 := 0; b0 < n; b0 += ReduceBlock {
+			hi := b0 + ReduceBlock
+			if hi > n {
+				hi = n
+			}
+			p := 0.0
+			for i := b0; i < hi; i++ {
+				p += a[i] * b[i]
+			}
+			s += p
+		}
+		return s
+	}
+	return c.BlockSum(n, func(lo, hi int) float64 {
 		s := 0.0
 		for i := lo; i < hi; i++ {
 			s += a[i] * b[i]
@@ -181,10 +205,17 @@ func (c ParallelConfig) Dot(a, b []float64) float64 {
 }
 
 // Axpy computes y += alpha*x across the configured workers. Element-wise
-// independent, so any chunking produces identical bits.
+// independent, so any chunking produces identical bits. Like Dot, the
+// serial path runs inline so hot callers pay no closure allocation.
 func (c ParallelConfig) Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("linalg: ParallelConfig.Axpy length mismatch")
+	}
+	if c.workersFor(len(x)) <= 1 {
+		for i, v := range x {
+			y[i] += alpha * v
+		}
+		return
 	}
 	c.For(len(x), func(lo, hi int) {
 		for i := lo; i < hi; i++ {

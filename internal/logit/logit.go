@@ -26,6 +26,7 @@ import (
 	"logitdyn/internal/linalg"
 	"logitdyn/internal/markov"
 	"logitdyn/internal/rng"
+	"logitdyn/internal/scratch"
 )
 
 // Dynamics is the logit dynamics Mβ(G) for a fixed game and inverse noise.
@@ -179,14 +180,23 @@ func (d *Dynamics) TransitionCSR() *linalg.CSR {
 // materialized; a compaction pass runs only when some update probability
 // underflowed to zero.
 func (d *Dynamics) TransitionCSRPar(par linalg.ParallelConfig) *linalg.CSR {
+	return d.TransitionCSRScratch(par, nil)
+}
+
+// TransitionCSRScratch is TransitionCSRPar with the CSR arrays checked out
+// from the arena (nil allocates fresh, making it exactly TransitionCSRPar).
+// The returned matrix references arena memory, so it is owned by the
+// analysis that owns a and must not outlive it — the operator never
+// escapes into a report, which is what makes this safe.
+func (d *Dynamics) TransitionCSRScratch(par linalg.ParallelConfig, a *scratch.Arena) *linalg.CSR {
 	size := d.space.Size()
 	w := 1
 	for i := 0; i < d.space.Players(); i++ {
 		w += d.space.Strategies(i) - 1
 	}
-	col := make([]int, size*w)
-	val := make([]float64, size*w)
-	counts := make([]int, size)
+	col := a.Ints(size * w)
+	val := a.F64(size * w)
+	counts := a.Ints(size)
 	par.For(size, func(lo, hi int) {
 		gen := d.NewRowGen()
 		row := make([]markov.Entry, 0, w)
@@ -200,7 +210,7 @@ func (d *Dynamics) TransitionCSRPar(par linalg.ParallelConfig) *linalg.CSR {
 			counts[idx] = len(row)
 		}
 	})
-	rowPtr := make([]int, size+1)
+	rowPtr := a.Ints(size + 1)
 	for i, c := range counts {
 		rowPtr[i+1] = rowPtr[i] + c
 	}
@@ -242,11 +252,20 @@ func (d *Dynamics) Operator(b Backend) (linalg.Operator, error) {
 // the analysis layer). The budget tunes how many workers the operator's
 // mat-vecs use; it never changes their results.
 func (d *Dynamics) OperatorPar(b Backend, par linalg.ParallelConfig) (linalg.Operator, error) {
+	return d.OperatorScratch(b, par, nil)
+}
+
+// OperatorScratch is OperatorPar with the sparse backend's CSR arrays
+// checked out from the arena (nil = fresh). The dense and matrix-free
+// backends carry no shape-sized construction arrays, so they are
+// unaffected. An arena-backed operator must not outlive the analysis that
+// owns a.
+func (d *Dynamics) OperatorScratch(b Backend, par linalg.ParallelConfig, a *scratch.Arena) (linalg.Operator, error) {
 	switch b {
 	case BackendDense:
 		return d.TransitionDense().WithParallel(par), nil
 	case BackendSparse:
-		return d.TransitionCSRPar(par), nil
+		return d.TransitionCSRScratch(par, a), nil
 	case BackendMatFree:
 		return d.MatFree().WithParallel(par), nil
 	}
@@ -266,12 +285,20 @@ func (d *Dynamics) Gibbs() ([]float64, error) {
 // (order-independent) reduction and the normalizing sum accumulates over
 // fixed blocks, so the measure is bit-identical for every worker count.
 func (d *Dynamics) GibbsPar(par linalg.ParallelConfig) ([]float64, error) {
+	return d.GibbsScratch(par, nil)
+}
+
+// GibbsScratch is GibbsPar with the potential table checked out from the
+// arena (nil = fresh). The returned measure itself is always freshly
+// allocated: it escapes into reports and caches, so it must survive the
+// arena's Reset.
+func (d *Dynamics) GibbsScratch(par linalg.ParallelConfig, a *scratch.Arena) ([]float64, error) {
 	p, ok := game.AsPotential(d.g)
 	if !ok {
 		return nil, errors.New("logit: Gibbs measure requires a potential game")
 	}
 	size := d.space.Size()
-	phi := make([]float64, size)
+	phi := a.F64(size)
 	var mu sync.Mutex
 	minPhi := math.Inf(1)
 	par.For(size, func(lo, hi int) {

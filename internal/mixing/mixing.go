@@ -9,6 +9,7 @@ import (
 	"logitdyn/internal/logit"
 	"logitdyn/internal/markov"
 	"logitdyn/internal/rng"
+	"logitdyn/internal/scratch"
 	"logitdyn/internal/spectral"
 )
 
@@ -111,12 +112,21 @@ func RelaxationSandwich(d *logit.Dynamics, backend logit.Backend, eps float64, p
 // measured spectrum — every parallel reduction underneath uses fixed block
 // boundaries — so reports are bit-identical for every worker count.
 func RelaxationSandwichPar(d *logit.Dynamics, backend logit.Backend, eps float64, pi []float64, par linalg.ParallelConfig) (*Result, error) {
+	return RelaxationSandwichScratch(d, backend, eps, pi, par, nil)
+}
+
+// RelaxationSandwichScratch is RelaxationSandwichPar with the sparse
+// operator's CSR arrays, the symmetrized operator's workspace and the whole
+// Lanczos basis checked out from the arena (nil = fresh). A sweep that
+// hands the same arena to consecutive same-shape points reuses all of it.
+// Nothing arena-backed escapes into the returned Result.
+func RelaxationSandwichScratch(d *logit.Dynamics, backend logit.Backend, eps float64, pi []float64, par linalg.ParallelConfig, a *scratch.Arena) (*Result, error) {
 	if backend == logit.BackendAuto || backend == "" {
 		return nil, fmt.Errorf("mixing: RelaxationSandwich needs a concrete backend")
 	}
 	if pi == nil {
 		var err error
-		pi, err = d.GibbsPar(par)
+		pi, err = d.GibbsScratch(par, a)
 		if err != nil {
 			return nil, fmt.Errorf("mixing: the %s backend needs a potential game (reversible chain with closed-form π): %w", backend, err)
 		}
@@ -138,11 +148,11 @@ func RelaxationSandwichPar(d *logit.Dynamics, backend logit.Backend, eps float64
 			SpectralUpper:  hi,
 		}, nil
 	}
-	p, err := d.OperatorPar(backend, par)
+	p, err := d.OperatorScratch(backend, par, a)
 	if err != nil {
 		return nil, err
 	}
-	op, err := spectral.NewSymOperator(p, pi)
+	op, err := spectral.NewSymOperatorScratch(p, pi, a)
 	if err != nil {
 		return nil, err
 	}
@@ -272,6 +282,14 @@ func Report(p game.Potential, beta, eps float64) (*BoundsReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ReportFromStats(p, beta, eps, st)
+}
+
+// ReportFromStats is Report for a caller that already computed the
+// potential statistics: it evaluates the closed-form bounds without
+// re-tabulating Φ. The serial and parallel analyses produce identical
+// stats, so a report built from either is the same report.
+func ReportFromStats(p game.Potential, beta, eps float64, st *PotentialStats) (*BoundsReport, error) {
 	sp := game.SpaceOf(p)
 	n, m := sp.Players(), sp.MaxStrategies()
 	const smallBetaC = 0.5

@@ -13,6 +13,7 @@ import (
 
 	"logitdyn/internal/game"
 	"logitdyn/internal/linalg"
+	"logitdyn/internal/scratch"
 )
 
 // PotentialStats summarizes the structure of a potential function over the
@@ -46,9 +47,23 @@ func AnalyzePotential(p game.Potential) (*PotentialStats, error) {
 // Extremal statistics combine with exact (order-independent) min/max, so
 // every worker count produces the same values.
 func AnalyzePotentialPar(p game.Potential, par linalg.ParallelConfig) (*PotentialStats, error) {
+	return AnalyzePotentialScratch(p, par, nil, true)
+}
+
+// AnalyzePotentialScratch is AnalyzePotentialPar with the analysis
+// temporaries checked out from the arena (nil = fresh). phiEscapes declares
+// whether the caller lets st.Phi outlive this analysis (small-game reports
+// keep the table; large-game reports elide it) — an escaping table is
+// always freshly allocated so it survives the arena's Reset.
+func AnalyzePotentialScratch(p game.Potential, par linalg.ParallelConfig, a *scratch.Arena, phiEscapes bool) (*PotentialStats, error) {
 	sp := game.SpaceOf(p)
 	size := sp.Size()
-	phi := make([]float64, size)
+	var phi []float64
+	if phiEscapes {
+		phi = make([]float64, size)
+	} else {
+		phi = a.F64(size)
+	}
 	par.For(size, func(lo, hi int) {
 		x := make([]int, sp.Players())
 		for idx := lo; idx < hi; idx++ {
@@ -56,7 +71,7 @@ func AnalyzePotentialPar(p game.Potential, par linalg.ParallelConfig) (*Potentia
 			phi[idx] = p.Phi(x)
 		}
 	})
-	return AnalyzePhiTablePar(sp, phi, par)
+	return AnalyzePhiTableScratch(sp, phi, par, a)
 }
 
 // AnalyzePhiTable computes the statistics from an explicit potential
@@ -67,6 +82,14 @@ func AnalyzePhiTable(sp *game.Space, phi []float64) (*PotentialStats, error) {
 
 // AnalyzePhiTablePar is AnalyzePhiTable under an explicit worker budget.
 func AnalyzePhiTablePar(sp *game.Space, phi []float64, par linalg.ParallelConfig) (*PotentialStats, error) {
+	return AnalyzePhiTableScratch(sp, phi, par, nil)
+}
+
+// AnalyzePhiTableScratch is AnalyzePhiTablePar with the ζ scan's
+// size-proportional temporaries (merge order, union-find state) checked out
+// from the arena (nil = fresh). The returned stats reference phi, whose
+// ownership stays with the caller.
+func AnalyzePhiTableScratch(sp *game.Space, phi []float64, par linalg.ParallelConfig, a *scratch.Arena) (*PotentialStats, error) {
 	if len(phi) != sp.Size() {
 		return nil, errors.New("mixing: potential table size mismatch")
 	}
@@ -93,7 +116,7 @@ func AnalyzePhiTablePar(sp *game.Space, phi []float64, par linalg.ParallelConfig
 	})
 	st.DeltaPhi = st.PhiMax - st.PhiMin
 	st.SmallDeltaPhi = maxLocalVariation(sp, phi, par)
-	st.Zeta = zeta(sp, phi)
+	st.Zeta = zeta(sp, phi, a)
 	return st, nil
 }
 
@@ -130,18 +153,20 @@ func maxLocalVariation(sp *game.Space, phi []float64, par linalg.ParallelConfig)
 // process profiles in increasing Φ order; when two connected components of
 // the sub-level graph merge at height h, the best new pair is realized by
 // the shallower component's minimum, contributing h − max(minA, minB). The
-// maximum over all merges is exactly max_{x,y} ζ(x,y).
-func zeta(sp *game.Space, phi []float64) float64 {
+// maximum over all merges is exactly max_{x,y} ζ(x,y). Its four
+// size-proportional temporaries check out of the arena (nil = fresh); none
+// escapes.
+func zeta(sp *game.Space, phi []float64, a *scratch.Arena) float64 {
 	size := sp.Size()
-	order := make([]int, size)
+	order := a.Ints(size)
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return phi[order[a]] < phi[order[b]] })
 
-	parent := make([]int, size)
-	minPhi := make([]float64, size)
-	active := make([]bool, size)
+	parent := a.Ints(size)
+	minPhi := a.F64(size)
+	active := a.Bools(size)
 	for i := range parent {
 		parent[i] = i
 	}

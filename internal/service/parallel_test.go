@@ -176,3 +176,63 @@ func TestServiceMixedLoadStress(t *testing.T) {
 		t.Fatalf("tokens leaked after drain: in_flight=%d extras=%d", m.Work.InFlight, m.Work.ParallelExtraInUse)
 	}
 }
+
+// Concurrent arena checkout under mixed analyze + sweep load: analyze
+// requests and an async sweep job race for the service's one scratch pool
+// while the -race detector watches the checkout paths (CI runs this
+// package with -race). After the drain every arena must be back in the
+// pool with zero outstanding bytes — an arena held past its request, or
+// one shared by two analyses, shows up here.
+func TestScratchPoolConcurrentMixedLoad(t *testing.T) {
+	srv := startServer(t, service.Config{Workers: 4, CacheSize: 8})
+	var created service.SweepCreatedDoc
+	status, raw := postJSON(t, srv.URL+"/v1/sweeps", map[string]any{
+		"axes": map[string]any{
+			"game": []string{"doublewell"},
+			"n":    []int{6},
+			"beta": map[string]any{"from": 0.5, "to": 2, "steps": 6},
+		},
+		"base": map[string]any{"c": 2, "delta1": 1},
+	}, nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d: %s", status, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &created); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct betas over one spec: every request is a fresh analysis
+			// of the same shape, the arena pool's best case and the riskiest
+			// aliasing surface.
+			code, body := postJSON(t, srv.URL+"/v1/analyze", service.AnalyzeRequest{
+				Spec: &spec.Spec{Game: "ising", Graph: "ring", N: 6, Delta1: 1},
+				Beta: 0.5 + 0.01*float64(i),
+			}, nil)
+			if code != http.StatusOK {
+				t.Errorf("analyze %d: status %d: %s", i, code, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	doc := waitSweepDone(t, srv.URL, created.ID)
+	if doc.Status != "done" {
+		t.Fatalf("sweep ended %q (%s)", doc.Status, doc.Error)
+	}
+	m := getMetrics(t, srv.URL)
+	if m.Scratch == nil {
+		t.Fatal("metrics missing the scratch pool section")
+	}
+	if m.Scratch.OutstandingBytes != 0 {
+		t.Fatalf("%d scratch bytes still outstanding after drain", m.Scratch.OutstandingBytes)
+	}
+	if m.Scratch.Hits == 0 {
+		t.Fatalf("no warm checkouts under same-shape load: %+v", *m.Scratch)
+	}
+	if m.Scratch.Arenas < 1 || m.Scratch.Arenas > 4 {
+		t.Fatalf("arenas = %d, want within the 4-token budget", m.Scratch.Arenas)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"logitdyn/internal/markov"
 	"logitdyn/internal/obs"
 	"logitdyn/internal/rng"
+	"logitdyn/internal/scratch"
 	"logitdyn/internal/serialize"
 	"logitdyn/internal/sim"
 	"logitdyn/internal/spec"
@@ -68,6 +69,11 @@ type Config struct {
 	// a fresh enabled observer with the default trace-ring size. Pass
 	// obs.Disabled() to turn instrumentation off entirely.
 	Obs *obs.Observer
+	// NoScratch disables the per-worker scratch arenas: every analysis
+	// allocates its working memory fresh, exactly as if the arena layer did
+	// not exist. Reports are bit-identical either way (the arenas zero
+	// every checkout); this is purely an escape hatch for memory debugging.
+	NoScratch bool
 	// Logger receives structured request/job logs; nil discards them.
 	Logger *slog.Logger
 	// SlowRequest, when > 0, logs a warning for any request that takes at
@@ -99,7 +105,11 @@ type Service struct {
 	cfg   Config
 	cache *Cache
 	pool  *Pool
-	start time.Time
+	// scratch hands each analysis a per-worker arena alongside its Run
+	// token; nil (Config.NoScratch) hands out nil arenas, i.e. fresh
+	// allocations everywhere.
+	scratch *scratch.Pool
+	start   time.Time
 
 	reqAnalyze, reqBatch, reqSimulate atomic.Uint64
 	reqHealthz, reqMetrics, reqSweeps atomic.Uint64
@@ -122,12 +132,17 @@ type Service struct {
 // New builds a Service from the config.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	var sp *scratch.Pool
+	if !cfg.NoScratch {
+		sp = scratch.NewPool()
+	}
 	return &Service{
-		cfg:    cfg,
-		cache:  NewCache(cfg.CacheSize),
-		pool:   NewPool(cfg.Workers),
-		start:  time.Now(),
-		sweeps: make(map[string]*sweepJob),
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize),
+		pool:    NewPool(cfg.Workers),
+		scratch: sp,
+		start:   time.Now(),
+		sweeps:  make(map[string]*sweepJob),
 	}
 }
 
@@ -528,8 +543,15 @@ func (s *Service) analyzeBuiltTier(ctx context.Context, g game.Game, digest [32]
 			// never liveness.
 			par, release := s.borrowFor(size)
 			defer release()
+			// The arena rides the Run token: one analysis owns it until the
+			// closure returns, then Release resets and parks it for the next
+			// same-shape analysis. Never affects the report (see
+			// core.Options.Scratch).
+			ar := s.scratch.Acquire()
+			defer s.scratch.Release(ar)
 			runOpts := opts
 			runOpts.Parallel = par
+			runOpts.Scratch = ar
 			rep, aerr = core.AnalyzeGameCtx(ctx, g, beta, runOpts)
 		})
 		if aerr != nil {
@@ -755,7 +777,13 @@ func (s *Service) simulate(ctx context.Context, req SimulateRequest) (*serialize
 		if space.Size() <= s.cfg.Limits.MaxProfiles {
 			doc.Empirical = emp
 		}
-		if gibbs, gerr := d.GibbsPar(par); gerr == nil {
+		// The TV-to-Gibbs check tabulates a full potential table; its scratch
+		// comes from the same per-token arena the analyze path uses. The
+		// measure itself is freshly allocated, so nothing arena-backed
+		// outlives the release.
+		ar := s.scratch.Acquire()
+		defer s.scratch.Release(ar)
+		if gibbs, gerr := d.GibbsScratch(par, ar); gerr == nil {
 			doc.TVGibbs = serialize.Float(markov.TVDistance(emp, gibbs))
 		} else {
 			doc.TVGibbs = serialize.Float(math.NaN())
@@ -857,6 +885,9 @@ type MetricsDoc struct {
 	Store         *StoreTierMetrics `json:"store,omitempty"`
 	Work          WorkMetrics       `json:"work"`
 	Sweeps        SweepGauges       `json:"sweep_jobs"`
+	// Scratch is the per-worker arena pool's state (checkout hit rate,
+	// outstanding vs retained bytes); omitted when scratch is disabled.
+	Scratch *scratch.Metrics `json:"scratch,omitempty"`
 	// Observability is the stage-latency histograms and trace-ring state;
 	// omitted when the observer is disabled.
 	Observability *obs.MetricsDoc `json:"observability,omitempty"`
@@ -877,6 +908,11 @@ func (s *Service) Metrics() MetricsDoc {
 		d := s.cfg.Obs.Snapshot()
 		obsDoc = &d
 	}
+	var scratchDoc *scratch.Metrics
+	if s.scratch != nil {
+		m := s.scratch.Metrics()
+		scratchDoc = &m
+	}
 	return MetricsDoc{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests: RequestMetrics{
@@ -891,6 +927,7 @@ func (s *Service) Metrics() MetricsDoc {
 		Cache:         s.cache.Metrics(),
 		Store:         storeTier,
 		Sweeps:        s.sweepGauges(),
+		Scratch:       scratchDoc,
 		Observability: obsDoc,
 		Work: WorkMetrics{
 			AnalysesPerformed: s.analyses.Load(),

@@ -8,6 +8,7 @@ import (
 	"logitdyn/internal/linalg"
 	"logitdyn/internal/markov"
 	"logitdyn/internal/rng"
+	"logitdyn/internal/scratch"
 )
 
 // Iterative spectral analysis. Dense decomposition is O(|S|³) and caps exact
@@ -32,6 +33,12 @@ type SymOperator struct {
 	// scalings are element-wise and the dot products reduce over fixed
 	// blocks (see linalg/parallel.go).
 	par linalg.ParallelConfig
+	// arena supplies the Lanczos workspace (basis block, iteration vectors)
+	// when set; nil means every vector is freshly allocated. Sweeps over
+	// same-shape points hand the same arena back in, so the Krylov basis is
+	// recycled instead of reallocated. Checkouts come back zeroed, so reuse
+	// never changes computed bits.
+	arena *scratch.Arena
 }
 
 // SparseOperator is the historical name of SymOperator, kept for callers
@@ -42,18 +49,26 @@ type SparseOperator = SymOperator
 // must be the row-stochastic transition matrix of a chain reversible with
 // respect to π (potential games are, by the paper's Eq. 4).
 func NewSymOperator(p linalg.Operator, pi []float64) (*SymOperator, error) {
+	return NewSymOperatorScratch(p, pi, nil)
+}
+
+// NewSymOperatorScratch is NewSymOperator with sqrt(π) and the apply
+// scratch checked out from the arena (nil = fresh), and the arena installed
+// as the Lanczos workspace source. The operator must not outlive the
+// analysis that owns a.
+func NewSymOperatorScratch(p linalg.Operator, pi []float64, a *scratch.Arena) (*SymOperator, error) {
 	rows, cols := p.Dims()
 	if rows != cols || rows != len(pi) {
 		return nil, errors.New("spectral: operator size mismatch")
 	}
-	sqrtPi := make([]float64, len(pi))
+	sqrtPi := a.F64(len(pi))
 	for i, v := range pi {
 		if v <= 0 {
 			return nil, fmt.Errorf("spectral: π(%d) = %g must be positive", i, v)
 		}
 		sqrtPi[i] = math.Sqrt(v)
 	}
-	return &SymOperator{p: p, sqrtPi: sqrtPi, scratch: make([]float64, rows)}, nil
+	return &SymOperator{p: p, sqrtPi: sqrtPi, scratch: a.F64(rows), arena: a}, nil
 }
 
 // WithParallel sets the operator's worker budget (for Apply's element-wise
@@ -173,11 +188,16 @@ func Lanczos(op *SymOperator, maxIter int, tol float64, r *rng.RNG) (*LanczosRes
 		// One-state chain: the restriction is empty; gap is maximal.
 		return &LanczosResult{Lambda2: 0, LambdaMin: 0, Iterations: 0, Converged: true}, nil
 	}
-	psi1 := op.TopVector()
+	// Every n-length vector of the iteration — ψ1, the start vector, the
+	// work vector and each retained basis vector — checks out of the
+	// operator's arena (fresh allocations when none is installed), so a
+	// sweep revisiting this shape reuses the whole Krylov block.
+	psi1 := op.arena.F64(n)
+	copy(psi1, op.sqrtPi)
 	normalize(psi1)
 
 	// Random start orthogonal to ψ1.
-	v := make([]float64, n)
+	v := op.arena.F64(n)
 	for i := range v {
 		v[i] = r.Float64() - 0.5
 	}
@@ -191,7 +211,7 @@ func Lanczos(op *SymOperator, maxIter int, tol float64, r *rng.RNG) (*LanczosRes
 	var alphas, betas []float64
 	prevLo, prevHi := math.Inf(-1), math.Inf(1)
 	converged := false
-	w := make([]float64, n)
+	w := op.arena.F64(n)
 	for k := 0; k < maxIter; k++ {
 		vk := basis[len(basis)-1]
 		op.Apply(w, vk)
@@ -223,7 +243,8 @@ func Lanczos(op *SymOperator, maxIter int, tol float64, r *rng.RNG) (*LanczosRes
 			prevLo, prevHi = lo, hi
 		}
 		betas = append(betas, beta)
-		next := linalg.Clone(w)
+		next := op.arena.F64(n)
+		copy(next, w)
 		linalg.Scale(1/beta, next)
 		basis = append(basis, next)
 	}

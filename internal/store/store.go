@@ -78,7 +78,6 @@ type Store struct {
 	// readErrs counts Get failures that were real I/O errors, not absent
 	// keys — the disk-tier health signal a plain miss count hides.
 	readErrs atomic.Uint64
-	tmpSeq   atomic.Uint64
 
 	// Per-op latency histograms (lock-free; zero values are ready), so the
 	// disk tier is no longer latency-blind: Get covers read+decode (hits
@@ -193,6 +192,13 @@ func Open(dir string, opts Options) (*Store, error) {
 func (s *Store) Dir() string { return s.dir }
 
 const tmpPrefix = ".tmp-"
+
+// tmpSeq disambiguates in-flight temp files process-wide. It is
+// deliberately NOT per-Store: two Store instances in one process sharing
+// a directory (tests, embedded daemon + sweep) would otherwise mint
+// identical `.tmp-<key>-<pid>-<n>` names in lockstep, and one writer's
+// rename would steal — or fail to find — the other's temp file.
+var tmpSeq atomic.Uint64
 
 // tmpMaxAge is how old a temp file must be before a startup scan treats
 // it as crashed-writer litter rather than another process's in-flight
@@ -315,7 +321,7 @@ func (s *Store) Put(key string, doc serialize.ReportDoc) error {
 		s.writeErrs.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
-	tmp := filepath.Join(shard, fmt.Sprintf("%s%s-%d-%d", tmpPrefix, key[:8], os.Getpid(), s.tmpSeq.Add(1)))
+	tmp := filepath.Join(shard, fmt.Sprintf("%s%s-%d-%d", tmpPrefix, key[:8], os.Getpid(), tmpSeq.Add(1)))
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		s.writeErrs.Add(1)
 		return fmt.Errorf("store: %w", err)

@@ -21,6 +21,7 @@ import (
 	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
 	"logitdyn/internal/obs"
+	"logitdyn/internal/scratch"
 	"logitdyn/internal/serialize"
 	"logitdyn/internal/spec"
 	"logitdyn/internal/store"
@@ -474,6 +475,17 @@ func evalSafely(ctx context.Context, eval Eval, j *Job) (out Outcome, err error)
 // intra-analysis parallelism) and writes the report back. st and pool may
 // each be nil (no persistence / unbounded by tokens).
 func DirectEval(st *store.Store, pool TokenPool) Eval {
+	return DirectEvalScratch(st, pool, nil)
+}
+
+// DirectEvalScratch is DirectEval with a scratch-arena pool: each analyzed
+// point checks an arena out alongside its worker token and releases it when
+// the point completes, so consecutive same-shape points (a β-sweep over one
+// family) reuse the whole workspace — CSR arrays, potential table, Lanczos
+// basis — instead of reallocating it. A nil sp analyzes with fresh
+// allocations, exactly like DirectEval; results are bit-identical either
+// way.
+func DirectEvalScratch(st *store.Store, pool TokenPool, sp *scratch.Pool) Eval {
 	return func(ctx context.Context, j *Job) (Outcome, error) {
 		if st != nil {
 			endGet := obs.StartSpan(ctx, obs.StageStoreGet)
@@ -499,6 +511,9 @@ func DirectEval(st *store.Store, pool TokenPool) Eval {
 				defer release()
 				opts.Parallel = linalg.ParallelConfig{Workers: 1 + extra}
 			}
+			ar := sp.Acquire()
+			defer sp.Release(ar)
+			opts.Scratch = ar
 			rep, aerr = core.AnalyzeGameCtx(ctx, table, j.Beta, opts)
 		}
 		switch p := pool.(type) {
