@@ -112,9 +112,10 @@ func main() {
 		logger.Info("store open", "dir", *storeDir, "entries", st.Len())
 		// One worker-token pool bounds the whole run, exactly like the
 		// daemon and logitsweep: each in-flight point holds one token and
-		// borrows idle ones for its mat-vecs.
+		// borrows idle ones for its mat-vecs, at sweep class — the same
+		// accounting the daemon's background points use.
 		exec.Store = st
-		exec.Pool = service.NewPool(*workers)
+		exec.Pool = service.NewPool(*workers).ForClass(service.ClassSweep)
 	}
 
 	// Interrupts cancel cleanly between points; with -store, completed

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"logitdyn/internal/journal"
 	"logitdyn/internal/obs"
 	"logitdyn/internal/service"
 	"logitdyn/internal/spec"
@@ -42,6 +43,9 @@ func main() {
 	storeDir := flag.String("store", "", "persistent report-store directory: the second cache tier, shared with logitsweep (empty = memory-only)")
 	storeMax := flag.Int64("storemax", 0, "report-store size budget in bytes; LRU entries are evicted above it (0 = unbounded)")
 	maxSweepPoints := flag.Int("maxsweeppoints", 0, "max grid points per /v1/sweeps job (0 = default)")
+	maxSweepWorkers := flag.Int("maxsweepworkers", 0, "max workers one sweep job may fan out to, below the pool budget (0 = full budget)")
+	maxQueue := flag.Int("maxqueue", 0, "admission threshold: refuse work with 429 + Retry-After while more than this many requests wait for worker tokens (0 = unbounded queue)")
+	journalDir := flag.String("journal", "", "sweep-job journal directory: queued/running sweeps are recorded there and resumed on restart (empty = no journal)")
 	logFormat := flag.String("logformat", "text", "structured log format: text or json")
 	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn or error")
 	slowReq := flag.Duration("slowreq", 5*time.Second, "log a warning for requests at least this slow (0 = never)")
@@ -76,6 +80,15 @@ func main() {
 		}
 		logger.Info("report store open", "dir", *storeDir, "entries", st.Len(), "bytes", st.SizeBytes())
 	}
+	var jl *journal.Journal
+	if *journalDir != "" {
+		jl, err = journal.Open(*journalDir)
+		if err != nil {
+			logger.Error("journal open failed", "dir", *journalDir, "err", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("sweep journal open", "dir", *journalDir, "pending", jl.Len())
+	}
 	observer := obs.New(*traceRing)
 	if *noObs {
 		observer = obs.Disabled()
@@ -85,17 +98,26 @@ func main() {
 		os.Exit(2)
 	}
 	svc := service.New(service.Config{
-		CacheSize:      *cacheSize,
-		Workers:        *workers,
-		MaxBatch:       *maxBatch,
-		MaxSweepPoints: *maxSweepPoints,
-		Limits:         limits,
-		Store:          st,
-		Obs:            observer,
-		Logger:         logger,
-		SlowRequest:    *slowReq,
-		NoScratch:      *scratchMode == "off",
+		CacheSize:       *cacheSize,
+		Workers:         *workers,
+		MaxBatch:        *maxBatch,
+		MaxSweepPoints:  *maxSweepPoints,
+		MaxSweepWorkers: *maxSweepWorkers,
+		MaxQueue:        *maxQueue,
+		Limits:          limits,
+		Store:           st,
+		Journal:         jl,
+		Obs:             observer,
+		Logger:          logger,
+		SlowRequest:     *slowReq,
+		NoScratch:       *scratchMode == "off",
 	})
+	// Resume journaled sweeps before the listener opens: replayed jobs
+	// re-enter the serving path through the warm store, so a daemon killed
+	// mid-sweep finishes only the missing points.
+	if replayed := svc.ReplayJournal(); replayed > 0 {
+		logger.Info("journal replayed", "jobs", replayed)
+	}
 
 	if *pprofAddr != "" {
 		// pprof gets its own mux on its own listener: profiling stays

@@ -117,15 +117,18 @@ func main() {
 
 	// One worker-token pool bounds the whole run: each in-flight point
 	// holds one token and borrows idle ones for its mat-vecs, exactly like
-	// the daemon. Interrupts cancel cleanly between points; completed
-	// points are already persisted, so rerunning the same command resumes.
+	// the daemon. The pool view is sweep-class (the CLI has no interactive
+	// traffic, but the class keeps its token accounting identical to the
+	// daemon's sweep path — priorities never change output bits).
+	// Interrupts cancel cleanly between points; completed points are
+	// already persisted, so rerunning the same command resumes.
 	pool := service.NewPool(*workers)
 	scratchPool, err := scratch.PoolFromFlag(*scratchMode)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	runner := &sweep.Runner{
-		Eval:      sweep.DirectEvalScratch(st, pool, scratchPool),
+		Eval:      sweep.DirectEvalScratch(st, pool.ForClass(service.ClassSweep), scratchPool),
 		Limits:    limits,
 		Workers:   pool.Workers(),
 		MaxPoints: *maxPoints,

@@ -80,6 +80,27 @@
 // itself; dedup always keys on the canonical hash of the materialized
 // game and the normalized options, whatever axis spelled the point.
 //
+// # Scheduling, admission control and the job journal
+//
+// The service's single worker-token pool is a two-class priority
+// semaphore (service.Pool): interactive requests (analyze, batch,
+// simulate) always acquire freed tokens ahead of background sweep
+// points, and because every sweep point re-acquires a token, a
+// saturating sweep is preempted at point granularity without killing
+// in-flight work. Sweep-class token borrowing leaves one token of
+// interactive headroom, so sweeps also lose intra-point fan-out first
+// under contention. Scheduling never changes output bits — priorities
+// decide when a point runs, never what it computes. Admission control
+// bounds the queue: above Config.MaxQueue waiting acquirers, new
+// work-submitting requests get 429 + Retry-After instead of queueing
+// unboundedly, and Config.MaxSweepWorkers caps one job's point fan-out.
+// internal/journal makes the jobs themselves durable: queued/running
+// sweep grids are journaled (one atomic JSON entry per job), removed on
+// terminal transitions, and replayed at boot (Service.ReplayJournal)
+// through the warm store — a daemon killed mid-sweep resumes the job,
+// pays store reads for completed points, analyzes only the missing
+// ones, and emits a byte-identical final table.
+//
 // # Experiments
 //
 // internal/bench is the E1–E15 paper-reproduction registry, rebased onto

@@ -1,0 +1,244 @@
+// Package journal is the persistent sweep-job journal: a tiny
+// write-ahead record of every queued or running sweep grid, so a daemon
+// that dies mid-sweep (crash, OOM kill, power loss) can resume its jobs
+// on restart the same way the jobs' *results* already survive in the
+// report store. A journal entry is the job's identity plus its grid —
+// nothing else — because replaying a grid through a warm store re-serves
+// every completed point from disk and analyzes only what is missing, so
+// recovery costs store reads, not recomputation.
+//
+// Layout and durability. One file per live job, <dir>/<id>.json, written
+// atomically (hidden temp file + rename, like internal/store) so a crash
+// never leaves a half-written entry under a valid name. Recording the
+// same id again replaces the entry; reaching a terminal state removes it.
+// Decode is fail-closed: a damaged or version-skewed entry is skipped at
+// replay (and counted), never resurrected as a corrupt job.
+//
+// Concurrency. One Journal is safe for concurrent use. All methods are
+// nil-receiver-safe no-ops, so a daemon running without -journal pays
+// neither branches nor files.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EntryVersion tags the on-disk entry format.
+const EntryVersion = 1
+
+// Entry is one journaled sweep job: enough to re-POST its grid through
+// the serving path under its original identity.
+type Entry struct {
+	Version int    `json:"journal_version"`
+	ID      string `json:"id"`
+	// Created is the job's original creation time, preserved across
+	// restarts so retention ordering and elapsed-time reporting survive.
+	Created time.Time `json:"created"`
+	// Grid is the job's grid document, verbatim.
+	Grid json.RawMessage `json:"grid"`
+}
+
+// Journal is a directory of live-job entries. Construct with Open; the
+// nil Journal ignores every call.
+type Journal struct {
+	dir string
+
+	mu sync.Mutex // serializes write+rename pairs per journal
+
+	records, removes, skipped atomic.Uint64
+	seq                       atomic.Uint64
+}
+
+// Open creates (if needed) the journal directory and sweeps temp litter
+// left by crashed writers.
+func Open(dir string) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("journal: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	for _, d := range names {
+		if strings.HasPrefix(d.Name(), tmpPrefix) {
+			os.Remove(filepath.Join(dir, d.Name()))
+		}
+	}
+	return &Journal{dir: dir}, nil
+}
+
+// Dir returns the journal's root directory ("" on a nil journal).
+func (j *Journal) Dir() string {
+	if j == nil {
+		return ""
+	}
+	return j.dir
+}
+
+const tmpPrefix = ".tmp-"
+
+// validID accepts the ids the service mints (and nothing that could
+// escape the directory): letters, digits, dash, underscore.
+func validID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (j *Journal) path(id string) string { return filepath.Join(j.dir, id+".json") }
+
+// Record journals one queued/running job, replacing any previous entry
+// for the same id. grid must JSON-marshal; it is stored verbatim. A nil
+// journal records nothing and returns nil.
+func (j *Journal) Record(id string, created time.Time, grid any) error {
+	if j == nil {
+		return nil
+	}
+	if !validID(id) {
+		return fmt.Errorf("journal: invalid job id %q", id)
+	}
+	raw, err := json.Marshal(grid)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	data, err := json.Marshal(Entry{Version: EntryVersion, ID: id, Created: created.UTC(), Grid: raw})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(j.dir, fmt.Sprintf("%s%s-%d-%d", tmpPrefix, id, os.Getpid(), j.seq.Add(1)))
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp, j.path(id)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.records.Add(1)
+	return nil
+}
+
+// Remove deletes a job's entry; a missing entry (or a nil journal) is not
+// an error — terminal transitions race only against themselves.
+func (j *Journal) Remove(id string) error {
+	if j == nil {
+		return nil
+	}
+	if !validID(id) {
+		return fmt.Errorf("journal: invalid job id %q", id)
+	}
+	j.mu.Lock()
+	err := os.Remove(j.path(id))
+	j.mu.Unlock()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.removes.Add(1)
+	return nil
+}
+
+// Pending lists every journaled job, oldest first (created, then id), the
+// order a restarted daemon replays them in. Damaged entries are skipped
+// and counted, never returned. A nil journal has no pending jobs.
+func (j *Journal) Pending() ([]Entry, error) {
+	if j == nil {
+		return nil, nil
+	}
+	names, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var out []Entry
+	for _, d := range names {
+		id, ok := strings.CutSuffix(d.Name(), ".json")
+		if !ok || !validID(id) || d.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(j.dir, d.Name()))
+		if err != nil {
+			j.skipped.Add(1)
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil ||
+			e.Version != EntryVersion || e.ID != id || len(e.Grid) == 0 {
+			j.skipped.Add(1)
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Created.Equal(out[b].Created) {
+			return out[a].Created.Before(out[b].Created)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, nil
+}
+
+// Len counts the entries currently on disk (0 on a nil journal).
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	names, err := os.ReadDir(j.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, d := range names {
+		if id, ok := strings.CutSuffix(d.Name(), ".json"); ok && validID(id) && !d.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics is a point-in-time snapshot of journal activity.
+type Metrics struct {
+	// Entries is the number of live (queued/running) jobs on disk.
+	Entries int `json:"entries"`
+	// Records counts entries written; Removes counts terminal deletions;
+	// Skipped counts damaged entries dropped at replay scans.
+	Records uint64 `json:"records"`
+	Removes uint64 `json:"removes"`
+	Skipped uint64 `json:"skipped,omitempty"`
+}
+
+// Metrics snapshots the counters (zero value on a nil journal).
+func (j *Journal) Metrics() Metrics {
+	if j == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		Entries: j.Len(),
+		Records: j.records.Load(),
+		Removes: j.removes.Load(),
+		Skipped: j.skipped.Load(),
+	}
+}

@@ -1,0 +1,145 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+type fakeGrid struct {
+	Name  string    `json:"name"`
+	Betas []float64 `json:"betas"`
+}
+
+func TestRecordPendingRemove(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC)
+	if err := j.Record("swp-000002", t0.Add(time.Minute), fakeGrid{Name: "b", Betas: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("swp-000001", t0, fakeGrid{Name: "a", Betas: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := j.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+
+	got, err := j.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "swp-000001" || got[1].ID != "swp-000002" {
+		t.Fatalf("Pending order wrong: %+v", got)
+	}
+	if !got[0].Created.Equal(t0) {
+		t.Fatalf("Created not preserved: %v vs %v", got[0].Created, t0)
+	}
+	if string(got[0].Grid) != `{"name":"a","betas":[1]}` {
+		t.Fatalf("grid not stored verbatim: %s", got[0].Grid)
+	}
+
+	// Re-recording the same id replaces, never duplicates.
+	if err := j.Record("swp-000001", t0, fakeGrid{Name: "a2"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := j.Len(); n != 2 {
+		t.Fatalf("Len after replace = %d, want 2", n)
+	}
+
+	if err := j.Remove("swp-000001"); err != nil {
+		t.Fatal(err)
+	}
+	// Removing a missing entry is idempotent: the job goroutine and a
+	// racing DELETE may both remove.
+	if err := j.Remove("swp-000001"); err != nil {
+		t.Fatalf("second Remove: %v", err)
+	}
+	if n := j.Len(); n != 1 {
+		t.Fatalf("Len after remove = %d, want 1", n)
+	}
+	m := j.Metrics()
+	if m.Entries != 1 || m.Records != 3 || m.Removes != 1 {
+		t.Fatalf("Metrics = %+v", m)
+	}
+}
+
+func TestDamagedEntriesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("swp-000007", time.Now(), fakeGrid{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated JSON, a version from the future, and an entry whose body
+	// disagrees with its filename: all fail closed.
+	writes := map[string]string{
+		"swp-000001.json": `{"journal_version":1,"id":"swp-0000`,
+		"swp-000002.json": `{"journal_version":99,"id":"swp-000002","created":"2026-01-01T00:00:00Z","grid":{}}`,
+		"swp-000003.json": `{"journal_version":1,"id":"swp-999999","created":"2026-01-01T00:00:00Z","grid":{}}`,
+	}
+	for name, body := range writes {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := j.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "swp-000007" {
+		t.Fatalf("Pending = %+v, want only swp-000007", got)
+	}
+	if m := j.Metrics(); m.Skipped != 3 {
+		t.Fatalf("Skipped = %d, want 3", m.Skipped)
+	}
+}
+
+func TestOpenSweepsTempLitter(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-swp-000001-123-1"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-swp-000001-123-1")); !os.IsNotExist(err) {
+		t.Fatalf("temp litter survived Open: %v", err)
+	}
+}
+
+func TestInvalidIDsRejected(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../evil", "a/b", "x.json", string(make([]byte, 200))} {
+		if err := j.Record(id, time.Now(), fakeGrid{}); err == nil {
+			t.Fatalf("Record(%q) accepted", id)
+		}
+		if err := j.Remove(id); err == nil {
+			t.Fatalf("Remove(%q) accepted", id)
+		}
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if err := j.Record("swp-000001", time.Now(), fakeGrid{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Remove("swp-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := j.Pending(); err != nil || got != nil {
+		t.Fatalf("nil Pending = %v, %v", got, err)
+	}
+	if j.Len() != 0 || j.Dir() != "" || (j.Metrics() != Metrics{}) {
+		t.Fatal("nil journal leaked state")
+	}
+}

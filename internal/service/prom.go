@@ -79,8 +79,13 @@ func (s *Service) writeProm(w http.ResponseWriter) {
 	p.Gauge("logitdyn_in_flight", "Requests currently holding a worker token.", nil, float64(m.Work.InFlight))
 	p.Gauge("logitdyn_queue_depth", "Requests blocked waiting for a worker token.", nil, float64(m.Work.QueueDepth))
 	p.Gauge("logitdyn_worker_tokens_in_use", "Worker-token occupancy (run tokens plus borrowed extras).", nil, float64(m.Work.TokensInUse))
+	classHelp := "Requests blocked waiting for a worker token, by priority class."
+	p.Gauge("logitdyn_class_queue_depth", classHelp, []obs.Label{{Name: "class", Value: ClassInteractive.String()}}, float64(m.Work.QueueDepthInteractive))
+	p.Gauge("logitdyn_class_queue_depth", classHelp, []obs.Label{{Name: "class", Value: ClassSweep.String()}}, float64(m.Work.QueueDepthSweep))
+	p.Counter("logitdyn_sweep_points_preempted_total", "Token handoffs that served interactive traffic ahead of queued sweep points.", nil, float64(m.Work.SweepPointsPreempted))
+	p.Counter("logitdyn_admission_rejected_total", "Requests refused with 429 by queue-depth admission control.", nil, float64(m.Work.AdmissionRejected))
 	p.Counter("logitdyn_parallel_extra_granted_total", "Extra worker tokens granted to intra-request parallelism.", nil, float64(m.Work.ParallelExtraGranted))
-	p.Counter("logitdyn_parallel_extra_denied_total", "Extra worker tokens denied to intra-request parallelism.", nil, float64(m.Work.ParallelExtraDenied))
+	p.Counter("logitdyn_parallel_extra_denied_total", "Borrow requests that received fewer extra tokens than they asked for.", nil, float64(m.Work.ParallelExtraDenied))
 
 	if m.Scratch != nil {
 		scrHelp := "Scratch-arena checkouts, by kind (hit = recycled slice, miss = fresh allocation)."
@@ -89,6 +94,15 @@ func (s *Service) writeProm(w http.ResponseWriter) {
 		p.Gauge("logitdyn_scratch_outstanding_bytes", "Arena bytes checked out by running analyses.", nil, float64(m.Scratch.OutstandingBytes))
 		p.Gauge("logitdyn_scratch_retained_bytes", "Arena bytes parked in free lists awaiting reuse.", nil, float64(m.Scratch.RetainedBytes))
 		p.Gauge("logitdyn_scratch_arenas", "Arenas the scratch pool has created.", nil, float64(m.Scratch.Arenas))
+	}
+
+	if m.Journal != nil {
+		p.Gauge("logitdyn_journal_entries", "Live (queued/running) sweep jobs on disk in the journal.", nil, float64(m.Journal.Entries))
+		jHelp := "Sweep-job journal events, by kind."
+		p.Counter("logitdyn_journal_events_total", jHelp, []obs.Label{{Name: "kind", Value: "record"}}, float64(m.Journal.Records))
+		p.Counter("logitdyn_journal_events_total", jHelp, []obs.Label{{Name: "kind", Value: "remove"}}, float64(m.Journal.Removes))
+		p.Counter("logitdyn_journal_events_total", jHelp, []obs.Label{{Name: "kind", Value: "skipped"}}, float64(m.Journal.Skipped))
+		p.Counter("logitdyn_journal_replays_total", "Journaled sweep jobs resumed at boot.", nil, float64(m.Journal.Replays))
 	}
 
 	sweepHelp := "Sweep jobs in the registry, by state."

@@ -29,6 +29,7 @@ import (
 
 	"logitdyn/internal/core"
 	"logitdyn/internal/game"
+	"logitdyn/internal/journal"
 	"logitdyn/internal/linalg"
 	"logitdyn/internal/logit"
 	"logitdyn/internal/markov"
@@ -59,6 +60,20 @@ type Config struct {
 	// MaxSweepPoints caps how many grid points one sweep job may expand to;
 	// 0 means sweep.DefaultMaxPoints.
 	MaxSweepPoints int
+	// MaxSweepWorkers caps the point fan-out of each sweep job below the
+	// pool budget, so one job leaves runner slots for its siblings even
+	// before token priorities arbitrate. 0 means the full budget.
+	MaxSweepWorkers int
+	// MaxQueue is the admission threshold: while more than this many
+	// acquirers are blocked waiting for worker tokens, new work-submitting
+	// requests (analyze, batch, simulate, sweep POST) are refused with
+	// 429 + Retry-After instead of queueing without bound. 0 disables
+	// admission control.
+	MaxQueue int
+	// Journal, when non-nil, persists queued/running sweep grids so a
+	// restarted daemon can resume them (ReplayJournal); nil journals
+	// nothing.
+	Journal *journal.Journal
 	// Limits bounds request sizes; the zero value means spec.DefaultLimits.
 	Limits spec.Limits
 	// Store, when non-nil, is the persistent second cache tier: memory
@@ -123,10 +138,54 @@ type Service struct {
 	// store vs misses that had to run an analysis.
 	storeTierHits, storeTierMisses atomic.Uint64
 
+	// Admission control and journal recovery.
+	admissionRejected atomic.Uint64
+	journalReplays    atomic.Uint64
+
 	// Async sweep jobs, keyed by id.
 	sweepMu  sync.Mutex
 	sweeps   map[string]*sweepJob
 	sweepSeq atomic.Uint64
+}
+
+// classKey carries the scheduling Class through a request context; absent
+// means ClassInteractive, so only the sweep path has to opt in.
+type classKey struct{}
+
+func withClass(ctx context.Context, c Class) context.Context {
+	return context.WithValue(ctx, classKey{}, c)
+}
+
+func classFrom(ctx context.Context) Class {
+	if c, ok := ctx.Value(classKey{}).(Class); ok {
+		return c
+	}
+	return ClassInteractive
+}
+
+// admit applies queue-depth backpressure: when the token queue is deeper
+// than Config.MaxQueue, the request is refused with 429 and a Retry-After
+// estimate (queue depth over worker budget, in seconds, floored at 1)
+// instead of joining a line it would wait in anyway. Returns false when
+// the request was refused. Status/probe endpoints are never gated — only
+// handlers that submit work call this.
+func (s *Service) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.MaxQueue <= 0 {
+		return true
+	}
+	waiting := s.pool.Waiting()
+	if waiting <= int64(s.cfg.MaxQueue) {
+		return true
+	}
+	s.admissionRejected.Add(1)
+	retry := (waiting + int64(s.pool.Workers()) - 1) / int64(s.pool.Workers())
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("server overloaded: %d requests queued (limit %d)", waiting, s.cfg.MaxQueue))
+	return false
 }
 
 // New builds a Service from the config.
@@ -448,11 +507,14 @@ func (s *Service) analyzeOne(ctx context.Context, req AnalyzeRequest) (*AnalyzeR
 // shardable units (profiles, replicas): at most one extra per unit beyond
 // the inline threshold's reach — a task too small to feed extra workers
 // borrows nothing — and never more than the budget minus the caller's own
-// token. It returns the resulting worker budget and the release function
-// (always non-nil; call it when the parallel section ends).
-func (s *Service) borrowFor(n int) (par linalg.ParallelConfig, release func()) {
+// token. The loan carries the context's scheduling class, so sweep-point
+// fan-out borrows at sweep priority (leaving interactive headroom) while
+// live requests borrow at interactive priority. It returns the resulting
+// worker budget and the release function (always non-nil; call it when
+// the parallel section ends).
+func (s *Service) borrowFor(ctx context.Context, n int) (par linalg.ParallelConfig, release func()) {
 	useful := n/linalg.DefaultMinRows - 1
-	got, release := s.pool.TryExtra(min(s.pool.Workers()-1, useful))
+	got, release := s.pool.TryExtraClass(classFrom(ctx), min(s.pool.Workers()-1, useful))
 	return linalg.ParallelConfig{Workers: 1 + got}, release
 }
 
@@ -462,7 +524,7 @@ func (s *Service) borrowFor(n int) (par linalg.ParallelConfig, release func()) {
 func (s *Service) materialize(ctx context.Context, g game.Game) *game.TableGame {
 	end := obs.StartSpan(ctx, obs.StageBuild)
 	defer end()
-	par, release := s.borrowFor(game.SpaceOf(g).Size())
+	par, release := s.borrowFor(ctx, game.SpaceOf(g).Size())
 	defer release()
 	return game.MaterializePar(g, par)
 }
@@ -535,13 +597,17 @@ func (s *Service) analyzeBuiltTier(ctx context.Context, g game.Game, digest [32]
 		}
 		var rep *core.Report
 		var aerr error
-		s.pool.RunCtx(ctx, func() {
+		// The context's class decides queue priority: live requests run
+		// interactive (the default), daemon sweep points run ClassSweep and
+		// wait behind any queued interactive request — point-granularity
+		// preemption, since each point re-acquires here.
+		s.pool.RunClassCtx(ctx, classFrom(ctx), func() {
 			// Borrow idle tokens for intra-request parallelism, sized by
 			// the profile space (holding tokens a small game cannot use
 			// would starve request-level concurrency). The one Run token
 			// guarantees progress, so a denied borrow degrades speed,
 			// never liveness.
-			par, release := s.borrowFor(size)
+			par, release := s.borrowFor(ctx, size)
 			defer release()
 			// The arena rides the Run token: one analysis owns it until the
 			// closure returns, then Release resets and parks it for the next
@@ -612,6 +678,9 @@ func (s *Service) countBackend(backend string) {
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.reqAnalyze.Add(1)
+	if !s.admit(w, r) {
+		return
+	}
 	var req AnalyzeRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -627,6 +696,9 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.reqBatch.Add(1)
+	if !s.admit(w, r) {
+		return
+	}
 	var req BatchRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -682,6 +754,9 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.reqSimulate.Add(1)
+	if !s.admit(w, r) {
+		return
+	}
 	var req SimulateRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -741,7 +816,7 @@ func (s *Service) simulate(ctx context.Context, req SimulateRequest) (*serialize
 		NumProfiles: space.Size(),
 		Start:       start,
 	}
-	s.pool.RunCtx(ctx, func() {
+	s.pool.RunClassCtx(ctx, classFrom(ctx), func() {
 		endSim := obs.StartSpan(ctx, obs.StageSimulate)
 		defer endSim()
 		s.simulations.Add(1)
@@ -750,7 +825,7 @@ func (s *Service) simulate(ctx context.Context, req SimulateRequest) (*serialize
 		// the loan is capped at one extra per additional replica. Counts
 		// merge by integer addition, so the document is bit-identical
 		// whatever the server's worker budget happens to be.
-		extra, release := s.pool.TryExtra(min(s.pool.Workers()-1, replicas-1))
+		extra, release := s.pool.TryExtraClass(classFrom(ctx), min(s.pool.Workers()-1, replicas-1))
 		defer release()
 		par := linalg.ParallelConfig{Workers: 1 + extra}
 		var counts []int64
@@ -859,6 +934,18 @@ type WorkMetrics struct {
 	// or computing.
 	QueueDepth  int64 `json:"queue_depth"`
 	TokensInUse int   `json:"worker_tokens_in_use"`
+	// Per-class queue depths: how much of QueueDepth is latency-sensitive
+	// interactive traffic vs background sweep points. A deep sweep queue
+	// with an empty interactive one is the scheduler working as designed.
+	QueueDepthInteractive int64 `json:"queue_depth_interactive"`
+	QueueDepthSweep       int64 `json:"queue_depth_sweep"`
+	// SweepPointsPreempted counts token handoffs that served a waiting
+	// interactive request while sweep points were queued behind it —
+	// point-granularity preemptions.
+	SweepPointsPreempted uint64 `json:"sweep_points_preempted_total"`
+	// AdmissionRejected counts requests refused with 429 by queue-depth
+	// backpressure (Config.MaxQueue).
+	AdmissionRejected uint64 `json:"admission_rejected_total"`
 	// Worker-utilization counters for the single worker-token pool:
 	// ParallelExtraInUse is how many extra tokens intra-request parallelism
 	// holds right now; the Granted/Denied totals say how often fan-out got
@@ -867,6 +954,14 @@ type WorkMetrics struct {
 	ParallelExtraInUse   int64  `json:"parallel_extra_in_use"`
 	ParallelExtraGranted uint64 `json:"parallel_extra_granted_total"`
 	ParallelExtraDenied  uint64 `json:"parallel_extra_denied_total"`
+}
+
+// JournalMetrics is the sweep-job journal's state plus the service-level
+// replay counter.
+type JournalMetrics struct {
+	journal.Metrics
+	// Replays counts journaled jobs resumed by ReplayJournal since boot.
+	Replays uint64 `json:"replays_total"`
 }
 
 // BackendMetrics counts performed analyses per backend.
@@ -885,6 +980,9 @@ type MetricsDoc struct {
 	Store         *StoreTierMetrics `json:"store,omitempty"`
 	Work          WorkMetrics       `json:"work"`
 	Sweeps        SweepGauges       `json:"sweep_jobs"`
+	// Journal is the persistent sweep-job journal's state (live entries,
+	// record/remove/replay counters); omitted when no journal is attached.
+	Journal *JournalMetrics `json:"journal,omitempty"`
 	// Scratch is the per-worker arena pool's state (checkout hit rate,
 	// outstanding vs retained bytes); omitted when scratch is disabled.
 	Scratch *scratch.Metrics `json:"scratch,omitempty"`
@@ -913,6 +1011,13 @@ func (s *Service) Metrics() MetricsDoc {
 		m := s.scratch.Metrics()
 		scratchDoc = &m
 	}
+	var journalDoc *JournalMetrics
+	if s.cfg.Journal != nil {
+		journalDoc = &JournalMetrics{
+			Metrics: s.cfg.Journal.Metrics(),
+			Replays: s.journalReplays.Load(),
+		}
+	}
 	return MetricsDoc{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests: RequestMetrics{
@@ -927,6 +1032,7 @@ func (s *Service) Metrics() MetricsDoc {
 		Cache:         s.cache.Metrics(),
 		Store:         storeTier,
 		Sweeps:        s.sweepGauges(),
+		Journal:       journalDoc,
 		Scratch:       scratchDoc,
 		Observability: obsDoc,
 		Work: WorkMetrics{
@@ -936,15 +1042,19 @@ func (s *Service) Metrics() MetricsDoc {
 				Sparse:  s.analysesSparse.Load(),
 				MatFree: s.analysesMatFree.Load(),
 			},
-			AnalysesFailed:       s.analysesFailed.Load(),
-			Simulations:          s.simulations.Load(),
-			InFlight:             s.pool.InFlight(),
-			Workers:              s.pool.Workers(),
-			QueueDepth:           s.pool.Waiting(),
-			TokensInUse:          s.pool.TokensInUse(),
-			ParallelExtraInUse:   s.pool.Borrowed(),
-			ParallelExtraGranted: s.pool.ExtraGranted(),
-			ParallelExtraDenied:  s.pool.ExtraDenied(),
+			AnalysesFailed:        s.analysesFailed.Load(),
+			Simulations:           s.simulations.Load(),
+			InFlight:              s.pool.InFlight(),
+			Workers:               s.pool.Workers(),
+			QueueDepth:            s.pool.Waiting(),
+			TokensInUse:           s.pool.TokensInUse(),
+			QueueDepthInteractive: s.pool.WaitingClass(ClassInteractive),
+			QueueDepthSweep:       s.pool.WaitingClass(ClassSweep),
+			SweepPointsPreempted:  s.pool.Preempted(),
+			AdmissionRejected:     s.admissionRejected.Load(),
+			ParallelExtraInUse:    s.pool.Borrowed(),
+			ParallelExtraGranted:  s.pool.ExtraGranted(),
+			ParallelExtraDenied:   s.pool.ExtraDenied(),
 		},
 	}
 }

@@ -2,18 +2,26 @@
 // background job that evaluates every point through the service's own
 // cache → store → analyze tiers (so sweeps share the worker-token budget
 // with live traffic and warm both cache tiers for it), GET streams status
-// and partial results, DELETE cancels. Jobs live for the daemon's
-// lifetime; the persistent store is what survives restarts — re-POSTing a
-// finished grid costs store reads only.
+// and partial results, DELETE cancels. Jobs run at sweep priority: every
+// point acquires its worker token behind any waiting interactive request,
+// so a saturating sweep yields to live traffic at point granularity.
+// Jobs live for the daemon's lifetime; the persistent store is what makes
+// their results survive restarts, and the job journal (Config.Journal)
+// is what makes the jobs themselves survive — queued/running grids are
+// journaled on POST, removed on terminal transition, and replayed by
+// ReplayJournal on the next boot, where the warm store turns recovery
+// into store reads plus only the missing analyses.
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,6 +57,22 @@ type sweepJob struct {
 	finished time.Time
 	comp     [progressWindow]time.Time
 	compN    int
+}
+
+// finishLocked attempts the one-way transition to a terminal status and
+// reports whether this caller won it. Terminal states are first-writer-
+// wins: once a job is done/cancelled/failed, nothing rewrites it — the
+// regression this kills was the job goroutine overwriting a DELETE's
+// "cancelled" with "done" (or the DELETE answering "cancelled" for a job
+// that had already finished). Caller holds j.mu.
+func (j *sweepJob) finishLocked(status, errMsg string) bool {
+	if j.status != "running" {
+		return false
+	}
+	j.status = status
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	return true
 }
 
 // SweepStatusDoc is the wire form of a sweep job's state.
@@ -153,8 +177,38 @@ func (s *Service) sweepEval(g *sweep.Grid) sweep.Eval {
 	}
 }
 
+// sweepSeqOf parses the numeric suffix of a job id ("swp-1000042" →
+// 1000042); non-conforming ids yield 0. Retention and listing order on
+// (created, this) because lexicographic id order stops being
+// chronological the moment the sequence outgrows its zero padding.
+func sweepSeqOf(id string) uint64 {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.ParseUint(id[i+1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// sweepWorkers is the per-job point fan-out cap: the pool budget, further
+// bounded by Config.MaxSweepWorkers so one big job cannot monopolize the
+// runner even before token priorities kick in.
+func (s *Service) sweepWorkers() int {
+	w := s.pool.Workers()
+	if s.cfg.MaxSweepWorkers > 0 && s.cfg.MaxSweepWorkers < w {
+		w = s.cfg.MaxSweepWorkers
+	}
+	return w
+}
+
 func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	s.reqSweeps.Add(1)
+	if !s.admit(w, r) {
+		return
+	}
 	var grid sweep.Grid
 	if err := decodeBody(w, r, &grid); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -168,10 +222,26 @@ func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	id := fmt.Sprintf("swp-%06d", s.sweepSeq.Add(1))
+	created := time.Now()
+	// Journal BEFORE the job starts: a daemon killed between here and the
+	// first completed point still resumes the whole grid. A journal write
+	// failure costs restart durability only, never the job.
+	if err := s.cfg.Journal.Record(id, created, &grid); err != nil {
+		s.cfg.Logger.Warn("sweep journal record failed", "sweep_id", id, "err", err.Error())
+	}
+	job := s.startSweep(&grid, id, created, points)
+	writeJSON(w, http.StatusAccepted, SweepCreatedDoc{ID: job.id, Status: "running", Points: points})
+}
+
+// startSweep registers and launches one sweep job — the shared tail of
+// POST /v1/sweeps and journal replay. The grid must already be validated
+// to points grid points.
+func (s *Service) startSweep(grid *sweep.Grid, id string, created time.Time, points int) *sweepJob {
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &sweepJob{
-		id:      fmt.Sprintf("swp-%06d", s.sweepSeq.Add(1)),
-		created: time.Now(),
+		id:      id,
+		created: created,
 		cancel:  cancel,
 		status:  "running",
 		points:  points,
@@ -183,6 +253,9 @@ func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	job.trace.SetAttr("sweep_id", job.id)
 	job.trace.SetAttr("points", strconv.Itoa(points))
 	ctx = obs.With(ctx, s.cfg.Obs, job.trace)
+	// Every token this job's points acquire — and every extra they borrow
+	// — is requested at sweep priority, behind waiting interactive work.
+	ctx = withClass(ctx, ClassSweep)
 	s.sweepMu.Lock()
 	s.sweeps[job.id] = job
 	s.pruneSweepsLocked()
@@ -191,9 +264,9 @@ func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		"sweep_id", job.id, "trace_id", job.trace.ID(), "points", points)
 
 	runner := &sweep.Runner{
-		Eval:      s.sweepEval(&grid),
+		Eval:      s.sweepEval(grid),
 		Limits:    s.cfg.Limits,
-		Workers:   s.pool.Workers(),
+		Workers:   s.sweepWorkers(),
 		MaxPoints: s.cfg.MaxSweepPoints,
 		OnRow: func(row sweep.Row) {
 			job.mu.Lock()
@@ -218,15 +291,18 @@ func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 			if rec := recover(); rec != nil {
 				cancel()
 				job.mu.Lock()
-				job.status = "failed"
-				job.errMsg = fmt.Sprintf("sweep panicked: %v", rec)
+				job.finishLocked("failed", fmt.Sprintf("sweep panicked: %v", rec))
 				job.mu.Unlock()
 			}
 			job.mu.Lock()
-			job.finished = time.Now()
 			status, errMsg, st := job.status, job.errMsg, job.stats
 			elapsed := job.finished.Sub(job.created)
 			job.mu.Unlock()
+			// Terminal: the journal entry has served its purpose. Remove is
+			// idempotent, so racing a DELETE's removal is harmless.
+			if err := s.cfg.Journal.Remove(job.id); err != nil {
+				s.cfg.Logger.Warn("sweep journal remove failed", "sweep_id", job.id, "err", err.Error())
+			}
 			job.trace.Finish(status)
 			s.cfg.Logger.Info("sweep finished",
 				"sweep_id", job.id, "trace_id", job.trace.ID(), "status", status,
@@ -234,7 +310,7 @@ func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 				"store_hits", st.StoreHits, "cache_hits", st.CacheHits,
 				"failed", st.Failed, "duration_ms", float64(elapsed.Nanoseconds())/1e6)
 		}()
-		res, stats, runErr := runner.Run(ctx, &grid)
+		res, stats, runErr := runner.Run(ctx, grid)
 		cancel()
 		job.mu.Lock()
 		defer job.mu.Unlock()
@@ -243,18 +319,72 @@ func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		// result.Rows is the table from here on; the completion-order
 		// copy would double every finished job's footprint.
 		job.rows = nil
+		// First-writer-wins: if a DELETE already marked the job cancelled,
+		// these transitions lose and the status stands (the partial result
+		// above is still recorded for GET).
 		switch {
 		case errors.Is(runErr, context.Canceled):
-			job.status = "cancelled"
+			job.finishLocked("cancelled", "")
 		case runErr != nil:
-			job.status = "failed"
-			job.errMsg = runErr.Error()
+			job.finishLocked("failed", runErr.Error())
 		default:
-			job.status = "done"
+			job.finishLocked("done", "")
 		}
 	}()
+	return job
+}
 
-	writeJSON(w, http.StatusAccepted, SweepCreatedDoc{ID: job.id, Status: "running", Points: points})
+// ReplayJournal resumes every journaled sweep job — the daemon calls it
+// once at boot, after the store is attached. Each entry re-enters the
+// serving path under its original id and creation time; completed points
+// are store hits, so a job killed at 90% costs 10% of its analyses to
+// finish. Entries whose grids no longer parse or validate are dropped
+// (with a log line) rather than wedging every future boot. Returns how
+// many jobs were resumed.
+func (s *Service) ReplayJournal() int {
+	entries, err := s.cfg.Journal.Pending()
+	if err != nil {
+		s.cfg.Logger.Warn("journal scan failed", "err", err.Error())
+		return 0
+	}
+	replayed := 0
+	for _, e := range entries {
+		drop := func(why string, err error) {
+			s.cfg.Logger.Warn("journal entry dropped",
+				"sweep_id", e.ID, "reason", why, "err", err.Error())
+			_ = s.cfg.Journal.Remove(e.ID)
+		}
+		grid, err := sweep.ParseGrid(bytes.NewReader(e.Grid))
+		if err != nil {
+			drop("grid parse", err)
+			continue
+		}
+		points, err := grid.Points(s.cfg.MaxSweepPoints)
+		if err != nil {
+			drop("grid validate", err)
+			continue
+		}
+		s.sweepMu.Lock()
+		_, exists := s.sweeps[e.ID]
+		s.sweepMu.Unlock()
+		if exists {
+			continue
+		}
+		// New ids must never collide with replayed ones: advance the
+		// sequence past every recovered suffix.
+		seq := sweepSeqOf(e.ID)
+		for {
+			cur := s.sweepSeq.Load()
+			if cur >= seq || s.sweepSeq.CompareAndSwap(cur, seq) {
+				break
+			}
+		}
+		s.startSweep(grid, e.ID, e.Created, points)
+		s.journalReplays.Add(1)
+		replayed++
+		s.cfg.Logger.Info("sweep replayed from journal", "sweep_id", e.ID, "points", points)
+	}
+	return replayed
 }
 
 // maxRetainedSweeps bounds the job registry: beyond it, the oldest
@@ -263,26 +393,34 @@ func (s *Service) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 const maxRetainedSweeps = 128
 
 // pruneSweepsLocked evicts the oldest terminal jobs over the retention
-// cap; running jobs are never touched. Caller holds sweepMu.
+// cap; running jobs are never touched. Age is (created, numeric id
+// suffix), NOT lexicographic id order — "swp-1000000" sorts before
+// "swp-999999" as a string, so a string sort would evict the newest jobs
+// once the sequence passes 999999. Caller holds sweepMu.
 func (s *Service) pruneSweepsLocked() {
 	if len(s.sweeps) <= maxRetainedSweeps {
 		return
 	}
-	ids := make([]string, 0, len(s.sweeps))
-	for id := range s.sweeps {
-		ids = append(ids, id)
+	jobs := make([]*sweepJob, 0, len(s.sweeps))
+	for _, j := range s.sweeps {
+		jobs = append(jobs, j)
 	}
-	sort.Strings(ids) // sequential ids: lexicographic == chronological
-	for _, id := range ids {
+	// created and id are immutable after registration, so no j.mu needed.
+	sort.Slice(jobs, func(a, b int) bool {
+		if !jobs[a].created.Equal(jobs[b].created) {
+			return jobs[a].created.Before(jobs[b].created)
+		}
+		return sweepSeqOf(jobs[a].id) < sweepSeqOf(jobs[b].id)
+	})
+	for _, j := range jobs {
 		if len(s.sweeps) <= maxRetainedSweeps {
 			return
 		}
-		j := s.sweeps[id]
 		j.mu.Lock()
 		terminal := j.status != "running"
 		j.mu.Unlock()
 		if terminal {
-			delete(s.sweeps, id)
+			delete(s.sweeps, j.id)
 		}
 	}
 }
@@ -362,12 +500,19 @@ func (s *Service) handleSweepDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job.cancel()
+	// First-writer-wins: DELETE claims the terminal transition only if the
+	// job is still running; a job that already finished keeps — and this
+	// response reports — its actual terminal state, instead of answering
+	// "cancelled" for a sweep that ended "done".
 	job.mu.Lock()
-	if job.status == "running" {
-		job.status = "cancelled"
-	}
+	cancelled := job.finishLocked("cancelled", "")
 	status := job.status
 	job.mu.Unlock()
+	if cancelled {
+		if err := s.cfg.Journal.Remove(job.id); err != nil {
+			s.cfg.Logger.Warn("sweep journal remove failed", "sweep_id", job.id, "err", err.Error())
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"id": job.id, "status": status})
 }
 
@@ -385,7 +530,15 @@ func (s *Service) handleSweepList(w http.ResponseWriter, r *http.Request) {
 		jobs = append(jobs, j)
 	}
 	s.sweepMu.Unlock()
-	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id > jobs[b].id })
+	// Newest first, by the same (created, numeric suffix) age that
+	// retention uses — not string order, which misorders across the
+	// 999999→1000000 boundary.
+	sort.Slice(jobs, func(a, b int) bool {
+		if !jobs[a].created.Equal(jobs[b].created) {
+			return jobs[a].created.After(jobs[b].created)
+		}
+		return sweepSeqOf(jobs[a].id) > sweepSeqOf(jobs[b].id)
+	})
 	doc := SweepListDoc{Sweeps: make([]SweepStatusDoc, 0, len(jobs))}
 	for _, j := range jobs {
 		doc.Sweeps = append(doc.Sweeps, j.statusDoc(false))

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"reflect"
 	"runtime"
 	"strconv"
 	"sync"
@@ -103,6 +104,21 @@ type TokenPool interface {
 	Run(fn func())
 	TryExtra(max int) (got int, release func())
 	Workers() int
+}
+
+// poolOrNil normalizes a TokenPool for the "no pool" checks: a typed nil
+// (a nil *service.Pool stored in the interface, e.g. an unset
+// bench.Executor.Pool field) compares non-nil as an interface but would
+// panic on the first method call, so it is treated as absent just like the
+// untyped nil.
+func poolOrNil(pool TokenPool) TokenPool {
+	if pool == nil {
+		return nil
+	}
+	if v := reflect.ValueOf(pool); v.Kind() == reflect.Pointer && v.IsNil() {
+		return nil
+	}
+	return pool
 }
 
 // Row is one grid point's line in the aggregate table. Every field is a
@@ -486,6 +502,7 @@ func DirectEval(st *store.Store, pool TokenPool) Eval {
 // allocations, exactly like DirectEval; results are bit-identical either
 // way.
 func DirectEvalScratch(st *store.Store, pool TokenPool, sp *scratch.Pool) Eval {
+	pool = poolOrNil(pool)
 	return func(ctx context.Context, j *Job) (Outcome, error) {
 		if st != nil {
 			endGet := obs.StartSpan(ctx, obs.StageStoreGet)
@@ -506,7 +523,10 @@ func DirectEvalScratch(st *store.Store, pool TokenPool, sp *scratch.Pool) Eval {
 		run := func() {
 			opts := j.Opts
 			if pool != nil {
-				useful := j.NumProfiles/linalg.DefaultMinRows - 1
+				// Clamped at zero: a game under DefaultMinRows profiles makes
+				// useful −1, and a negative max must borrow nothing rather than
+				// reach TryExtra (whose contract starts at 0).
+				useful := max(0, j.NumProfiles/linalg.DefaultMinRows-1)
 				extra, release := pool.TryExtra(min(pool.Workers()-1, useful))
 				defer release()
 				opts.Parallel = linalg.ParallelConfig{Workers: 1 + extra}
