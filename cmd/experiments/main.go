@@ -27,6 +27,7 @@ import (
 	"syscall"
 
 	"logitdyn/internal/bench"
+	"logitdyn/internal/cluster"
 	"logitdyn/internal/obs"
 	"logitdyn/internal/scratch"
 	"logitdyn/internal/service"
@@ -52,8 +53,9 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "base RNG seed")
 		eps         = flag.Float64("eps", 0.25, "total-variation target ε")
 		csv         = flag.String("csv", "", "optional directory for per-experiment CSV output")
-		storeDir    = flag.String("store", "", "persistent report-store directory shared with logitdynd/logitsweep (empty = run everything cold, keep nothing)")
-		storeMax    = flag.Int64("storemax", 0, "report-store size budget in bytes (0 = unbounded)")
+		storeDir    = flag.String("store", "", "persistent report-store director(ies) shared with logitdynd/logitsweep; comma-separated directories shard by consistent hash (empty = run everything cold, keep nothing)")
+		storeMax    = flag.Int64("storemax", 0, "report-store size budget in bytes per shard (0 = unbounded)")
+		storeMaxAge = flag.Duration("storemaxage", 0, "report-store age budget: entries older than this are evicted even under the byte budget (0 = keep forever)")
 		workers     = flag.Int("workers", 0, "worker cap for ALL parallel stages (sets GOMAXPROCS; 0 = all cores); never changes table entries")
 		logFormat   = flag.String("logformat", "text", "structured log format on stderr: text or json")
 		logLevel    = flag.String("loglevel", "info", "log level: debug, info, warn or error")
@@ -104,12 +106,12 @@ func main() {
 	}
 	exec := &bench.Executor{Scratch: scratchPool}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		st, err := cluster.OpenFromFlags(*storeDir, store.Options{MaxBytes: *storeMax, MaxAge: *storeMaxAge}, "", 0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(2)
 		}
-		logger.Info("store open", "dir", *storeDir, "entries", st.Len())
+		logger.Info("store open", "dir", *storeDir, "entries", st.Metrics().Entries)
 		// One worker-token pool bounds the whole run, exactly like the
 		// daemon and logitsweep: each in-flight point holds one token and
 		// borrows idle ones for its mat-vecs, at sweep class — the same

@@ -5,9 +5,15 @@
 // many callers share one spectral analysis per distinct (game, β) pair,
 // and so those analyses survive restarts.
 //
+// The persistent store scales out two ways: -store takes comma-separated
+// directories sharded by consistent hash, and -peers names sibling daemons
+// whose stores answer local misses (checksum re-verified, replicated
+// read-through) before anything is recomputed.
+//
 // Example:
 //
 //	logitdynd -addr :8080 -cache 512 -workers 4 -store /var/lib/logitdyn/store
+//	logitdynd -addr :8081 -store /var/lib/logitdyn/store2 -peers http://localhost:8080
 //	curl -s localhost:8080/v1/analyze -d '{"spec":{"game":"doublewell","n":6,"c":2,"delta1":1},"beta":1.5}'
 //	curl -s localhost:8080/v1/sweeps -d '{"axes":{"game":["doublewell"],"n":[8,10],"beta":{"from":0.5,"to":2,"steps":4}},"base":{"c":2,"delta1":1}}'
 //	curl -s 'localhost:8080/metrics?format=prometheus'
@@ -25,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"logitdyn/internal/cluster"
 	"logitdyn/internal/journal"
 	"logitdyn/internal/obs"
 	"logitdyn/internal/service"
@@ -40,8 +47,11 @@ func main() {
 	maxProfiles := flag.Int("maxprofiles", 0, "max profile-space size per request on the dense backend (0 = default)")
 	maxSparseProfiles := flag.Int("maxsparseprofiles", 0, "max profile-space size per request on the sparse/matfree backends (0 = default)")
 	maxBeta := flag.Float64("maxbeta", 0, "max inverse noise β per request (0 = default)")
-	storeDir := flag.String("store", "", "persistent report-store directory: the second cache tier, shared with logitsweep (empty = memory-only)")
-	storeMax := flag.Int64("storemax", 0, "report-store size budget in bytes; LRU entries are evicted above it (0 = unbounded)")
+	storeDir := flag.String("store", "", "persistent report-store director(ies): the second cache tier, shared with logitsweep; comma-separated directories shard by consistent hash (empty = memory-only)")
+	storeMax := flag.Int64("storemax", 0, "report-store size budget in bytes per shard; LRU entries are evicted above it (0 = unbounded)")
+	storeMaxAge := flag.Duration("storemaxage", 0, "report-store age budget: entries older than this since last write are evicted even under the byte budget (0 = keep forever)")
+	peers := flag.String("peers", "", "comma-separated sibling daemon base URLs (http://host:port); local store misses are answered from a peer's store before recomputing, with read-through replication")
+	peerTimeout := flag.Duration("peertimeout", cluster.DefaultPeerTimeout, "per-fetch deadline for peer store lookups; a slow peer degrades to recompute")
 	maxSweepPoints := flag.Int("maxsweeppoints", 0, "max grid points per /v1/sweeps job (0 = default)")
 	maxSweepWorkers := flag.Int("maxsweepworkers", 0, "max workers one sweep job may fan out to, below the pool budget (0 = full budget)")
 	maxQueue := flag.Int("maxqueue", 0, "admission threshold: refuse work with 429 + Retry-After while more than this many requests wait for worker tokens (0 = unbounded queue)")
@@ -71,14 +81,17 @@ func main() {
 	if *maxBeta > 0 {
 		limits.MaxBeta = *maxBeta
 	}
-	var st *store.Store
-	if *storeDir != "" {
-		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
-		if err != nil {
-			logger.Error("store open failed", "dir", *storeDir, "err", err.Error())
-			os.Exit(1)
-		}
-		logger.Info("report store open", "dir", *storeDir, "entries", st.Len(), "bytes", st.SizeBytes())
+	st, err := cluster.OpenFromFlags(*storeDir, store.Options{MaxBytes: *storeMax, MaxAge: *storeMaxAge}, *peers, *peerTimeout)
+	if err != nil {
+		logger.Error("store open failed", "dir", *storeDir, "err", err.Error())
+		os.Exit(1)
+	}
+	if st != nil {
+		m := st.Metrics()
+		logger.Info("report store open",
+			"dir", *storeDir, "shards", len(cluster.SplitList(*storeDir)),
+			"peers", len(cluster.SplitList(*peers)),
+			"entries", m.Entries, "bytes", m.SizeBytes)
 	}
 	var jl *journal.Journal
 	if *journalDir != "" {

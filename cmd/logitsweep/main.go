@@ -19,6 +19,12 @@
 //	}
 //	EOF
 //	logitsweep -grid grid.json -store ./reports -format csv -o table.csv
+//
+// With -scrub, logitsweep skips the grid entirely and runs a one-shot
+// integrity pass over the store, dropping (and counting) entries whose
+// checksummed envelopes no longer verify:
+//
+//	logitsweep -store ./reports -scrub
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"logitdyn/internal/cluster"
 	"logitdyn/internal/obs"
 	"logitdyn/internal/scratch"
 	"logitdyn/internal/service"
@@ -45,8 +52,10 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	gridPath := flag.String("grid", "", "grid file (JSON; \"-\" = stdin)")
-	storeDir := flag.String("store", "", "persistent report-store directory (empty = run everything cold, keep nothing)")
-	storeMax := flag.Int64("storemax", 0, "report-store size budget in bytes (0 = unbounded)")
+	storeDir := flag.String("store", "", "persistent report-store director(ies); comma-separated directories shard by consistent hash (empty = run everything cold, keep nothing)")
+	storeMax := flag.Int64("storemax", 0, "report-store size budget in bytes per shard (0 = unbounded)")
+	storeMaxAge := flag.Duration("storemaxage", 0, "report-store age budget: entries older than this are evicted even under the byte budget (0 = keep forever)")
+	scrub := flag.Bool("scrub", false, "one-shot mode: integrity-scrub the store (dropping damaged entries) and exit; requires -store, ignores -grid")
 	workers := flag.Int("workers", 0, "worker-token budget shared by point fan-out and intra-analysis parallelism (0 = GOMAXPROCS); never changes reported numbers")
 	maxPoints := flag.Int("maxpoints", 0, "max grid points (0 = default)")
 	maxProfiles := flag.Int("maxprofiles", 0, "max profile-space size per point on the dense backend (0 = default)")
@@ -61,6 +70,30 @@ func main() {
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *scrub {
+		// One-shot store maintenance: open, scrub, report, exit. No grid in
+		// the loop — this is the cron-job / admin entry point for stores not
+		// fronted by a daemon.
+		if *storeDir == "" {
+			fatalf("-scrub requires -store")
+		}
+		st, err := cluster.OpenFromFlags(*storeDir, store.Options{MaxBytes: *storeMax, MaxAge: *storeMaxAge}, "", 0)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sc, ok := st.(cluster.Scrubber)
+		if !ok {
+			fatalf("store does not support scrubbing")
+		}
+		res, err := sc.Scrub()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		logger.Info("scrub complete", "dir", *storeDir, "scanned", res.Scanned, "damaged", res.Damaged)
+		fmt.Printf("scanned %d entries, dropped %d damaged\n", res.Scanned, res.Damaged)
+		return
 	}
 
 	if *gridPath == "" {
@@ -98,13 +131,12 @@ func main() {
 		w = f
 	}
 
-	var st *store.Store
-	if *storeDir != "" {
-		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
-		if err != nil {
-			fatalf("%v", err)
-		}
-		logger.Info("store open", "dir", *storeDir, "entries", st.Len())
+	st, err := cluster.OpenFromFlags(*storeDir, store.Options{MaxBytes: *storeMax, MaxAge: *storeMaxAge}, "", 0)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if st != nil {
+		logger.Info("store open", "dir", *storeDir, "entries", st.Metrics().Entries)
 	}
 
 	limits := spec.DefaultLimits()

@@ -101,6 +101,30 @@
 // pays store reads for completed points, analyzes only the missing
 // ones, and emits a byte-identical final table.
 //
+// # Cluster and store operations
+//
+// internal/cluster scales the result space past one directory and one
+// process. cluster.ReportStore is the seam (Get/Put/Delete/Scan/Metrics)
+// the service, sweep runner and benches consume; *store.Store satisfies
+// it unchanged. cluster.Ring routes keys across N shard stores by
+// consistent hashing — placement is a pure function of (shard names,
+// key), so every process over the same directory list agrees, and adding
+// a shard moves only the ~1/N of keys the new shard owns. cluster.Peer
+// machinery lets daemons answer each other's store misses: a miss asks a
+// sibling's GET /v1/peer/reports/{key} for the checksummed entry,
+// re-verifies it fail-closed on receipt, writes it through into the
+// local store, and collapses concurrent misses for one key into a single
+// fetch; any peer failure — down, slow, damaged bytes — degrades to an
+// ordinary miss and recompute. Layout never changes bits: sweep tables
+// are byte-identical across 1-shard, N-shard and peered deployments.
+// Store operations ride along: an age budget (store.Options.MaxAge,
+// -storemaxage) evicts entries by write-age next to the LRU byte budget,
+// Store.Scrub re-verifies every entry's checksum online dropping damaged
+// files (also exposed as logitsweep -scrub and POST
+// /v1/admin/store/scrub), and the daemon's /v1/admin/store endpoints
+// inspect and evict entries by key prefix — operator surface, never
+// admission-gated.
+//
 // # Experiments
 //
 // internal/bench is the E1–E15 paper-reproduction registry, rebased onto
@@ -120,6 +144,8 @@
 //     singleflight, bounded worker pool, HTTP JSON API, async sweep jobs
 //   - internal/store     — persistent content-addressed report store and
 //     the canonical game hashing both cache tiers key on
+//   - internal/cluster   — sharded store routing, daemon peering,
+//     read-through replication (the ReportStore seam)
 //   - internal/sweep     — the sweep orchestration engine: grid expansion,
 //     dedup, resumable execution, aggregate tables
 //   - internal/game      — game families: coordination, graphical, double

@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"sync"
 
+	"logitdyn/internal/cluster"
 	"logitdyn/internal/scratch"
 	"logitdyn/internal/serialize"
 	"logitdyn/internal/spec"
-	"logitdyn/internal/store"
 	"logitdyn/internal/sweep"
 )
 
@@ -74,8 +74,9 @@ func (r *Results) Doc(segment string, point int) (serialize.ReportDoc, error) {
 // fan-out.
 type Executor struct {
 	// Store is the persistent report store shared with logitdynd and
-	// logitsweep; nil keeps nothing (every run is cold).
-	Store *store.Store
+	// logitsweep — any cluster.ReportStore arrangement; nil keeps nothing
+	// (every run is cold).
+	Store cluster.ReportStore
 	// Pool is the worker-token semaphore evaluators borrow from; nil
 	// leaves intra-analysis parallelism unbounded by tokens.
 	Pool sweep.TokenPool

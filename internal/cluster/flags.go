@@ -1,0 +1,73 @@
+// CLI wiring: one helper that turns the flag surface every store-backed
+// binary shares (-store, -peers, -peertimeout, plus store.Options) into
+// the right ReportStore composition, so logitdynd, logitsweep and the
+// experiments runner cannot drift in how they interpret the same flags.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"logitdyn/internal/store"
+)
+
+// SplitList parses a comma-separated flag value into its non-empty,
+// space-trimmed elements.
+func SplitList(csv string) []string {
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OpenFromFlags builds the store stack a binary's flags describe:
+//
+//	dirsCSV  ""           -> nil (no store; peersCSV must also be empty,
+//	                         because peer hits would have nowhere to land)
+//	dirsCSV  "a"          -> that store
+//	dirsCSV  "a,b,c"      -> a Ring over the three shard directories
+//	peersCSV "u1,u2"      -> the above wrapped in Replicated with one
+//	                         PeerStore per URL
+//
+// The returned interface is untyped-nil when no store is configured, so
+// callers compare against nil directly.
+func OpenFromFlags(dirsCSV string, opts store.Options, peersCSV string, peerTimeout time.Duration) (ReportStore, error) {
+	dirs := SplitList(dirsCSV)
+	peerURLs := SplitList(peersCSV)
+	if len(dirs) == 0 {
+		if len(peerURLs) != 0 {
+			return nil, fmt.Errorf("cluster: -peers requires a local store (-store) to replicate into")
+		}
+		return nil, nil
+	}
+	var local ReportStore
+	if len(dirs) == 1 {
+		st, err := store.Open(dirs[0], opts)
+		if err != nil {
+			return nil, err
+		}
+		local = st
+	} else {
+		ring, err := OpenRing(dirs, opts)
+		if err != nil {
+			return nil, err
+		}
+		local = ring
+	}
+	if len(peerURLs) == 0 {
+		return local, nil
+	}
+	peers := make([]*PeerStore, len(peerURLs))
+	for i, u := range peerURLs {
+		p, err := NewPeer(u, peerTimeout)
+		if err != nil {
+			return nil, err
+		}
+		peers[i] = p
+	}
+	return NewReplicated(local, peers), nil
+}

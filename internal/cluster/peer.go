@@ -1,0 +1,151 @@
+// PeerStore: the client half of daemon peering. A sibling logitdynd
+// exposes its local store at GET /v1/peer/reports/{key}, serving the
+// store's own versioned, checksummed entry envelope; this client fetches
+// an entry and re-verifies the checksum on receipt, so a lying network or
+// a corrupt sibling degrades to a miss — never to a wrong report.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"logitdyn/internal/serialize"
+	"logitdyn/internal/store"
+)
+
+// DefaultPeerTimeout bounds one peer fetch end to end. A slow or wedged
+// peer must cost less than the recompute it is trying to save: analysis
+// of a realistic game takes seconds, so a couple of seconds of fetch
+// budget is the break-even neighbourhood.
+const DefaultPeerTimeout = 2 * time.Second
+
+// peerReportPath is the daemon surface PeerStore fetches from; the
+// service registers its handler on the same constant, so client and
+// server cannot drift.
+const peerReportPath = "/v1/peer/reports/"
+
+// PeerReportPath returns the URL path serving key's entry.
+func PeerReportPath(key string) string { return peerReportPath + key }
+
+// maxPeerEntryBytes caps one fetched entry. Entries are analysis reports
+// (dense ones carry O(MaxProfiles) vectors), far under this; the cap only
+// exists so a misbehaving peer cannot balloon memory.
+const maxPeerEntryBytes = 64 << 20
+
+// PeerStore fetches report entries from one sibling daemon's store. It is
+// deliberately NOT a ReportStore: peers are read-only fallbacks (fetch or
+// miss), and keeping the type distinct means nobody can accidentally
+// write through — or scrub — someone else's disk.
+type PeerStore struct {
+	base   string
+	client *http.Client
+
+	fetches, hits, misses atomic.Uint64
+	// errors counts transport failures and unexpected statuses; corrupt
+	// counts entries that arrived but failed fail-closed verification.
+	errors, corrupt atomic.Uint64
+}
+
+// NewPeer builds a client for the daemon at baseURL (scheme://host[:port],
+// any path is rejected so typos don't silently 404 forever). timeout <= 0
+// selects DefaultPeerTimeout.
+func NewPeer(baseURL string, timeout time.Duration) (*PeerStore, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer url: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("cluster: peer url %q needs an http(s) scheme", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("cluster: peer url %q has no host", baseURL)
+	}
+	if u.Path != "" && u.Path != "/" {
+		return nil, fmt.Errorf("cluster: peer url %q must not carry a path", baseURL)
+	}
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	return &PeerStore{
+		base:   strings.TrimSuffix(baseURL, "/"),
+		client: &http.Client{Timeout: timeout},
+	}, nil
+}
+
+// Name returns the peer's base URL (metric and log identity).
+func (p *PeerStore) Name() string { return p.base }
+
+// Fetch asks the peer for key's entry. A served entry is decoded
+// fail-closed (envelope version, named key, payload checksum) before it
+// is trusted; anything else — absent key, timeout, refused connection,
+// bad status, damaged bytes — is a miss, because the caller's fallback is
+// the next peer or a recompute, and both are safe.
+func (p *PeerStore) Fetch(ctx context.Context, key string) (serialize.ReportDoc, bool) {
+	p.fetches.Add(1)
+	if !store.ValidKey(key) {
+		p.misses.Add(1)
+		return serialize.ReportDoc{}, false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+PeerReportPath(key), nil)
+	if err != nil {
+		p.errors.Add(1)
+		return serialize.ReportDoc{}, false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.errors.Add(1)
+		return serialize.ReportDoc{}, false
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		p.misses.Add(1)
+		return serialize.ReportDoc{}, false
+	case resp.StatusCode != http.StatusOK:
+		p.errors.Add(1)
+		return serialize.ReportDoc{}, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerEntryBytes+1))
+	if err != nil || len(data) > maxPeerEntryBytes {
+		p.errors.Add(1)
+		return serialize.ReportDoc{}, false
+	}
+	doc, err := store.DecodeEntry(key, data)
+	if err != nil {
+		p.corrupt.Add(1)
+		return serialize.ReportDoc{}, false
+	}
+	p.hits.Add(1)
+	return doc, true
+}
+
+// PeerStoreMetrics snapshots one peer's fetch counters.
+type PeerStoreMetrics struct {
+	Peer    string `json:"peer"`
+	Fetches uint64 `json:"fetches"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	// Errors counts transport failures, timeouts and unexpected statuses;
+	// CorruptRejected counts entries that arrived but failed fail-closed
+	// verification.
+	Errors          uint64 `json:"errors"`
+	CorruptRejected uint64 `json:"corrupt_rejected"`
+}
+
+// Metrics snapshots the peer's counters.
+func (p *PeerStore) Metrics() PeerStoreMetrics {
+	return PeerStoreMetrics{
+		Peer:            p.base,
+		Fetches:         p.fetches.Load(),
+		Hits:            p.hits.Load(),
+		Misses:          p.misses.Load(),
+		Errors:          p.errors.Load(),
+		CorruptRejected: p.corrupt.Load(),
+	}
+}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"logitdyn/internal/serialize"
+	"logitdyn/internal/store"
+)
+
+// peerServer fakes a sibling daemon's /v1/peer/reports surface backed by
+// an in-memory map of encoded entries; mutate, when set, rewrites the
+// bytes on the way out (a corrupt or lying peer).
+func peerServer(t *testing.T, entries map[string][]byte, mutate func([]byte) []byte) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/v1/peer/reports/")
+		data, ok := entries[key]
+		if !ok {
+			http.Error(w, "no report", http.StatusNotFound)
+			return
+		}
+		if mutate != nil {
+			data = mutate(data)
+		}
+		w.Write(data)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func encodedEntry(t *testing.T, key string, doc serialize.ReportDoc) []byte {
+	t.Helper()
+	data, err := store.EncodeEntry(key, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPeerFetchHitMissError(t *testing.T) {
+	key := testKey(1)
+	srv := peerServer(t, map[string][]byte{key: encodedEntry(t, key, testDoc(2))}, nil)
+	p, err := NewPeer(srv.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, ok := p.Fetch(context.Background(), key)
+	if !ok || doc.MixingTime != 17 {
+		t.Fatalf("Fetch hit = (%+v, %v)", doc, ok)
+	}
+	if _, ok := p.Fetch(context.Background(), testKey(2)); ok {
+		t.Fatal("absent key fetched")
+	}
+	if _, ok := p.Fetch(context.Background(), "not-a-key"); ok {
+		t.Fatal("invalid key fetched")
+	}
+	m := p.Metrics()
+	if m.Hits != 1 || m.Misses != 2 || m.Errors != 0 {
+		t.Fatalf("peer metrics: %+v", m)
+	}
+
+	// A dead peer is an error-counted miss, never a hang or panic.
+	srv.Close()
+	if _, ok := p.Fetch(context.Background(), key); ok {
+		t.Fatal("dead peer produced a hit")
+	}
+	if m := p.Metrics(); m.Errors != 1 {
+		t.Fatalf("dead peer counted as %+v", m)
+	}
+}
+
+// A peer serving damaged bytes — bit-flipped payload under an intact
+// envelope — must fail closed: the checksum re-verification on receipt
+// rejects it and the caller falls through to recompute.
+func TestPeerFetchCorruptRejected(t *testing.T) {
+	key := testKey(3)
+	entry := encodedEntry(t, key, testDoc(2))
+	srv := peerServer(t, map[string][]byte{key: entry}, func(d []byte) []byte {
+		return bytes.Replace(d, []byte(`"mixing_time":17`), []byte(`"mixing_time":71`), 1)
+	})
+	p, err := NewPeer(srv.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Fetch(context.Background(), key); ok {
+		t.Fatal("corrupt entry accepted")
+	}
+	if m := p.Metrics(); m.CorruptRejected != 1 {
+		t.Fatalf("corruption not counted: %+v", m)
+	}
+}
+
+// A peer slower than the timeout degrades to a miss within the deadline.
+func TestPeerFetchTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	t.Cleanup(srv.Close)
+	p, err := NewPeer(srv.URL, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, ok := p.Fetch(context.Background(), testKey(4)); ok {
+		t.Fatal("wedged peer produced a hit")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout took %v", d)
+	}
+	if m := p.Metrics(); m.Errors != 1 {
+		t.Fatalf("timeout not counted as error: %+v", m)
+	}
+}
+
+func TestNewPeerRejectsBadURLs(t *testing.T) {
+	for _, u := range []string{"", "localhost:8080", "ftp://host", "http://", "http://host/api/v1"} {
+		if _, err := NewPeer(u, 0); err == nil {
+			t.Fatalf("NewPeer accepted %q", u)
+		}
+	}
+}
+
+// The full miss path: local miss → peer hit → served AND replicated into
+// the local store, so the second Get never touches the network.
+func TestReplicatedReadThrough(t *testing.T) {
+	key := testKey(5)
+	var fetches atomic.Int64
+	entry := encodedEntry(t, key, testDoc(2))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fetches.Add(1)
+		w.Write(entry)
+	}))
+	t.Cleanup(srv.Close)
+	local, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPeer(srv.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplicated(local, []*PeerStore{p})
+
+	doc, ok := rep.Get(key)
+	if !ok || doc.MixingTime != 17 {
+		t.Fatalf("peer-backed Get = (%+v, %v)", doc, ok)
+	}
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("peer hit not replicated into the local store")
+	}
+	if _, ok := rep.Get(key); !ok {
+		t.Fatal("replicated entry lost")
+	}
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("peer fetched %d times, want 1 (read-through replication)", n)
+	}
+	m := rep.PeerMetrics()
+	if m.Hits != 1 || m.Replications != 1 {
+		t.Fatalf("peer metrics: %+v", m)
+	}
+}
+
+// Peer failure of any kind degrades to a plain miss — the caller's
+// recompute path — and a store with no peers is a pure pass-through.
+func TestReplicatedDegradesToMiss(t *testing.T) {
+	local, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPeer("http://127.0.0.1:1", 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplicated(local, []*PeerStore{p})
+	if _, ok := rep.Get(testKey(6)); ok {
+		t.Fatal("unreachable peer produced a hit")
+	}
+	// Writes still work and are served locally.
+	if err := rep.Put(testKey(7), testDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Get(testKey(7)); !ok {
+		t.Fatal("local write lost")
+	}
+
+	none := NewReplicated(local, nil)
+	if _, ok := none.Get(testKey(8)); ok {
+		t.Fatal("peerless Replicated invented a hit")
+	}
+}
+
+// Concurrent Gets for one cold key collapse into a single peer fetch.
+func TestReplicatedSingleflight(t *testing.T) {
+	key := testKey(9)
+	var fetches atomic.Int64
+	gate := make(chan struct{})
+	entry := encodedEntry(t, key, testDoc(2))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fetches.Add(1)
+		<-gate
+		w.Write(entry)
+	}))
+	t.Cleanup(srv.Close)
+	local, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPeer(srv.URL, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplicated(local, []*PeerStore{p})
+
+	const callers = 8
+	var wg sync.WaitGroup
+	oks := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, oks[i] = rep.Get(key)
+		}(i)
+	}
+	// Let the callers pile up on the in-flight fetch, then release it.
+	for int(rep.PeerMetrics().SingleflightShared) < callers-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	for i, ok := range oks {
+		if !ok {
+			t.Fatalf("caller %d missed", i)
+		}
+	}
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("%d callers made %d fetches, want 1", callers, n)
+	}
+}

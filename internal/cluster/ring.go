@@ -1,0 +1,209 @@
+// Consistent-hash routing over N report-store shards: deterministic
+// key→shard placement that survives restarts, and shard-set changes that
+// re-route only the keys a new shard now owns (≈1/N of the space) instead
+// of reshuffling everything.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"logitdyn/internal/serialize"
+	"logitdyn/internal/store"
+)
+
+// ringReplicas is how many virtual points each shard owns on the hash
+// circle; enough that the keyspace splits near-evenly even for 2–3 shards.
+const ringReplicas = 64
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is a consistent-hash router implementing ReportStore over N
+// shards. Placement depends only on the shard names and the key — never
+// on insertion order or process state — so two processes configured with
+// the same shard names agree on every key's owner. Construct with NewRing
+// or OpenRing; the zero value is not usable.
+type Ring struct {
+	names  []string
+	shards []ReportStore
+	points []ringPoint // sorted by hash
+}
+
+// NewRing builds a ring routing over the named shards. Names are the
+// placement identity: keep them stable (they are the shard directory
+// paths in the CLI wiring) or keys will re-route.
+func NewRing(names []string, shards []ReportStore) (*Ring, error) {
+	if len(names) == 0 || len(names) != len(shards) {
+		return nil, fmt.Errorf("cluster: ring needs one name per shard (got %d names, %d shards)", len(names), len(shards))
+	}
+	seen := make(map[string]bool, len(names))
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: shard %d has an empty name", i)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", n)
+		}
+		seen[n] = true
+		if shards[i] == nil {
+			return nil, fmt.Errorf("cluster: shard %q is nil", n)
+		}
+	}
+	r := &Ring{
+		names:  append([]string(nil), names...),
+		shards: append([]ReportStore(nil), shards...),
+		points: make([]ringPoint, 0, ringReplicas*len(names)),
+	}
+	for i, n := range names {
+		for rep := 0; rep < ringReplicas; rep++ {
+			sum := sha256.Sum256([]byte(n + "#" + strconv.Itoa(rep)))
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on shard index so placement is total even if two
+		// virtual points collide (astronomically unlikely, but determinism
+		// is the whole contract).
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r, nil
+}
+
+// OpenRing opens one store per directory and rings over them, with the
+// directory paths as the shard names. opts applies per shard (a byte
+// budget bounds each shard directory, not their sum). A single directory
+// yields a one-shard ring that routes everything to it.
+func OpenRing(dirs []string, opts store.Options) (*Ring, error) {
+	shards := make([]ReportStore, len(dirs))
+	for i, d := range dirs {
+		st, err := store.Open(d, opts)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = st
+	}
+	return NewRing(dirs, shards)
+}
+
+// keyHash maps a key onto the hash circle. Canonical keys are hex SHA-256,
+// so their own leading bytes are already uniform — but hashing the string
+// keeps placement defined (and uniform-ish) for any key the store layer
+// might be handed.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// ShardFor returns the index of the shard owning key: the first virtual
+// point at or clockwise of the key's hash.
+func (r *Ring) ShardFor(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return len(r.shards) }
+
+// ShardNames returns the shard names in construction order.
+func (r *Ring) ShardNames() []string { return append([]string(nil), r.names...) }
+
+// Shard returns the i-th shard's store (tests and admin surfaces).
+func (r *Ring) Shard(i int) ReportStore { return r.shards[i] }
+
+// Get reads key from its owning shard. Entries stranded on a non-owner
+// shard by a layout change are treated as misses — re-routing costs at
+// worst a recompute, never a wrong answer.
+func (r *Ring) Get(key string) (serialize.ReportDoc, bool) {
+	return r.shards[r.ShardFor(key)].Get(key)
+}
+
+// Put writes key to its owning shard.
+func (r *Ring) Put(key string, doc serialize.ReportDoc) error {
+	return r.shards[r.ShardFor(key)].Put(key, doc)
+}
+
+// Delete removes key from every shard, not just the owner, so admin
+// eviction also clears entries a past layout stranded on non-owners.
+// The first error wins; the sweep still visits every shard.
+func (r *Ring) Delete(key string) error {
+	var first error
+	for _, sh := range r.shards {
+		if err := sh.Delete(key); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Scan lists matching entries across all shards, merged and sorted by
+// key.
+func (r *Ring) Scan(prefix string) ([]store.EntryInfo, error) {
+	var out []store.EntryInfo
+	for _, sh := range r.shards {
+		part, err := sh.Scan(prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Metrics sums the shards' counters. Per-op latency histograms are not
+// merged (they are per-shard detail); the summed counters are what the
+// cluster-level dashboards key on.
+func (r *Ring) Metrics() store.Metrics {
+	var m store.Metrics
+	for _, sh := range r.shards {
+		sm := sh.Metrics()
+		m.Entries += sm.Entries
+		m.SizeBytes += sm.SizeBytes
+		m.MaxBytes += sm.MaxBytes
+		m.Hits += sm.Hits
+		m.Misses += sm.Misses
+		m.Puts += sm.Puts
+		m.Evictions += sm.Evictions
+		m.EvictionsLRU += sm.EvictionsLRU
+		m.EvictionsAge += sm.EvictionsAge
+		m.CorruptDropped += sm.CorruptDropped
+		m.ScrubsRun += sm.ScrubsRun
+		m.WriteErrors += sm.WriteErrors
+		m.ReadErrors += sm.ReadErrors
+	}
+	return m
+}
+
+// Scrub runs an integrity pass over every shard that supports one and
+// sums the results; a shard without scrub support (a remote peer placed
+// directly in a ring) is an error, because a partial scrub reading as a
+// clean full scrub would hide damage.
+func (r *Ring) Scrub() (store.ScrubResult, error) {
+	var total store.ScrubResult
+	for i, sh := range r.shards {
+		sc, ok := sh.(Scrubber)
+		if !ok {
+			return total, fmt.Errorf("cluster: shard %q does not support scrubbing", r.names[i])
+		}
+		res, err := sc.Scrub()
+		if err != nil {
+			return total, err
+		}
+		total.Scanned += res.Scanned
+		total.Damaged += res.Damaged
+	}
+	return total, nil
+}

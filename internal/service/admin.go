@@ -1,0 +1,180 @@
+// Peer serving and store administration. /v1/peer/reports/{key} is the
+// server half of daemon peering: it hands a sibling the local store's raw
+// checksummed entry envelope. The /v1/admin/store endpoints inspect, evict
+// and scrub the persistent store. None of these call admit(): peer fetches
+// are how an overloaded cluster sheds recomputes, and an operator must be
+// able to inspect or shrink a store precisely when the daemon is drowning.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"logitdyn/internal/cluster"
+	"logitdyn/internal/store"
+)
+
+// localStore returns the tier peer requests are served from: the local
+// store beneath a Replicated wrapper, or the configured store itself.
+// Serving peers through the Replicated view would chain fetches — daemon A
+// asks B, B asks C on its own miss — and two empty daemons peered at each
+// other would ping-pong a miss until a timeout saved them.
+func (s *Service) localStore() cluster.ReportStore {
+	if ls, ok := s.cfg.Store.(interface{ LocalStore() cluster.ReportStore }); ok {
+		return ls.LocalStore()
+	}
+	return s.cfg.Store
+}
+
+// handlePeerReport serves one entry to a sibling daemon as the store's
+// versioned, checksummed envelope — the same bytes a local disk read
+// yields, so the fetching side runs the identical fail-closed decode.
+func (s *Service) handlePeerReport(w http.ResponseWriter, r *http.Request) {
+	s.reqPeer.Add(1)
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid report key %q", key))
+		return
+	}
+	st := s.localStore()
+	if st == nil {
+		// No store means nothing to serve; to the peer this daemon is
+		// indistinguishable from one that simply hasn't analyzed the game.
+		s.peerServedMisses.Add(1)
+		writeError(w, http.StatusNotFound, errors.New("no report for key"))
+		return
+	}
+	doc, ok := st.Get(key)
+	if !ok {
+		s.peerServedMisses.Add(1)
+		writeError(w, http.StatusNotFound, errors.New("no report for key"))
+		return
+	}
+	data, err := store.EncodeEntry(key, doc)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.peerServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// errNoStore answers admin calls on a store-less daemon.
+var errNoStore = errors.New("no persistent store configured")
+
+// AdminStoreDoc answers GET /v1/admin/store.
+type AdminStoreDoc struct {
+	Configured bool `json:"configured"`
+	// Shards lists the shard names when the store is a consistent-hash
+	// ring; a single un-sharded store has one unnamed shard and omits this.
+	Shards  []string             `json:"shards,omitempty"`
+	Metrics *store.Metrics       `json:"metrics,omitempty"`
+	Peer    *cluster.PeerMetrics `json:"peer,omitempty"`
+}
+
+func (s *Service) handleAdminStore(w http.ResponseWriter, r *http.Request) {
+	s.reqAdmin.Add(1)
+	doc := AdminStoreDoc{Configured: s.cfg.Store != nil}
+	if s.cfg.Store != nil {
+		m := s.cfg.Store.Metrics()
+		doc.Metrics = &m
+		if ring, ok := s.localStore().(*cluster.Ring); ok {
+			doc.Shards = ring.ShardNames()
+		}
+		if rep, ok := s.cfg.Store.(*cluster.Replicated); ok {
+			pm := rep.PeerMetrics()
+			doc.Peer = &pm
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// AdminKeysDoc answers GET /v1/admin/store/keys.
+type AdminKeysDoc struct {
+	Prefix  string            `json:"prefix"`
+	Count   int               `json:"count"`
+	Entries []store.EntryInfo `json:"entries"`
+}
+
+func (s *Service) handleAdminStoreKeys(w http.ResponseWriter, r *http.Request) {
+	s.reqAdmin.Add(1)
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound, errNoStore)
+		return
+	}
+	prefix := r.URL.Query().Get("prefix")
+	entries, err := s.cfg.Store.Scan(prefix)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if entries == nil {
+		entries = []store.EntryInfo{}
+	}
+	writeJSON(w, http.StatusOK, AdminKeysDoc{Prefix: prefix, Count: len(entries), Entries: entries})
+}
+
+// AdminEvictDoc answers DELETE /v1/admin/store/keys.
+type AdminEvictDoc struct {
+	Prefix  string `json:"prefix"`
+	Evicted int    `json:"evicted"`
+}
+
+// handleAdminStoreEvict deletes every entry under a key prefix — from the
+// persistent store and the in-memory cache, so the next request really
+// recomputes. The prefix must be non-empty: wiping a whole store should
+// take rm -r on the directory, not one typo'd curl.
+func (s *Service) handleAdminStoreEvict(w http.ResponseWriter, r *http.Request) {
+	s.reqAdmin.Add(1)
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound, errNoStore)
+		return
+	}
+	prefix := r.URL.Query().Get("prefix")
+	if prefix == "" {
+		writeError(w, http.StatusBadRequest, errors.New("evict requires a non-empty key prefix"))
+		return
+	}
+	if !store.ValidPrefix(prefix) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid key prefix %q", prefix))
+		return
+	}
+	entries, err := s.cfg.Store.Scan(prefix)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	evicted := 0
+	for _, e := range entries {
+		if err := s.cfg.Store.Delete(e.Key); err != nil {
+			continue
+		}
+		s.cache.Remove(e.Key)
+		evicted++
+	}
+	s.adminEvicted.Add(uint64(evicted))
+	writeJSON(w, http.StatusOK, AdminEvictDoc{Prefix: prefix, Evicted: evicted})
+}
+
+// handleAdminStoreScrub runs a full integrity pass over the local store's
+// entries, dropping (and counting) any that fail fail-closed verification.
+func (s *Service) handleAdminStoreScrub(w http.ResponseWriter, r *http.Request) {
+	s.reqAdmin.Add(1)
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound, errNoStore)
+		return
+	}
+	sc, ok := s.cfg.Store.(cluster.Scrubber)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("store does not support scrubbing"))
+		return
+	}
+	res, err := sc.Scrub()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

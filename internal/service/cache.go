@@ -94,6 +94,19 @@ func (c *Cache) Do(key string, fn func() (*core.Report, error)) (rep *core.Repor
 	return call.rep, false, call.err
 }
 
+// Remove drops key's cached report if present (admin eviction: a deleted
+// store entry must not live on in memory). In-flight computations are
+// untouched — their result lands after the removal, which is the same
+// race an eviction-then-recompute interleaving always had.
+func (c *Cache) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
 // CacheMetrics is a point-in-time snapshot of cache behavior.
 type CacheMetrics struct {
 	Capacity int `json:"capacity"`

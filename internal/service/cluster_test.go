@@ -1,0 +1,304 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"logitdyn/internal/cluster"
+	"logitdyn/internal/service"
+	"logitdyn/internal/spec"
+	"logitdyn/internal/store"
+)
+
+func clusterReq(beta float64) service.AnalyzeRequest {
+	return service.AnalyzeRequest{
+		Spec: &spec.Spec{Game: "ising", Graph: "ring", N: 5, Delta1: 1},
+		Beta: beta,
+	}
+}
+
+// Two peered daemons: A analyzes a game; B — empty store, A as peer —
+// serves the same request out of A's store with ZERO analyses of its own
+// and byte-identical report content, replicating the entry locally. When
+// A goes away, B degrades to recomputing.
+func TestTwoDaemonPeering(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	stA, err := store.Open(dirA, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := startServer(t, service.Config{Store: stA})
+
+	// Daemon A performs the one and only analysis.
+	var respA service.AnalyzeResponse
+	if code, raw := postJSON(t, srvA.URL+"/v1/analyze", clusterReq(0.9), &respA); code != http.StatusOK {
+		t.Fatalf("A analyze: %d %s", code, raw)
+	}
+	if respA.Cached {
+		t.Fatal("A's first analysis claims cached")
+	}
+
+	// Daemon B peers at A with an empty local store.
+	stB, err := store.Open(dirB, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerA, err := cluster.NewPeer(srvA.URL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB := startServer(t, service.Config{Store: cluster.NewReplicated(stB, []*cluster.PeerStore{peerA})})
+
+	var respB service.AnalyzeResponse
+	if code, raw := postJSON(t, srvB.URL+"/v1/analyze", clusterReq(0.9), &respB); code != http.StatusOK {
+		t.Fatalf("B analyze: %d %s", code, raw)
+	}
+	if !respB.Cached {
+		t.Fatal("B's peer-served response not marked cached")
+	}
+	if respB.Key != respA.Key {
+		t.Fatalf("keys differ: A %s, B %s", respA.Key, respB.Key)
+	}
+	rawA, _ := json.Marshal(respA.Report)
+	rawB, _ := json.Marshal(respB.Report)
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatalf("reports differ:\nA: %s\nB: %s", rawA, rawB)
+	}
+	mB := getMetrics(t, srvB.URL)
+	if got := mB.Work.AnalysesPerformed; got != 0 {
+		t.Fatalf("B performed %d analyses, want 0 (peer must answer)", got)
+	}
+	if mB.Store == nil || mB.Store.Peer == nil {
+		t.Fatal("B metrics missing peer tier")
+	}
+	if mB.Store.Peer.Hits != 1 || mB.Store.Peer.Replications != 1 {
+		t.Fatalf("B peer tier: %+v", mB.Store.Peer)
+	}
+	// Read-through replication: the entry now lives in B's local store.
+	if _, ok := stB.Get(respA.Key); !ok {
+		t.Fatal("fetched entry not replicated into B's store")
+	}
+	// A's side counted the serve.
+	mA := getMetrics(t, srvA.URL)
+	if mA.Requests.Peer == 0 || mA.Store.ServedToPeers != 1 {
+		t.Fatalf("A peer-serve counters: requests.peer=%d served=%d", mA.Requests.Peer, mA.Store.ServedToPeers)
+	}
+
+	// Peer unavailability degrades to recompute, not failure: a β neither
+	// daemon holds, asked of B after A is gone, still answers 200.
+	srvA.Close()
+	var respCold service.AnalyzeResponse
+	if code, raw := postJSON(t, srvB.URL+"/v1/analyze", clusterReq(1.7), &respCold); code != http.StatusOK {
+		t.Fatalf("B analyze with dead peer: %d %s", code, raw)
+	}
+	if respCold.Cached {
+		t.Fatal("cold request with dead peer claims cached")
+	}
+	if got := getMetrics(t, srvB.URL).Work.AnalysesPerformed; got != 1 {
+		t.Fatalf("B performed %d analyses after peer death, want 1", got)
+	}
+}
+
+// The peer surface itself: raw entry bytes for a held key (decodable with
+// the store's own fail-closed decoder), 404 for an absent one, 400 for a
+// malformed one, 404 on a store-less daemon.
+func TestPeerReportEndpoint(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, service.Config{Store: st})
+	var resp service.AnalyzeResponse
+	if code, raw := postJSON(t, srv.URL+"/v1/analyze", clusterReq(1.1), &resp); code != http.StatusOK {
+		t.Fatalf("analyze: %d %s", code, raw)
+	}
+
+	r, err := http.Get(srv.URL + cluster.PeerReportPath(resp.Key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("peer fetch: %d %s", r.StatusCode, data)
+	}
+	doc, err := store.DecodeEntry(resp.Key, data)
+	if err != nil {
+		t.Fatalf("served entry fails fail-closed decode: %v", err)
+	}
+	if doc.NumProfiles != resp.Report.NumProfiles {
+		t.Fatalf("served entry differs from response: %d vs %d", doc.NumProfiles, resp.Report.NumProfiles)
+	}
+
+	absent := resp.Key[:32] + "00000000000000000000000000000000"
+	if code := getJSON(t, srv.URL+cluster.PeerReportPath(absent), nil); code != http.StatusNotFound {
+		t.Fatalf("absent key: %d, want 404", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/peer/reports/nothex", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad key: %d, want 400", code)
+	}
+
+	bare := startServer(t, service.Config{})
+	if code := getJSON(t, bare.URL+cluster.PeerReportPath(resp.Key), nil); code != http.StatusNotFound {
+		t.Fatalf("store-less daemon: %d, want 404", code)
+	}
+}
+
+// The admin surface: inspect, list by prefix, evict by prefix (store AND
+// memory cache), scrub.
+func TestAdminStoreEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, service.Config{Store: st})
+	var resp service.AnalyzeResponse
+	if code, raw := postJSON(t, srv.URL+"/v1/analyze", clusterReq(1.3), &resp); code != http.StatusOK {
+		t.Fatalf("analyze: %d %s", code, raw)
+	}
+
+	var info service.AdminStoreDoc
+	if code := getJSON(t, srv.URL+"/v1/admin/store", &info); code != http.StatusOK {
+		t.Fatalf("admin store: %d", code)
+	}
+	if !info.Configured || info.Metrics == nil || info.Metrics.Entries != 1 {
+		t.Fatalf("admin store doc: %+v", info)
+	}
+
+	var keys service.AdminKeysDoc
+	if code := getJSON(t, srv.URL+"/v1/admin/store/keys?prefix="+resp.Key[:6], &keys); code != http.StatusOK {
+		t.Fatalf("admin keys: %d", code)
+	}
+	if keys.Count != 1 || keys.Entries[0].Key != resp.Key || keys.Entries[0].SizeBytes <= 0 {
+		t.Fatalf("admin keys doc: %+v", keys)
+	}
+	if code := getJSON(t, srv.URL+"/v1/admin/store/keys?prefix=zz", nil); code != http.StatusBadRequest {
+		t.Fatalf("invalid prefix: %d, want 400", code)
+	}
+
+	// Scrub over a deliberately damaged entry.
+	path := filepath.Join(dir, resp.Key[:2], resp.Key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-30], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sreq, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/admin/store/scrub", nil)
+	sresp, err := http.DefaultClient.Do(sreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scrub store.ScrubResult
+	if err := json.NewDecoder(sresp.Body).Decode(&scrub); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK || scrub.Damaged != 1 {
+		t.Fatalf("scrub: %d %+v, want 1 damaged", sresp.StatusCode, scrub)
+	}
+	if getMetrics(t, srv.URL).Store.Store.ScrubsRun != 1 {
+		t.Fatal("scrub not counted in store metrics")
+	}
+
+	// Analyze a fresh β (new store entry + memory-cache slot), then evict
+	// it by prefix: the next identical request must re-analyze, proving the
+	// memory cache was invalidated along with the disk entry.
+	var respE service.AnalyzeResponse
+	if code, raw := postJSON(t, srv.URL+"/v1/analyze", clusterReq(2.1), &respE); code != http.StatusOK {
+		t.Fatalf("analyze for evict: %d %s", code, raw)
+	}
+	performedBefore := getMetrics(t, srv.URL).Work.AnalysesPerformed
+
+	dreq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/admin/store/keys?prefix="+respE.Key[:8], nil)
+	dresp, err := http.DefaultClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evict service.AdminEvictDoc
+	if err := json.NewDecoder(dresp.Body).Decode(&evict); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || evict.Evicted != 1 {
+		t.Fatalf("evict: %d %+v", dresp.StatusCode, evict)
+	}
+	if _, ok := st.Get(respE.Key); ok {
+		t.Fatal("evicted entry still on disk")
+	}
+
+	var again service.AnalyzeResponse
+	if code, raw := postJSON(t, srv.URL+"/v1/analyze", clusterReq(2.1), &again); code != http.StatusOK {
+		t.Fatalf("post-evict analyze: %d %s", code, raw)
+	}
+	if again.Cached {
+		t.Fatal("post-evict request served from a cache that should be empty")
+	}
+	m := getMetrics(t, srv.URL)
+	if m.Work.AnalysesPerformed != performedBefore+1 {
+		t.Fatalf("post-evict analyses %d, want %d", m.Work.AnalysesPerformed, performedBefore+1)
+	}
+	if m.Store.AdminEvicted != 1 || m.Requests.Admin == 0 {
+		t.Fatalf("admin counters: evicted=%d admin_reqs=%d", m.Store.AdminEvicted, m.Requests.Admin)
+	}
+
+	// An empty prefix must never be a whole-store wipe.
+	wreq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/admin/store/keys", nil)
+	wresp, err := http.DefaultClient.Do(wreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty-prefix evict: %d, want 400", wresp.StatusCode)
+	}
+
+	// Store-less daemons answer admin calls with 404, not panics.
+	bare := startServer(t, service.Config{})
+	if code := getJSON(t, bare.URL+"/v1/admin/store/keys", nil); code != http.StatusNotFound {
+		t.Fatalf("store-less admin keys: %d, want 404", code)
+	}
+	var bareInfo service.AdminStoreDoc
+	if code := getJSON(t, bare.URL+"/v1/admin/store", &bareInfo); code != http.StatusOK || bareInfo.Configured {
+		t.Fatalf("store-less admin store: %d %+v", code, bareInfo)
+	}
+}
+
+// A daemon over a sharded ring serves the same API; the admin doc lists
+// the shard layout.
+func TestDaemonOverShardedRing(t *testing.T) {
+	base := t.TempDir()
+	dirs := fmt.Sprintf("%s,%s,%s", filepath.Join(base, "a"), filepath.Join(base, "b"), filepath.Join(base, "c"))
+	st, err := cluster.OpenFromFlags(dirs, store.Options{}, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, service.Config{Store: st})
+	var resp service.AnalyzeResponse
+	if code, raw := postJSON(t, srv.URL+"/v1/analyze", clusterReq(0.7), &resp); code != http.StatusOK {
+		t.Fatalf("analyze: %d %s", code, raw)
+	}
+	var info service.AdminStoreDoc
+	if code := getJSON(t, srv.URL+"/v1/admin/store", &info); code != http.StatusOK {
+		t.Fatalf("admin store: %d", code)
+	}
+	if len(info.Shards) != 3 {
+		t.Fatalf("admin doc lists %d shards, want 3", len(info.Shards))
+	}
+	if info.Metrics.Entries != 1 {
+		t.Fatalf("ring entries = %d", info.Metrics.Entries)
+	}
+	// A second identical request hits a cache tier.
+	var resp2 service.AnalyzeResponse
+	if _, raw := postJSON(t, srv.URL+"/v1/analyze", clusterReq(0.7), &resp2); !resp2.Cached {
+		t.Fatalf("warm request not cached: %s", raw)
+	}
+}

@@ -30,6 +30,8 @@ func (s *Service) writeProm(w http.ResponseWriter) {
 		{"traces", m.Requests.Traces},
 		{"healthz", m.Requests.Healthz},
 		{"metrics", m.Requests.Metrics},
+		{"peer", m.Requests.Peer},
+		{"admin", m.Requests.Admin},
 	}
 	for _, r := range reqs {
 		p.Counter("logitdyn_requests_total", "Requests served, by endpoint.",
@@ -56,7 +58,10 @@ func (s *Service) writeProm(w http.ResponseWriter) {
 		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "write_error"}}, float64(st.WriteErrors))
 		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "read_error"}}, float64(st.ReadErrors))
 		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "eviction"}}, float64(st.Evictions))
+		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "eviction_lru"}}, float64(st.EvictionsLRU))
+		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "eviction_age"}}, float64(st.EvictionsAge))
 		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "corrupt_dropped"}}, float64(st.CorruptDropped))
+		p.Counter("logitdyn_store_events_total", stHelp, []obs.Label{{Name: "kind", Value: "scrub_run"}}, float64(st.ScrubsRun))
 		p.Gauge("logitdyn_store_entries", "Entries in the persistent store.", nil, float64(st.Entries))
 		p.Gauge("logitdyn_store_bytes", "Bytes in the persistent store.", nil, float64(st.SizeBytes))
 		for _, op := range []string{"get", "put", "evict", "scrub"} {
@@ -65,6 +70,20 @@ func (s *Service) writeProm(w http.ResponseWriter) {
 					"Persistent-store operation latency, by op.",
 					[]obs.Label{{Name: "op", Value: op}}, snap)
 			}
+		}
+		srvHelp := "Peer-surface fetches served to sibling daemons, by result."
+		p.Counter("logitdyn_peer_serve_total", srvHelp, []obs.Label{{Name: "result", Value: "hit"}}, float64(m.Store.ServedToPeers))
+		p.Counter("logitdyn_peer_serve_total", srvHelp, []obs.Label{{Name: "result", Value: "miss"}}, float64(m.Store.ServedToPeersMissed))
+		p.Counter("logitdyn_admin_evicted_total", "Store entries deleted through the admin evict endpoint.", nil, float64(m.Store.AdminEvicted))
+		if pm := m.Store.Peer; pm != nil {
+			fetchHelp := "Outbound peer entry fetches, by result."
+			p.Counter("logitdyn_peer_fetch_total", fetchHelp, []obs.Label{{Name: "result", Value: "hit"}}, float64(pm.Hits))
+			p.Counter("logitdyn_peer_fetch_total", fetchHelp, []obs.Label{{Name: "result", Value: "miss"}}, float64(pm.Misses))
+			p.Counter("logitdyn_peer_fetch_total", fetchHelp, []obs.Label{{Name: "result", Value: "error"}}, float64(pm.Errors))
+			p.Counter("logitdyn_peer_fetch_total", fetchHelp, []obs.Label{{Name: "result", Value: "corrupt"}}, float64(pm.CorruptRejected))
+			p.Counter("logitdyn_peer_replications_total", "Peer hits written through into the local store.", nil, float64(pm.Replications))
+			p.Counter("logitdyn_peer_replication_errors_total", "Peer-hit write-throughs that failed.", nil, float64(pm.ReplicationErrors))
+			p.Counter("logitdyn_peer_singleflight_shared_total", "Gets that joined another caller's in-flight peer fetch.", nil, float64(pm.SingleflightShared))
 		}
 	}
 

@@ -9,6 +9,8 @@
 //	POST /v1/analyze        one game spec → full analysis report
 //	POST /v1/analyze/batch  a β-sweep or explicit request list, fanned out
 //	POST /v1/simulate       trajectory sampling via logit.Dynamics
+//	GET  /v1/peer/reports/{key}  raw store entry for sibling daemons
+//	/v1/admin/store[...]    store inspection, prefix eviction, scrub
 //	GET  /healthz           liveness
 //	GET  /metrics           request counts, cache hit rate, in-flight work
 package service
@@ -27,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"logitdyn/internal/cluster"
 	"logitdyn/internal/core"
 	"logitdyn/internal/game"
 	"logitdyn/internal/journal"
@@ -79,7 +82,9 @@ type Config struct {
 	// Store, when non-nil, is the persistent second cache tier: memory
 	// misses read through to it, and every completed analysis is written
 	// back, so reports survive daemon restarts and sweeps resume for free.
-	Store *store.Store
+	// Any cluster.ReportStore works: a plain *store.Store, a sharded
+	// cluster.Ring, or a peer-backed cluster.Replicated.
+	Store cluster.ReportStore
 	// Obs is the observability layer (traces + stage histograms); nil means
 	// a fresh enabled observer with the default trace-ring size. Pass
 	// obs.Disabled() to turn instrumentation off entirely.
@@ -112,6 +117,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = obs.NopLogger()
 	}
+	// A typed-nil store (a nil *store.Store threaded through the interface)
+	// must behave exactly like no store at all.
+	c.Store = cluster.Normalize(c.Store)
 	return c
 }
 
@@ -128,7 +136,7 @@ type Service struct {
 
 	reqAnalyze, reqBatch, reqSimulate atomic.Uint64
 	reqHealthz, reqMetrics, reqSweeps atomic.Uint64
-	reqTraces                         atomic.Uint64
+	reqTraces, reqPeer, reqAdmin      atomic.Uint64
 	analyses, simulations             atomic.Uint64
 	// Per-backend analysis counters: which linear-algebra backend actually
 	// ran each performed (non-cached) analysis.
@@ -137,6 +145,11 @@ type Service struct {
 	// Store-tier counters: memory-cache misses served by the persistent
 	// store vs misses that had to run an analysis.
 	storeTierHits, storeTierMisses atomic.Uint64
+	// Cluster counters: entries served to sibling daemons over the peer
+	// surface (and the fetches that found nothing), and entries deleted
+	// through the admin evict endpoint.
+	peerServed, peerServedMisses atomic.Uint64
+	adminEvicted                 atomic.Uint64
 
 	// Admission control and journal recovery.
 	admissionRejected atomic.Uint64
@@ -217,6 +230,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /v1/peer/reports/{key}", s.handlePeerReport)
+	mux.HandleFunc("GET /v1/admin/store", s.handleAdminStore)
+	mux.HandleFunc("GET /v1/admin/store/keys", s.handleAdminStoreKeys)
+	mux.HandleFunc("DELETE /v1/admin/store/keys", s.handleAdminStoreEvict)
+	mux.HandleFunc("POST /v1/admin/store/scrub", s.handleAdminStoreScrub)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// instrument sits outside recoverJSON so the request timer and trace
@@ -267,6 +285,10 @@ func endpointOf(r *http.Request) string {
 		return "sweeps"
 	case strings.HasPrefix(p, "/v1/traces"):
 		return "traces"
+	case strings.HasPrefix(p, "/v1/peer/"):
+		return "peer"
+	case strings.HasPrefix(p, "/v1/admin/"):
+		return "admin"
 	case p == "/healthz":
 		return "healthz"
 	case p == "/metrics":
@@ -286,8 +308,10 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 		ep := endpointOf(r)
 		var tr *obs.Trace
 		switch ep {
-		case "healthz", "metrics", "traces":
-			// Probe endpoints are timed but not traced.
+		case "healthz", "metrics", "traces", "peer", "admin":
+			// Probe, peer and admin endpoints are timed but not traced: peer
+			// fetches and store inspection would churn the ring that exists
+			// to explain analysis latency.
 		default:
 			tr = s.cfg.Obs.StartTrace("http")
 			tr.SetAttr("endpoint", ep)
@@ -900,6 +924,10 @@ type RequestMetrics struct {
 	Traces   uint64 `json:"traces"`
 	Healthz  uint64 `json:"healthz"`
 	Metrics  uint64 `json:"metrics"`
+	// Peer counts sibling-daemon entry fetches served; Admin counts store
+	// inspection/eviction/scrub calls.
+	Peer  uint64 `json:"peer"`
+	Admin uint64 `json:"admin"`
 }
 
 // StoreTierMetrics describes the persistent second cache tier: how often
@@ -911,6 +939,15 @@ type StoreTierMetrics struct {
 	Hits   uint64        `json:"hits"`
 	Misses uint64        `json:"misses"`
 	Store  store.Metrics `json:"store"`
+	// Peer is the peer-fetch tier (per-peer counters plus replication
+	// totals); omitted when the daemon has no peers configured.
+	Peer *cluster.PeerMetrics `json:"peer,omitempty"`
+	// ServedToPeers / ServedToPeersMissed count the other direction: entry
+	// fetches sibling daemons made against this daemon's peer surface.
+	ServedToPeers       uint64 `json:"served_to_peers"`
+	ServedToPeersMissed uint64 `json:"served_to_peers_missed"`
+	// AdminEvicted counts entries deleted through the admin evict endpoint.
+	AdminEvicted uint64 `json:"admin_evicted"`
 }
 
 // WorkMetrics counts heavy work through the pool.
@@ -996,9 +1033,16 @@ func (s *Service) Metrics() MetricsDoc {
 	var storeTier *StoreTierMetrics
 	if s.cfg.Store != nil {
 		storeTier = &StoreTierMetrics{
-			Hits:   s.storeTierHits.Load(),
-			Misses: s.storeTierMisses.Load(),
-			Store:  s.cfg.Store.Metrics(),
+			Hits:                s.storeTierHits.Load(),
+			Misses:              s.storeTierMisses.Load(),
+			Store:               s.cfg.Store.Metrics(),
+			ServedToPeers:       s.peerServed.Load(),
+			ServedToPeersMissed: s.peerServedMisses.Load(),
+			AdminEvicted:        s.adminEvicted.Load(),
+		}
+		if rep, ok := s.cfg.Store.(*cluster.Replicated); ok {
+			pm := rep.PeerMetrics()
+			storeTier.Peer = &pm
 		}
 	}
 	var obsDoc *obs.MetricsDoc
@@ -1028,6 +1072,8 @@ func (s *Service) Metrics() MetricsDoc {
 			Traces:   s.reqTraces.Load(),
 			Healthz:  s.reqHealthz.Load(),
 			Metrics:  s.reqMetrics.Load(),
+			Peer:     s.reqPeer.Load(),
+			Admin:    s.reqAdmin.Load(),
 		},
 		Cache:         s.cache.Metrics(),
 		Store:         storeTier,

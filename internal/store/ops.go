@@ -1,0 +1,173 @@
+// Store operations beyond the serving hot path: age-based garbage
+// collection, prefix-scoped entry listing straight from disk, and an
+// online integrity scrub. These are what admin surfaces (the daemon's
+// /v1/admin/store endpoints, logitsweep -scrub) and the cluster router
+// are built on.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ValidPrefix reports whether p is a syntactically valid key prefix:
+// lowercase hex, at most a full key long. The empty prefix is valid and
+// matches every entry.
+func ValidPrefix(p string) bool {
+	if len(p) > keyHexLen {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// EntryInfo describes one on-disk entry as Scan saw it.
+type EntryInfo struct {
+	Key       string    `json:"key"`
+	SizeBytes int64     `json:"size_bytes"`
+	ModTime   time.Time `json:"mtime"`
+}
+
+// Scan lists the entries whose keys start with prefix, sorted by key. It
+// reads the directory tree, not the in-memory index, so it sees entries
+// written by every process sharing the directory — the admin inspection
+// truth, not this instance's view.
+func (s *Store) Scan(prefix string) ([]EntryInfo, error) {
+	if !ValidPrefix(prefix) {
+		return nil, fmt.Errorf("store: invalid key prefix %q", prefix)
+	}
+	// Entries shard by key[:2], so a prefix of 2+ characters pins a single
+	// shard directory and a 1-character prefix pins the shard name's first
+	// character; only the empty prefix walks everything.
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan: %w", err)
+	}
+	var out []EntryInfo
+	for _, sd := range shards {
+		name := sd.Name()
+		if !sd.IsDir() || len(name) != 2 || !ValidPrefix(name) {
+			continue
+		}
+		if len(prefix) >= 2 && name != prefix[:2] {
+			continue
+		}
+		if len(prefix) == 1 && name[0] != prefix[0] {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			key, ok := strings.CutSuffix(f.Name(), ".json")
+			if !ok || !ValidKey(key) || !strings.HasPrefix(key, prefix) {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, EntryInfo{Key: key, SizeBytes: info.Size(), ModTime: info.ModTime()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// ScrubResult summarizes one integrity pass.
+type ScrubResult struct {
+	// Scanned counts entries whose bytes were read and checksum-verified;
+	// Damaged counts the subset that failed verification and were dropped.
+	Scanned int `json:"scanned"`
+	Damaged int `json:"damaged"`
+}
+
+// Scrub walks every entry on disk and fail-closed-verifies it: envelope
+// version, named key, payload checksum, payload decode. Damaged entries
+// are deleted and counted (Metrics.CorruptDropped), exactly as if a Get
+// had tripped over them — but proactively, before a client pays the miss.
+// Entries that vanish mid-scrub (a concurrent eviction or delete) are
+// skipped, not damage.
+func (s *Store) Scrub() (ScrubResult, error) {
+	entries, err := s.Scan("")
+	if err != nil {
+		return ScrubResult{}, err
+	}
+	var res ScrubResult
+	for _, e := range entries {
+		data, err := os.ReadFile(s.path(e.Key))
+		if err != nil {
+			continue
+		}
+		res.Scanned++
+		if _, derr := DecodeEntry(e.Key, data); derr != nil {
+			start := time.Now()
+			s.corrupt.Add(1)
+			os.Remove(s.path(e.Key))
+			s.forget(e.Key)
+			s.opScrub.Observe(time.Since(start))
+			res.Damaged++
+		}
+	}
+	s.scrubsRun.Add(1)
+	return res, nil
+}
+
+// EvictExpired forces a full age-budget pass and returns how many entries
+// it collected; a store without an age budget returns 0. The same pass
+// runs rate-limited on the ordinary touch/evict path — this entry point
+// exists for admin surfaces that want "now", not "soon".
+func (s *Store) EvictExpired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ageSweepLocked(true)
+}
+
+// ageSweepInterval bounds how often the O(entries) age pass piggybacks on
+// touch: often enough that a tiny test budget expires promptly, rarely
+// enough that a hot store isn't paying a full index walk per Put.
+func (s *Store) ageSweepInterval() time.Duration {
+	if iv := s.maxAge / 4; iv < time.Minute {
+		return iv
+	}
+	return time.Minute
+}
+
+// ageSweepLocked deletes every indexed entry older than the age budget.
+// Caller holds mu. force skips the rate limit (Open, EvictExpired).
+func (s *Store) ageSweepLocked(force bool) int {
+	if s.maxAge <= 0 {
+		return 0
+	}
+	now := time.Now()
+	if !force && now.Sub(s.lastAgeSweep) < s.ageSweepInterval() {
+		return 0
+	}
+	s.lastAgeSweep = now
+	cutoff := now.Add(-s.maxAge).UnixNano()
+	n := 0
+	for el := s.ll.Back(); el != nil; {
+		prev := el.Prev()
+		ent := el.Value.(*indexEntry)
+		if ent.mtime <= cutoff {
+			s.ll.Remove(el)
+			delete(s.items, ent.key)
+			s.bytes -= ent.size
+			os.Remove(s.path(ent.key))
+			s.ageEvictions.Add(1)
+			n++
+		}
+		el = prev
+	}
+	return n
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestScanListsByPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{testKey("scan-a"), testKey("scan-b"), testKey("scan-c")}
+	for i, k := range keys {
+		if err := s.Put(k, testDoc(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := s.Scan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(keys) {
+		t.Fatalf("Scan(\"\") = %d entries, want %d", len(all), len(keys))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Key >= all[i].Key {
+			t.Fatalf("Scan not sorted: %q before %q", all[i-1].Key, all[i].Key)
+		}
+	}
+	for _, e := range all {
+		if e.SizeBytes <= 0 || e.ModTime.IsZero() {
+			t.Fatalf("entry %q missing size/mtime: %+v", e.Key, e)
+		}
+	}
+	// A full-key prefix pins exactly one entry; an alien prefix matches none.
+	only, err := s.Scan(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 1 || only[0].Key != keys[0] {
+		t.Fatalf("Scan(full key) = %+v", only)
+	}
+	none, err := s.Scan("ffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("alien prefix matched %d entries", len(none))
+	}
+	// Invalid prefixes (uppercase, non-hex, overlong) are errors, not
+	// empty results.
+	for _, bad := range []string{"XY", "zz", "../aa", testKey("scan-a") + "0"} {
+		if _, err := s.Scan(bad); err == nil {
+			t.Fatalf("Scan accepted invalid prefix %q", bad)
+		}
+	}
+}
+
+func TestScrubDropsDamagedEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good1, good2, bad := testKey("scrub-good1"), testKey("scrub-good2"), testKey("scrub-bad")
+	for _, k := range []string{good1, good2, bad} {
+		if err := s.Put(k, testDoc(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip payload bytes under an intact envelope: only the checksum can
+	// catch this.
+	path := filepath.Join(dir, bad[:2], bad+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = bytes.Replace(data, []byte(`"mixing_time":17`), []byte(`"mixing_time":71`), 1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 3 || res.Damaged != 1 {
+		t.Fatalf("Scrub = %+v, want scanned 3 damaged 1", res)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("damaged entry not deleted: %v", err)
+	}
+	m := s.Metrics()
+	if m.CorruptDropped != 1 || m.ScrubsRun != 1 {
+		t.Fatalf("metrics after scrub: corrupt %d scrubs %d", m.CorruptDropped, m.ScrubsRun)
+	}
+	if _, ok := s.Get(bad); ok {
+		t.Fatal("scrubbed entry still served")
+	}
+	for _, k := range []string{good1, good2} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("scrub dropped healthy entry %s", k)
+		}
+	}
+	// A clean store scrubs clean.
+	res2, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Scanned != 2 || res2.Damaged != 0 {
+		t.Fatalf("second Scrub = %+v", res2)
+	}
+}
+
+func TestAgeEvictionUnderByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	// A generous byte budget: every eviction in this test must be age's.
+	s, err := Open(dir, Options{MaxBytes: 1 << 30, MaxAge: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testKey(fmt.Sprintf("age-%d", i)), testDoc(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(60 * time.Millisecond)
+	if n := s.EvictExpired(); n != 3 {
+		t.Fatalf("EvictExpired collected %d, want 3", n)
+	}
+	m := s.Metrics()
+	if m.EvictionsAge != 3 || m.EvictionsLRU != 0 {
+		t.Fatalf("eviction split lru=%d age=%d, want 0/3", m.EvictionsLRU, m.EvictionsAge)
+	}
+	if m.Evictions != m.EvictionsLRU+m.EvictionsAge {
+		t.Fatalf("Evictions %d != lru %d + age %d", m.Evictions, m.EvictionsLRU, m.EvictionsAge)
+	}
+	if m.Entries != 0 {
+		t.Fatalf("%d entries survived the age budget", m.Entries)
+	}
+	if _, ok := s.Get(testKey("age-0")); ok {
+		t.Fatal("expired entry still served")
+	}
+	// Fresh writes are not collateral damage.
+	if err := s.Put(testKey("age-fresh"), testDoc(9)); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.EvictExpired(); n != 0 {
+		t.Fatalf("fresh entry collected by age pass (%d)", n)
+	}
+	if _, ok := s.Get(testKey("age-fresh")); !ok {
+		t.Fatal("fresh entry lost")
+	}
+}
+
+// Entries already expired when the store opens (a daemon restarted after
+// sitting cold past the budget) must be collected by Open's sweep.
+func TestAgeEvictionAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, fresh := testKey("openage-old"), testKey("openage-fresh")
+	for _, k := range []string{old, fresh} {
+		if err := s.Put(k, testDoc(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Back-date the old entry's file: Open seeds write times from disk.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, old[:2], old+".json"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{MaxAge: 30 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(old); ok {
+		t.Fatal("hour-old entry survived a 30m age budget at Open")
+	}
+	if _, ok := s2.Get(fresh); !ok {
+		t.Fatal("fresh entry evicted at Open")
+	}
+	if got := s2.Metrics().EvictionsAge; got != 1 {
+		t.Fatalf("EvictionsAge = %d, want 1", got)
+	}
+}
+
+// Get must not refresh an entry's age: the budget bounds staleness since
+// the report was written, and reads don't rewrite anything.
+func TestAgeIsWriteAgeNotReadAge(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{MaxAge: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("readage")
+	if err := s.Put(key, testDoc(1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(25 * time.Millisecond)
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("entry missing before expiry")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if n := s.EvictExpired(); n != 1 {
+		t.Fatalf("read-refreshed entry escaped the age budget (collected %d)", n)
+	}
+}

@@ -17,7 +17,16 @@
 //
 // Eviction. An optional byte budget bounds the store: entries are tracked
 // in access order (seeded from file modification times at startup) and the
-// least-recently-used entries are deleted once the budget is exceeded.
+// least-recently-used entries are deleted once the budget is exceeded. An
+// optional age budget (Options.MaxAge) additionally garbage-collects
+// entries whose write time is older than the budget, even while the byte
+// budget holds; evictions are counted by reason (lru vs age).
+//
+// Operations. Scan lists entries (key, size, write time) by key prefix
+// straight from disk, so it sees entries written by any process sharing
+// the directory. Scrub walks every entry and checksum-verifies it,
+// dropping damaged files fail-closed exactly like a damaged Get would —
+// an online integrity pass for disks that rot quietly.
 //
 // Concurrency. One Store is safe for concurrent use, and multiple Store
 // instances (or processes) may share a directory: Get always reads through
@@ -61,6 +70,12 @@ type Options struct {
 	// directory are counted only once this instance reads them, so treat
 	// the budget as best-effort under multi-process sharing.
 	MaxBytes int64
+	// MaxAge is the age budget: entries written longer ago than this are
+	// garbage-collected on the scan/evict path even while the byte budget
+	// holds. 0 means entries never expire. Age is write age — a Get does
+	// not refresh it — because content-addressed entries never go stale;
+	// the budget is disk hygiene, not correctness.
+	MaxAge time.Duration
 }
 
 // Store is a disk-backed, content-addressed report store. Construct with
@@ -68,13 +83,23 @@ type Options struct {
 type Store struct {
 	dir      string
 	maxBytes int64
+	maxAge   time.Duration
 
 	mu    sync.Mutex
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 	bytes int64
+	// lastAgeSweep rate-limits the O(entries) age pass that piggybacks on
+	// the evict path; guarded by mu.
+	lastAgeSweep time.Time
 
 	hits, misses, puts, evictions, corrupt, writeErrs atomic.Uint64
+	// ageEvictions counts entries deleted by the age budget; evictions
+	// above counts only byte-budget (LRU) deletions, so the two reasons
+	// stay separable in metrics.
+	ageEvictions atomic.Uint64
+	// scrubsRun counts completed Scrub passes.
+	scrubsRun atomic.Uint64
 	// readErrs counts Get failures that were real I/O errors, not absent
 	// keys — the disk-tier health signal a plain miss count hides.
 	readErrs atomic.Uint64
@@ -90,6 +115,10 @@ type Store struct {
 type indexEntry struct {
 	key  string
 	size int64
+	// mtime is the entry's write time (unix nanos): the file's modification
+	// time at the startup scan, Put time afterwards. The age budget keys on
+	// it; Gets refresh the LRU position but never this.
+	mtime int64
 }
 
 // entryDoc is the on-disk envelope. Report holds the exact payload bytes
@@ -106,16 +135,7 @@ type entryDoc struct {
 // SHA-256); the store refuses to read or write anything else so a
 // malicious key can never escape the store directory.
 func ValidKey(key string) bool {
-	if len(key) != keyHexLen {
-		return false
-	}
-	for i := 0; i < len(key); i++ {
-		c := key[i]
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return false
-		}
-	}
-	return true
+	return len(key) == keyHexLen && ValidPrefix(key)
 }
 
 // Open creates (if needed) and scans the store directory: existing entries
@@ -131,6 +151,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		dir:      dir,
 		maxBytes: opts.MaxBytes,
+		maxAge:   opts.MaxAge,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 	}
@@ -179,10 +200,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		return found[i].key < found[j].key
 	})
 	for _, f := range found {
-		s.items[f.key] = s.ll.PushFront(&indexEntry{key: f.key, size: f.size})
+		s.items[f.key] = s.ll.PushFront(&indexEntry{key: f.key, size: f.size, mtime: f.mtime})
 		s.bytes += f.size
 	}
 	s.mu.Lock()
+	s.ageSweepLocked(true)
 	s.evictLocked()
 	s.mu.Unlock()
 	return s, nil
@@ -303,7 +325,7 @@ func (s *Store) Get(key string) (serialize.ReportDoc, bool) {
 		return serialize.ReportDoc{}, false
 	}
 	s.hits.Add(1)
-	s.touch(key, int64(len(data)))
+	s.touch(key, int64(len(data)), false)
 	return doc, true
 }
 
@@ -332,7 +354,7 @@ func (s *Store) Put(key string, doc serialize.ReportDoc) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.puts.Add(1)
-	s.touch(key, int64(len(data)))
+	s.touch(key, int64(len(data)), true)
 	return nil
 }
 
@@ -350,19 +372,27 @@ func (s *Store) Delete(key string) error {
 }
 
 // touch marks key most-recently-used with the given on-disk size,
-// inserting it if the index has no record, then enforces the budget.
-func (s *Store) touch(key string, size int64) {
+// inserting it if the index has no record, then enforces the budgets.
+// written says the caller just wrote the entry, which resets its age; a
+// Get passes false so age stays write age. An index insert without a write
+// (a read-through of another process's entry) stamps now as an
+// approximation — Scan and Scrub consult the disk truth.
+func (s *Store) touch(key string, size int64, written bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
 		ent := el.Value.(*indexEntry)
 		s.bytes += size - ent.size
 		ent.size = size
+		if written {
+			ent.mtime = time.Now().UnixNano()
+		}
 		s.ll.MoveToFront(el)
 	} else {
-		s.items[key] = s.ll.PushFront(&indexEntry{key: key, size: size})
+		s.items[key] = s.ll.PushFront(&indexEntry{key: key, size: size, mtime: time.Now().UnixNano()})
 		s.bytes += size
 	}
+	s.ageSweepLocked(false)
 	s.evictLocked()
 }
 
@@ -378,9 +408,10 @@ func (s *Store) forget(key string) {
 	}
 }
 
-// evictLocked deletes least-recently-used entries until the budget holds.
-// The most-recently-used entry always survives, so one oversized report
-// cannot evict itself into a write-read miss loop.
+// evictLocked deletes least-recently-used entries until the byte budget
+// holds (the age budget is ageSweepLocked's job). The most-recently-used
+// entry always survives, so one oversized report cannot evict itself into
+// a write-read miss loop.
 func (s *Store) evictLocked() {
 	if s.maxBytes <= 0 {
 		return
@@ -425,10 +456,17 @@ type Metrics struct {
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 	Puts   uint64 `json:"puts"`
-	// Evictions counts entries deleted by the size budget;
-	// CorruptDropped counts damaged entries dropped by fail-closed decode.
+	// Evictions totals every deleted entry whatever the reason;
+	// EvictionsLRU counts byte-budget deletions and EvictionsAge counts
+	// age-budget garbage collections (the two always sum to Evictions).
+	// CorruptDropped counts damaged entries dropped by fail-closed decode
+	// (on Get or during a Scrub pass); ScrubsRun counts completed Scrub
+	// passes.
 	Evictions      uint64 `json:"evictions"`
+	EvictionsLRU   uint64 `json:"evictions_lru"`
+	EvictionsAge   uint64 `json:"evictions_age"`
 	CorruptDropped uint64 `json:"corrupt_dropped"`
+	ScrubsRun      uint64 `json:"scrubs_run"`
 	WriteErrors    uint64 `json:"write_errors"`
 	// ReadErrors counts Get failures that were I/O errors rather than
 	// absent keys.
@@ -443,6 +481,7 @@ func (s *Store) Metrics() Metrics {
 	s.mu.Lock()
 	entries, bytes := s.ll.Len(), s.bytes
 	s.mu.Unlock()
+	lru, age := s.evictions.Load(), s.ageEvictions.Load()
 	m := Metrics{
 		Entries:        entries,
 		SizeBytes:      bytes,
@@ -450,8 +489,11 @@ func (s *Store) Metrics() Metrics {
 		Hits:           s.hits.Load(),
 		Misses:         s.misses.Load(),
 		Puts:           s.puts.Load(),
-		Evictions:      s.evictions.Load(),
+		Evictions:      lru + age,
+		EvictionsLRU:   lru,
+		EvictionsAge:   age,
 		CorruptDropped: s.corrupt.Load(),
+		ScrubsRun:      s.scrubsRun.Load(),
 		WriteErrors:    s.writeErrs.Load(),
 		ReadErrors:     s.readErrs.Load(),
 	}

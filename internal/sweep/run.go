@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"sync"
 
+	"logitdyn/internal/cluster"
 	"logitdyn/internal/core"
 	"logitdyn/internal/game"
 	"logitdyn/internal/linalg"
@@ -488,9 +489,12 @@ func evalSafely(ctx context.Context, eval Eval, j *Job) (out Outcome, err error)
 // DirectEval evaluates jobs against the store with no daemon in the loop:
 // a store hit is returned as-is (zero re-analysis), a miss runs
 // core.AnalyzeGame on one pool token (borrowing idle tokens for
-// intra-analysis parallelism) and writes the report back. st and pool may
-// each be nil (no persistence / unbounded by tokens).
-func DirectEval(st *store.Store, pool TokenPool) Eval {
+// intra-analysis parallelism) and writes the report back. st is any
+// cluster.ReportStore — a plain store, a sharded ring, or a peer-backed
+// composition; the table bytes are identical whichever one holds the
+// entries. st and pool may each be nil (no persistence / unbounded by
+// tokens).
+func DirectEval(st cluster.ReportStore, pool TokenPool) Eval {
 	return DirectEvalScratch(st, pool, nil)
 }
 
@@ -501,8 +505,11 @@ func DirectEval(st *store.Store, pool TokenPool) Eval {
 // basis — instead of reallocating it. A nil sp analyzes with fresh
 // allocations, exactly like DirectEval; results are bit-identical either
 // way.
-func DirectEvalScratch(st *store.Store, pool TokenPool, sp *scratch.Pool) Eval {
+func DirectEvalScratch(st cluster.ReportStore, pool TokenPool, sp *scratch.Pool) Eval {
 	pool = poolOrNil(pool)
+	// Same typed-nil trap as poolOrNil: a nil *store.Store threaded through
+	// the interface must mean "no store", not a panic on first Get.
+	st = cluster.Normalize(st)
 	return func(ctx context.Context, j *Job) (Outcome, error) {
 		if st != nil {
 			endGet := obs.StartSpan(ctx, obs.StageStoreGet)
