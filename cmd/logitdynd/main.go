@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -56,6 +57,7 @@ func main() {
 	maxSweepWorkers := flag.Int("maxsweepworkers", 0, "max workers one sweep job may fan out to, below the pool budget (0 = full budget)")
 	maxQueue := flag.Int("maxqueue", 0, "admission threshold: refuse work with 429 + Retry-After while more than this many requests wait for worker tokens (0 = unbounded queue)")
 	journalDir := flag.String("journal", "", "sweep-job journal directory: queued/running sweeps are recorded there and resumed on restart (empty = no journal)")
+	streamBuffer := flag.Int("streambuffer", 0, "per-subscriber event buffer on streaming endpoints; a subscriber that falls this far behind is dropped as lagged (0 = default)")
 	logFormat := flag.String("logformat", "text", "structured log format: text or json")
 	logLevel := flag.String("loglevel", "info", "log level: debug, info, warn or error")
 	slowReq := flag.Duration("slowreq", 5*time.Second, "log a warning for requests at least this slow (0 = never)")
@@ -117,6 +119,7 @@ func main() {
 		MaxSweepPoints:  *maxSweepPoints,
 		MaxSweepWorkers: *maxSweepWorkers,
 		MaxQueue:        *maxQueue,
+		StreamBuffer:    *streamBuffer,
 		Limits:          limits,
 		Store:           st,
 		Journal:         jl,
@@ -132,18 +135,27 @@ func main() {
 		logger.Info("journal replayed", "jobs", replayed)
 	}
 
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
 		// pprof gets its own mux on its own listener: profiling stays
-		// opt-in and off the public API surface.
+		// opt-in and off the public API surface. Bind synchronously so a
+		// taken port is a startup failure, not a log line nobody reads, and
+		// keep the server so the drain path can shut it down with the API.
+		ln, lerr := net.Listen("tcp", *pprofAddr)
+		if lerr != nil {
+			logger.Error("pprof listen failed", "addr", *pprofAddr, "err", lerr.Error())
+			os.Exit(1)
+		}
 		pm := http.NewServeMux()
 		pm.HandleFunc("/debug/pprof/", pprof.Index)
 		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Handler: pm, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
-			logger.Info("pprof listening", "addr", *pprofAddr)
-			if perr := http.ListenAndServe(*pprofAddr, pm); perr != nil {
+			logger.Info("pprof listening", "addr", ln.Addr().String())
+			if perr := pprofSrv.Serve(ln); perr != nil && perr != http.ErrServerClosed {
 				logger.Error("pprof server failed", "err", perr.Error())
 			}
 		}()
@@ -183,6 +195,13 @@ func main() {
 		logger.Error("shutdown failed",
 			"err", err.Error(), "drain_ms", float64(time.Since(drainStart).Nanoseconds())/1e6)
 		os.Exit(1)
+	}
+	// The pprof listener rides the same drain: before this it simply leaked
+	// past SIGINT, keeping its port bound until the process died.
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("pprof shutdown failed", "err", err.Error())
+		}
 	}
 	logger.Info("drained and stopped",
 		"in_flight_at_signal", inFlight,

@@ -101,6 +101,29 @@
 // pays store reads for completed points, analyzes only the missing
 // ones, and emits a byte-identical final table.
 //
+// # Streaming and live workloads
+//
+// The daemon's live surface streams work as it happens without ever
+// competing with it: held connections cost a parked goroutine and no
+// worker tokens. GET /v1/sweeps/{id}/stream is a Server-Sent Events
+// stream that replays a job's completed rows and then follows it live
+// (row/progress events out of the runner's hooks, a terminal status
+// event) through a per-job broadcast hub; subscriber buffers are
+// bounded (Config.StreamBuffer) and a subscriber that falls behind is
+// dropped with a lagged event rather than back-pressuring the runner.
+// Delivery is exactly-once — the replay snapshot and the live
+// subscription are taken atomically — and the streamed rows, re-sorted
+// into point order, are byte-identical to the final GET table.
+// GET /v1/sweeps/{id}?wait=30s long-polls until the job's terminal
+// transition (done, failed, or cancelled by DELETE), capped at five
+// minutes. POST /v1/simulate/stream runs the same simulation as
+// POST /v1/simulate and streams trajectory snapshots every stride
+// steps; snapshots are droppable samples, and the final result event
+// carries the exact document the batch endpoint returns, byte for
+// byte. Streaming is observable (stream_replay/stream_live/sweep_wait
+// spans, the logitdyn_stream_* metric series) and admission-aware: the
+// work a stream triggers is gated, the watching never is.
+//
 // # Cluster and store operations
 //
 // internal/cluster scales the result space past one directory and one
@@ -141,7 +164,8 @@
 //
 //   - internal/core      — the Analyzer facade (mixing time, spectrum, bounds)
 //   - internal/service   — the serving layer: two-tier report cache with
-//     singleflight, bounded worker pool, HTTP JSON API, async sweep jobs
+//     singleflight, bounded worker pool, HTTP JSON API, async sweep
+//     jobs, SSE streaming and long-poll job watch
 //   - internal/store     — persistent content-addressed report store and
 //     the canonical game hashing both cache tiers key on
 //   - internal/cluster   — sharded store routing, daemon peering,

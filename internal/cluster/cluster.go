@@ -24,6 +24,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"reflect"
 
@@ -52,6 +53,26 @@ type ReportStore interface {
 	// Metrics snapshots the store's counters (aggregated over shards for
 	// composite stores).
 	Metrics() store.Metrics
+}
+
+// CtxGetter is the optional context-aware read extension of ReportStore.
+// Stores whose Get may block on the network (Replicated's peer fetches)
+// implement it so a cancelled request or sweep stops its fetch instead of
+// riding out the full peer timeout; purely local stores do not bother —
+// disk reads are fast and ctx plumbing there would be noise.
+type CtxGetter interface {
+	GetCtx(ctx context.Context, key string) (serialize.ReportDoc, bool)
+}
+
+// GetCtx reads key from rs, threading ctx through stores that support
+// cancellation and falling back to the plain Get everywhere else — the
+// compat shim that lets call sites pass their context without every
+// ReportStore implementation growing a ctx parameter.
+func GetCtx(ctx context.Context, rs ReportStore, key string) (serialize.ReportDoc, bool) {
+	if cg, ok := rs.(CtxGetter); ok {
+		return cg.GetCtx(ctx, key)
+	}
+	return rs.Get(key)
 }
 
 // Scrubber is the optional integrity-scrub extension of ReportStore:

@@ -57,29 +57,47 @@ func (r *Replicated) LocalStore() ReportStore { return r.local }
 // returning, so each key is fetched over the network at most ~once per
 // daemon lifetime. Peer failures of any kind degrade to a miss.
 func (r *Replicated) Get(key string) (serialize.ReportDoc, bool) {
+	return r.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get under the caller's context: a cancelled request or sweep
+// point stops waiting — and, when it initiated the fetch, aborts the
+// in-flight peer round-trip — instead of holding its goroutine (and the
+// singleflight slot behind it) for the full peer timeout. Local reads
+// ignore ctx; disk is never the slow tier here.
+func (r *Replicated) GetCtx(ctx context.Context, key string) (serialize.ReportDoc, bool) {
 	if doc, ok := r.local.Get(key); ok {
 		return doc, true
 	}
-	if len(r.peers) == 0 {
+	if len(r.peers) == 0 || ctx.Err() != nil {
 		return serialize.ReportDoc{}, false
 	}
-	return r.fetchShared(key)
+	return r.fetchShared(ctx, key)
 }
 
 // fetchShared collapses concurrent peer fetches for the same key into one.
-func (r *Replicated) fetchShared(key string) (serialize.ReportDoc, bool) {
+// The initiating caller's ctx drives the network round-trip; a follower
+// that is cancelled while waiting detaches with a miss (its own fallback —
+// recompute — is moot anyway, it is being torn down). The documented cost
+// of the collapse is that an initiator cancelled mid-fetch fails the fetch
+// for any still-live followers too; they degrade to an ordinary recompute.
+func (r *Replicated) fetchShared(ctx context.Context, key string) (serialize.ReportDoc, bool) {
 	r.mu.Lock()
 	if c, ok := r.inflight[key]; ok {
 		r.mu.Unlock()
 		r.sharedWaits.Add(1)
-		<-c.done
-		return c.doc, c.ok
+		select {
+		case <-c.done:
+			return c.doc, c.ok
+		case <-ctx.Done():
+			return serialize.ReportDoc{}, false
+		}
 	}
 	c := &peerCall{done: make(chan struct{})}
 	r.inflight[key] = c
 	r.mu.Unlock()
 
-	c.doc, c.ok = r.fetchFromPeers(key)
+	c.doc, c.ok = r.fetchFromPeers(ctx, key)
 	if c.ok {
 		// Read-through replication: the local shard absorbs the fetched
 		// entry so this network round-trip is paid once, not per read.
@@ -99,12 +117,16 @@ func (r *Replicated) fetchShared(key string) (serialize.ReportDoc, bool) {
 
 // fetchFromPeers tries each peer once, starting at a key-determined offset
 // so distinct keys spread load across siblings instead of hammering
-// peers[0].
-func (r *Replicated) fetchFromPeers(key string) (serialize.ReportDoc, bool) {
+// peers[0]. A cancelled ctx stops the rotation between peers and aborts
+// the in-flight request inside one.
+func (r *Replicated) fetchFromPeers(ctx context.Context, key string) (serialize.ReportDoc, bool) {
 	start := int(keyHash(key) % uint64(len(r.peers)))
 	for i := 0; i < len(r.peers); i++ {
+		if ctx.Err() != nil {
+			return serialize.ReportDoc{}, false
+		}
 		p := r.peers[(start+i)%len(r.peers)]
-		if doc, ok := p.Fetch(context.Background(), key); ok {
+		if doc, ok := p.Fetch(ctx, key); ok {
 			return doc, true
 		}
 	}

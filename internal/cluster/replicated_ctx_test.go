@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"logitdyn/internal/store"
+)
+
+// stalledPeer serves /v1/peer/reports by blocking until the request is
+// abandoned — a wedged sibling whose only useful behaviour is honouring
+// request cancellation.
+func stalledPeer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// The regression this pins: Replicated peer fetches used to run on
+// context.Background(), so a cancelled request kept its goroutine — and
+// the singleflight slot every later caller for the key piles up behind —
+// parked for the full peer timeout. GetCtx must return as soon as the
+// caller's context dies, long before the 30s peer timeout configured here.
+func TestReplicatedGetCtxCancelledStopsPeerFetch(t *testing.T) {
+	srv := stalledPeer(t)
+	local, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPeer(srv.URL, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplicated(local, []*PeerStore{p})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, ok := rep.GetCtx(ctx, testKey(20)); ok {
+		t.Fatal("stalled peer produced a hit")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("cancelled fetch held the caller %v (want ~50ms, not the peer timeout)", waited)
+	}
+	// The slot must be free again: a fresh caller initiates its own fetch
+	// instead of inheriting a dead one.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	if _, ok := rep.GetCtx(ctx2, testKey(20)); ok {
+		t.Fatal("second fetch against the stalled peer produced a hit")
+	}
+	if m := rep.PeerMetrics(); m.Fetches != 2 {
+		t.Fatalf("peer fetches = %d, want 2 (one per initiating caller)", m.Fetches)
+	}
+}
+
+// A follower waiting on someone else's in-flight fetch detaches on its own
+// cancellation instead of waiting out the initiator's round-trip.
+func TestReplicatedGetCtxCancelledFollowerDetaches(t *testing.T) {
+	srv := stalledPeer(t)
+	local, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPeer(srv.URL, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplicated(local, []*PeerStore{p})
+
+	initiatorCtx, cancelInitiator := context.WithCancel(context.Background())
+	initiatorDone := make(chan struct{})
+	go func() {
+		defer close(initiatorDone)
+		rep.GetCtx(initiatorCtx, testKey(21))
+	}()
+	// Wait until the initiator holds the singleflight slot.
+	for rep.PeerMetrics().Fetches == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	followerCtx, cancelFollower := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancelFollower()
+	}()
+	start := time.Now()
+	if _, ok := rep.GetCtx(followerCtx, testKey(21)); ok {
+		t.Fatal("follower got a hit from a stalled fetch")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("cancelled follower waited %v on the initiator's fetch", waited)
+	}
+	if m := rep.PeerMetrics(); m.SingleflightShared != 1 {
+		t.Fatalf("singleflight shared = %d, want 1", m.SingleflightShared)
+	}
+	cancelInitiator()
+	<-initiatorDone
+}

@@ -124,6 +124,15 @@ func (s *Service) writeProm(w http.ResponseWriter) {
 		p.Counter("logitdyn_journal_replays_total", "Journaled sweep jobs resumed at boot.", nil, float64(m.Journal.Replays))
 	}
 
+	p.Gauge("logitdyn_streams_active", "SSE connections open right now.", nil, float64(m.Streams.Active))
+	strHelp := "SSE streams opened, by kind."
+	p.Counter("logitdyn_streams_total", strHelp, []obs.Label{{Name: "kind", Value: "sweep"}}, float64(m.Streams.SweepStreams))
+	p.Counter("logitdyn_streams_total", strHelp, []obs.Label{{Name: "kind", Value: "simulate"}}, float64(m.Streams.SimulateStreams))
+	p.Counter("logitdyn_stream_events_sent_total", "SSE frames written across all streams.", nil, float64(m.Streams.EventsSent))
+	p.Counter("logitdyn_stream_lagged_total", "Sweep-stream subscribers dropped for falling behind.", nil, float64(m.Streams.Lagged))
+	p.Counter("logitdyn_stream_snapshots_dropped_total", "Simulate-stream snapshots skipped for a slow client.", nil, float64(m.Streams.SnapshotsDropped))
+	p.Counter("logitdyn_stream_long_polls_total", "Sweep status requests that parked on ?wait=.", nil, float64(m.Streams.LongPolls))
+
 	sweepHelp := "Sweep jobs in the registry, by state."
 	p.Gauge("logitdyn_sweep_jobs", sweepHelp, []obs.Label{{Name: "state", Value: "running"}}, float64(m.Sweeps.Running))
 	p.Gauge("logitdyn_sweep_jobs", sweepHelp, []obs.Label{{Name: "state", Value: "done"}}, float64(m.Sweeps.Done))

@@ -9,6 +9,8 @@
 //	POST /v1/analyze        one game spec → full analysis report
 //	POST /v1/analyze/batch  a β-sweep or explicit request list, fanned out
 //	POST /v1/simulate       trajectory sampling via logit.Dynamics
+//	POST /v1/simulate/stream     the same simulation, streamed as SSE
+//	GET  /v1/sweeps/{id}/stream  live SSE feed of a sweep job's rows
 //	GET  /v1/peer/reports/{key}  raw store entry for sibling daemons
 //	/v1/admin/store[...]    store inspection, prefix eviction, scrub
 //	GET  /healthz           liveness
@@ -73,6 +75,11 @@ type Config struct {
 	// 429 + Retry-After instead of queueing without bound. 0 disables
 	// admission control.
 	MaxQueue int
+	// StreamBuffer is the per-subscriber SSE event buffer: how many
+	// broadcast events a sweep-stream subscriber (or a simulate stream's
+	// snapshot channel) may fall behind before it is dropped as lagged
+	// (snapshots: before snapshots are skipped). 0 means 256.
+	StreamBuffer int
 	// Journal, when non-nil, persists queued/running sweep grids so a
 	// restarted daemon can resume them (ReplayJournal); nil journals
 	// nothing.
@@ -107,6 +114,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 256
+	}
+	if c.StreamBuffer == 0 {
+		c.StreamBuffer = defaultStreamBuffer
 	}
 	if c.Limits == (spec.Limits{}) {
 		c.Limits = spec.DefaultLimits()
@@ -154,6 +164,17 @@ type Service struct {
 	// Admission control and journal recovery.
 	admissionRejected atomic.Uint64
 	journalReplays    atomic.Uint64
+
+	// Streaming counters: open SSE connections, streams opened since boot,
+	// frames written, and the two slow-consumer outcomes (sweep subscribers
+	// dropped as lagged; simulate snapshots skipped). sweepLongPolls counts
+	// GET ?wait= requests that parked.
+	streamsActive                 atomic.Int64
+	sweepStreams, simulateStreams atomic.Uint64
+	streamEvents                  atomic.Uint64
+	streamsLagged                 atomic.Uint64
+	streamSnapshotsDropped        atomic.Uint64
+	sweepLongPolls                atomic.Uint64
 
 	// Async sweep jobs, keyed by id.
 	sweepMu  sync.Mutex
@@ -224,9 +245,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/simulate/stream", s.handleSimulateStream)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepCreate)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleSweepStream)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepDelete)
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
@@ -269,6 +292,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer's Flush
+// (and friends) through this wrapper — the SSE handlers flush per event.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // endpointOf maps a request to its metric label — a small fixed set so the
 // per-endpoint histograms and counters have bounded cardinality whatever
 // paths clients probe.
@@ -281,6 +308,10 @@ func endpointOf(r *http.Request) string {
 		return "batch"
 	case p == "/v1/simulate":
 		return "simulate"
+	case p == "/v1/simulate/stream":
+		return "simulate_stream"
+	case strings.HasPrefix(p, "/v1/sweeps") && strings.HasSuffix(p, "/stream"):
+		return "sweep_stream"
 	case strings.HasPrefix(p, "/v1/sweeps"):
 		return "sweeps"
 	case strings.HasPrefix(p, "/v1/traces"):
@@ -609,8 +640,10 @@ func (s *Service) analyzeBuiltTier(ctx context.Context, g game.Game, digest [32]
 		// Memory miss: the persistent store is the second tier. A stored
 		// report is decode-validated (fail-closed) before it is trusted.
 		if s.cfg.Store != nil {
+			// GetCtx: a cancelled request abandons its peer fetch instead of
+			// holding the singleflight slot for the full peer timeout.
 			endGet := obs.StartSpan(ctx, obs.StageStoreGet)
-			doc, ok := s.cfg.Store.Get(key)
+			doc, ok := cluster.GetCtx(ctx, s.cfg.Store, key)
 			endGet()
 			if ok {
 				s.storeTierHits.Add(1)
@@ -794,7 +827,22 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	writeJSONCtx(r.Context(), w, http.StatusOK, doc)
 }
 
-func (s *Service) simulate(ctx context.Context, req SimulateRequest) (*serialize.SimulationDoc, error) {
+// simPrep is a validated simulation ready to run: the built dynamics, the
+// resolved start profile and replica count, and the response-document
+// shell the run fills in. Both the batch and the streaming endpoint run
+// from the same prep, which is what keeps their documents byte-identical.
+type simPrep struct {
+	d        *logit.Dynamics
+	start    []int
+	steps    int
+	replicas int
+	seed     uint64
+	doc      *serialize.SimulationDoc
+}
+
+// prepareSimulation validates a simulate request and builds its dynamics
+// and document shell. No worker token is held here.
+func (s *Service) prepareSimulation(req SimulateRequest) (*simPrep, error) {
 	if err := s.cfg.Limits.CheckBeta(req.Beta); err != nil {
 		return nil, err
 	}
@@ -840,6 +888,40 @@ func (s *Service) simulate(ctx context.Context, req SimulateRequest) (*serialize
 		NumProfiles: space.Size(),
 		Start:       start,
 	}
+	return &simPrep{d: d, start: start, steps: req.Steps, replicas: replicas, seed: req.Seed, doc: doc}, nil
+}
+
+// finishSimulationDoc folds the visit counts into the prepared document:
+// empirical occupancy (elided above the dense cap, mirroring the analyze
+// path's payload policy) and the TV-to-Gibbs summary. Caller holds a
+// worker token.
+func (s *Service) finishSimulationDoc(p *simPrep, counts []int64, par linalg.ParallelConfig) {
+	emp := make([]float64, len(counts))
+	visits := float64(p.replicas) * float64(p.steps+1)
+	for i, c := range counts {
+		emp[i] = float64(c) / visits
+	}
+	if p.d.Space().Size() <= s.cfg.Limits.MaxProfiles {
+		p.doc.Empirical = emp
+	}
+	// The TV-to-Gibbs check tabulates a full potential table; its scratch
+	// comes from the same per-token arena the analyze path uses. The
+	// measure itself is freshly allocated, so nothing arena-backed
+	// outlives the release.
+	ar := s.scratch.Acquire()
+	defer s.scratch.Release(ar)
+	if gibbs, gerr := p.d.GibbsScratch(par, ar); gerr == nil {
+		p.doc.TVGibbs = serialize.Float(markov.TVDistance(emp, gibbs))
+	} else {
+		p.doc.TVGibbs = serialize.Float(math.NaN())
+	}
+}
+
+func (s *Service) simulate(ctx context.Context, req SimulateRequest) (*serialize.SimulationDoc, error) {
+	p, err := s.prepareSimulation(req)
+	if err != nil {
+		return nil, err
+	}
 	s.pool.RunClassCtx(ctx, classFrom(ctx), func() {
 		endSim := obs.StartSpan(ctx, obs.StageSimulate)
 		defer endSim()
@@ -849,46 +931,24 @@ func (s *Service) simulate(ctx context.Context, req SimulateRequest) (*serialize
 		// the loan is capped at one extra per additional replica. Counts
 		// merge by integer addition, so the document is bit-identical
 		// whatever the server's worker budget happens to be.
-		extra, release := s.pool.TryExtraClass(classFrom(ctx), min(s.pool.Workers()-1, replicas-1))
+		extra, release := s.pool.TryExtraClass(classFrom(ctx), min(s.pool.Workers()-1, p.replicas-1))
 		defer release()
 		par := linalg.ParallelConfig{Workers: 1 + extra}
 		var counts []int64
-		if replicas == 1 {
+		if p.replicas == 1 {
 			// The historical single-trajectory stream (rng.New(seed)
 			// directly, matching logitsim and pre-replica requests), so
 			// legacy requests keep reproducing the same trajectory.
-			counts = d.Trajectory(start, req.Steps, rng.New(req.Seed))
+			counts = p.d.Trajectory(p.start, p.steps, rng.New(p.seed))
 		} else {
-			counts = sim.SumCounts(replicas, req.Seed, par.Workers, space.Size(),
+			counts = sim.SumCounts(p.replicas, p.seed, par.Workers, p.d.Space().Size(),
 				func(_ int, r *rng.RNG, acc []int64) {
-					d.TrajectoryInto(acc, start, req.Steps, r)
+					p.d.TrajectoryInto(acc, p.start, p.steps, r)
 				})
 		}
-		emp := make([]float64, len(counts))
-		visits := float64(replicas) * float64(req.Steps+1)
-		for i, c := range counts {
-			emp[i] = float64(c) / visits
-		}
-		// Above the dense cap the occupancy vector would dominate the
-		// response (the sparse caps admit spaces 64× larger); keep the
-		// TV-to-Gibbs summary and elide the vector, mirroring the analyze
-		// path's payload policy.
-		if space.Size() <= s.cfg.Limits.MaxProfiles {
-			doc.Empirical = emp
-		}
-		// The TV-to-Gibbs check tabulates a full potential table; its scratch
-		// comes from the same per-token arena the analyze path uses. The
-		// measure itself is freshly allocated, so nothing arena-backed
-		// outlives the release.
-		ar := s.scratch.Acquire()
-		defer s.scratch.Release(ar)
-		if gibbs, gerr := d.GibbsScratch(par, ar); gerr == nil {
-			doc.TVGibbs = serialize.Float(markov.TVDistance(emp, gibbs))
-		} else {
-			doc.TVGibbs = serialize.Float(math.NaN())
-		}
+		s.finishSimulationDoc(p, counts, par)
 	})
-	return doc, nil
+	return p.doc, nil
 }
 
 // HealthDoc answers /healthz: liveness plus enough build identity to tell
@@ -993,6 +1053,26 @@ type WorkMetrics struct {
 	ParallelExtraDenied  uint64 `json:"parallel_extra_denied_total"`
 }
 
+// StreamMetrics counts the live surface: SSE streams, the events they
+// carried, and the slow-consumer outcomes.
+type StreamMetrics struct {
+	// Active is how many SSE connections are open right now.
+	Active int64 `json:"active"`
+	// SweepStreams / SimulateStreams count streams opened since boot.
+	SweepStreams    uint64 `json:"sweep_streams_total"`
+	SimulateStreams uint64 `json:"simulate_streams_total"`
+	// EventsSent counts SSE frames written: rows, progress, snapshots,
+	// results, lagged and terminal status events all included.
+	EventsSent uint64 `json:"events_sent_total"`
+	// Lagged counts sweep subscribers dropped for falling behind their
+	// buffer; SnapshotsDropped counts simulate-stream snapshots skipped
+	// for the same reason (that stream survives — snapshots are samples).
+	Lagged           uint64 `json:"lagged_total"`
+	SnapshotsDropped uint64 `json:"snapshots_dropped_total"`
+	// LongPolls counts GET /v1/sweeps/{id}?wait= requests that parked.
+	LongPolls uint64 `json:"long_polls_total"`
+}
+
 // JournalMetrics is the sweep-job journal's state plus the service-level
 // replay counter.
 type JournalMetrics struct {
@@ -1017,6 +1097,8 @@ type MetricsDoc struct {
 	Store         *StoreTierMetrics `json:"store,omitempty"`
 	Work          WorkMetrics       `json:"work"`
 	Sweeps        SweepGauges       `json:"sweep_jobs"`
+	// Streams is the live SSE/long-poll surface.
+	Streams StreamMetrics `json:"streams"`
 	// Journal is the persistent sweep-job journal's state (live entries,
 	// record/remove/replay counters); omitted when no journal is attached.
 	Journal *JournalMetrics `json:"journal,omitempty"`
@@ -1075,9 +1157,18 @@ func (s *Service) Metrics() MetricsDoc {
 			Peer:     s.reqPeer.Load(),
 			Admin:    s.reqAdmin.Load(),
 		},
-		Cache:         s.cache.Metrics(),
-		Store:         storeTier,
-		Sweeps:        s.sweepGauges(),
+		Cache:  s.cache.Metrics(),
+		Store:  storeTier,
+		Sweeps: s.sweepGauges(),
+		Streams: StreamMetrics{
+			Active:           s.streamsActive.Load(),
+			SweepStreams:     s.sweepStreams.Load(),
+			SimulateStreams:  s.simulateStreams.Load(),
+			EventsSent:       s.streamEvents.Load(),
+			Lagged:           s.streamsLagged.Load(),
+			SnapshotsDropped: s.streamSnapshotsDropped.Load(),
+			LongPolls:        s.sweepLongPolls.Load(),
+		},
 		Journal:       journalDoc,
 		Scratch:       scratchDoc,
 		Observability: obsDoc,

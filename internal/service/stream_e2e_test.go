@@ -1,0 +1,274 @@
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"logitdyn/internal/service"
+)
+
+type streamedEvent struct {
+	Name string
+	Data []byte
+}
+
+// collectSSE reads an event-stream response body to EOF.
+func collectSSE(body io.Reader) ([]streamedEvent, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var evs []streamedEvent
+	var cur streamedEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.Name != "" {
+				evs = append(evs, cur)
+			}
+			cur = streamedEvent{}
+		case strings.HasPrefix(line, "event: "):
+			cur.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = []byte(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	return evs, sc.Err()
+}
+
+// A ?wait= long-poll parks until the job's terminal transition and returns
+// early when a DELETE cancels it — not after the full wait duration.
+func TestSweepLongPollReturnsEarlyOnCancel(t *testing.T) {
+	srv := startServer(t, service.Config{Workers: 1})
+
+	var created service.SweepCreatedDoc
+	status, raw := postJSON(t, srv.URL+"/v1/sweeps", acceptanceGrid(), &created)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d: %s", status, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &created); err != nil {
+		t.Fatal(err)
+	}
+
+	type pollResult struct {
+		doc     service.SweepStatusDoc
+		elapsed time.Duration
+		err     error
+	}
+	results := make(chan pollResult, 1)
+	go func() {
+		start := time.Now()
+		resp, err := http.Get(srv.URL + "/v1/sweeps/" + created.ID + "?wait=30s")
+		if err != nil {
+			results <- pollResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var doc service.SweepStatusDoc
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		results <- pollResult{doc: doc, elapsed: time.Since(start), err: err}
+	}()
+
+	// Give the poll time to park, then cancel the job out from under it.
+	time.Sleep(100 * time.Millisecond)
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sweeps/"+created.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	select {
+	case res := <-results:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if res.doc.Status != "cancelled" {
+			t.Fatalf("long-poll answered status %q, want cancelled", res.doc.Status)
+		}
+		if res.elapsed > 10*time.Second {
+			t.Fatalf("long-poll held for %v after the cancel, want an immediate return", res.elapsed)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("long-poll never returned after DELETE")
+	}
+
+	if m := getMetrics(t, srv.URL); m.Streams.LongPolls != 1 {
+		t.Errorf("long_polls_total = %d, want 1", m.Streams.LongPolls)
+	}
+}
+
+func TestSweepLongPollBadDuration(t *testing.T) {
+	srv := startServer(t, service.Config{})
+	var created service.SweepCreatedDoc
+	status, raw := postJSON(t, srv.URL+"/v1/sweeps", map[string]any{
+		"axes": map[string]any{
+			"game": []string{"doublewell"},
+			"n":    []int{6},
+			"beta": map[string]any{"from": 1, "to": 2, "steps": 2},
+		},
+		"base": map[string]any{"c": 2, "delta1": 1},
+	}, &created)
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d: %s", status, raw)
+	}
+	if err := json.Unmarshal([]byte(raw), &created); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + created.ID + "?wait=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET ?wait=bogus = %d, want 400", resp.StatusCode)
+	}
+}
+
+// postSSE posts a JSON body to a streaming endpoint and collects the
+// events to EOF.
+func postSSE(t *testing.T, url string, body any) []streamedEvent {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s = %d: %s", url, resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+	evs, err := collectSSE(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// The simulate-stream contract: the final result event is byte-for-byte
+// the document POST /v1/simulate returns for the same request (modulo the
+// non-streaming endpoint's indentation), with the expected snapshot
+// cadence along the way. Covers both RNG paths: the multi-replica
+// Split(r) streams and the single-replica legacy stream.
+func TestSimulateStreamMatchesBatchDocument(t *testing.T) {
+	srv := startServer(t, service.Config{})
+	for _, tc := range []struct {
+		name     string
+		replicas int
+		steps    int
+		stride   int
+	}{
+		{name: "replicas", replicas: 3, steps: 4000, stride: 500},
+		{name: "legacy-single", replicas: 0, steps: 2000, stride: 400},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req := map[string]any{
+				"spec":  map[string]any{"game": "doublewell", "n": 6, "c": 2, "delta1": 1},
+				"beta":  1.2,
+				"steps": tc.steps,
+				"seed":  9,
+			}
+			if tc.replicas > 0 {
+				req["replicas"] = tc.replicas
+			}
+			status, batchRaw := postJSON(t, srv.URL+"/v1/simulate", req, nil)
+			if status != http.StatusOK {
+				t.Fatalf("POST /v1/simulate = %d: %s", status, batchRaw)
+			}
+			var want bytes.Buffer
+			if err := json.Compact(&want, []byte(batchRaw)); err != nil {
+				t.Fatal(err)
+			}
+
+			req["stride"] = tc.stride
+			evs := postSSE(t, srv.URL+"/v1/simulate/stream", req)
+
+			replicas := max(tc.replicas, 1)
+			wantSnaps := replicas * (tc.steps / tc.stride)
+			var snaps int
+			var result []byte
+			var final struct {
+				Status           string `json:"status"`
+				Error            string `json:"error"`
+				SnapshotsDropped uint64 `json:"snapshots_dropped"`
+			}
+			sawStatus := false
+			for _, ev := range evs {
+				switch ev.Name {
+				case "snapshot":
+					snaps++
+					var snap service.SimSnapshotDoc
+					if err := json.Unmarshal(ev.Data, &snap); err != nil {
+						t.Fatalf("bad snapshot %s: %v", ev.Data, err)
+					}
+					if snap.Step%tc.stride != 0 && snap.Step != tc.steps {
+						t.Fatalf("snapshot at step %d breaks the stride-%d cadence", snap.Step, tc.stride)
+					}
+				case "result":
+					result = ev.Data
+				case "status":
+					sawStatus = true
+					if err := json.Unmarshal(ev.Data, &final); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if snaps != wantSnaps {
+				t.Fatalf("received %d snapshots, want %d (%d replicas × %d strides)",
+					snaps, wantSnaps, replicas, tc.steps/tc.stride)
+			}
+			if !sawStatus || final.Status != "done" {
+				t.Fatalf("terminal status = %+v, want done", final)
+			}
+			if final.SnapshotsDropped != 0 {
+				t.Fatalf("%d snapshots dropped with a fast local reader", final.SnapshotsDropped)
+			}
+			if result == nil {
+				t.Fatal("no result event")
+			}
+			if string(result) != want.String() {
+				t.Fatalf("streamed result differs from POST /v1/simulate\nstream: %s\nbatch:  %s",
+					result, want.String())
+			}
+		})
+	}
+
+	m := getMetrics(t, srv.URL)
+	if m.Streams.SimulateStreams != 2 {
+		t.Errorf("simulate_streams_total = %d, want 2", m.Streams.SimulateStreams)
+	}
+	if m.Work.Simulations != 4 {
+		t.Errorf("simulations = %d, want 4 (two batch + two streamed)", m.Work.Simulations)
+	}
+}
+
+func TestSimulateStreamBadStride(t *testing.T) {
+	srv := startServer(t, service.Config{})
+	status, raw := postJSON(t, srv.URL+"/v1/simulate/stream", map[string]any{
+		"spec":   map[string]any{"game": "doublewell", "n": 6, "c": 2, "delta1": 1},
+		"beta":   1.0,
+		"steps":  100,
+		"stride": -1,
+	}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("negative stride = %d: %s, want 400", status, raw)
+	}
+	if !strings.Contains(raw, "stride") {
+		t.Fatalf("error %q does not mention stride", raw)
+	}
+}

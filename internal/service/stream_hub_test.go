@@ -1,0 +1,332 @@
+// In-package tests for the streaming hub: broadcast overflow semantics
+// (the deterministic slow-subscriber drop a TCP-level test cannot pin),
+// terminal fan-out, and the byte-equality contract — the rows a stream
+// delivers, re-sorted into point order, are the final GET table exactly.
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"logitdyn/internal/sweep"
+)
+
+// The hub's slow-consumer protocol, driven directly: a subscriber whose
+// buffer overflows is marked lagged, removed and closed without touching
+// its siblings; finishLocked closes the survivors without the lagged mark
+// and closes done.
+func TestStreamHubOverflowDropsOnlySlowSubscriber(t *testing.T) {
+	j := &sweepJob{status: "running", done: make(chan struct{}), subs: make(map[*sweepSub]struct{})}
+	slow, _, status := j.subscribe(1)
+	if slow == nil || status != "running" {
+		t.Fatalf("subscribe on a running job = (%v, %q), want a live sub", slow, status)
+	}
+	fast, _, _ := j.subscribe(4)
+
+	j.mu.Lock()
+	j.broadcastLocked(streamEvent{name: "row", data: []byte("a")})
+	j.broadcastLocked(streamEvent{name: "row", data: []byte("b")}) // slow's buffer of 1 overflows
+	j.mu.Unlock()
+
+	if ev := <-slow.ch; string(ev.data) != "a" {
+		t.Fatalf("slow subscriber's buffered event = %q, want a", ev.data)
+	}
+	if _, ok := <-slow.ch; ok {
+		t.Fatal("slow subscriber's channel must be closed after the overflow")
+	}
+	if !slow.lagged {
+		t.Fatal("overflowed subscriber not marked lagged")
+	}
+
+	j.mu.Lock()
+	if !j.finishLocked("done", "") {
+		t.Fatal("finishLocked lost on a running job")
+	}
+	j.mu.Unlock()
+	var got []string
+	for ev := range fast.ch {
+		got = append(got, string(ev.data))
+	}
+	if strings.Join(got, "") != "ab" {
+		t.Fatalf("fast subscriber received %v, want both events", got)
+	}
+	if fast.lagged {
+		t.Fatal("fast subscriber wrongly marked lagged by the terminal close")
+	}
+	select {
+	case <-j.done:
+	default:
+		t.Fatal("finishLocked must close done")
+	}
+	if sub, _, st := j.subscribe(1); sub != nil || st != "done" {
+		t.Fatalf("subscribe on a terminal job = (%v, %q), want (nil, done)", sub, st)
+	}
+}
+
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// parseSSE reads one event-stream body to EOF.
+func parseSSE(r io.Reader) ([]sseEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var evs []sseEvent
+	var cur sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.name != "" {
+				evs = append(evs, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	return evs, sc.Err()
+}
+
+func getSSE(base, path string) ([]sseEvent, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s = %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return nil, fmt.Errorf("content type %q, want text/event-stream", ct)
+	}
+	return parseSSE(resp.Body)
+}
+
+func compactJSON(t *testing.T, raw []byte) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("compacting %s: %v", raw, err)
+	}
+	return buf.String()
+}
+
+// The streaming contract end to end (run it under -race): four concurrent
+// SSE subscribers joining at staggered times each receive every row
+// exactly once — whether by replay or live — and their rows, re-sorted
+// into point order, are byte-identical to the final GET table. A fifth,
+// deliberately slow hub-level subscriber (buffer 1, never drained) laggs
+// out without perturbing the runner or anyone else's bytes; the HTTP
+// layer can't pin that deterministically because kernel socket buffers
+// absorb an unread response, which is why it subscribes below HTTP.
+func TestSweepStreamByteEqualFourSubscribersOneSlow(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	grid := map[string]any{
+		"axes": map[string]any{
+			"game": []string{"doublewell"},
+			"n":    []int{6},
+			"beta": map[string]any{"from": 0.5, "to": 4, "steps": 8},
+		},
+		"base": map[string]any{"c": 2, "delta1": 1},
+	}
+	body, err := json.Marshal(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created SweepCreatedDoc
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if created.Points != 8 {
+		t.Fatalf("grid expanded to %d points, want 8", created.Points)
+	}
+
+	job := svc.lookupSweep(created.ID)
+	if job == nil {
+		t.Fatalf("job %s not registered", created.ID)
+	}
+	// The slow subscriber: buffer 1, never drained. The job broadcasts at
+	// least 16 events (8 rows, 8 progress), so the overflow is certain.
+	slow, _, status := job.subscribe(1)
+	if status != "running" {
+		t.Fatalf("job already %q before the stream attached", status)
+	}
+
+	var wg sync.WaitGroup
+	results := make([][]sseEvent, 4)
+	errs := make([]error, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Stagger the joins so some subscribers mostly replay and some
+			// mostly follow live.
+			time.Sleep(time.Duration(i*25) * time.Millisecond)
+			results[i], errs[i] = getSSE(srv.URL, "/v1/sweeps/"+created.ID+"/stream")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("subscriber %d: %v", i, err)
+		}
+	}
+
+	// The streams only end at the job's terminal transition, so this
+	// long-poll returns immediately — and exercises ?wait= on a finished
+	// job in passing.
+	getResp, err := http.Get(srv.URL + "/v1/sweeps/" + created.ID + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fin struct {
+		Status string            `json:"status"`
+		Rows   []json.RawMessage `json:"rows"`
+	}
+	if err := json.NewDecoder(getResp.Body).Decode(&fin); err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if fin.Status != "done" {
+		t.Fatalf("final status %q, want done", fin.Status)
+	}
+	if len(fin.Rows) != created.Points {
+		t.Fatalf("final table has %d rows, want %d", len(fin.Rows), created.Points)
+	}
+	want := make([]string, len(fin.Rows))
+	for i, r := range fin.Rows {
+		want[i] = compactJSON(t, r)
+	}
+
+	for i, evs := range results {
+		var rows []string
+		sawStatus := false
+		for _, ev := range evs {
+			switch ev.name {
+			case "row":
+				rows = append(rows, string(ev.data))
+			case "status":
+				sawStatus = true
+			case "lagged":
+				t.Fatalf("subscriber %d lagged; the default buffer must absorb an 8-point sweep", i)
+			}
+		}
+		if !sawStatus {
+			t.Errorf("subscriber %d never received the terminal status event", i)
+		}
+		if len(rows) != created.Points {
+			t.Fatalf("subscriber %d received %d rows, want %d (exactly-once replay+live)", i, len(rows), created.Points)
+		}
+		sort.Slice(rows, func(a, b int) bool {
+			var ra, rb struct {
+				Point int `json:"point"`
+			}
+			json.Unmarshal([]byte(rows[a]), &ra)
+			json.Unmarshal([]byte(rows[b]), &rb)
+			return ra.Point < rb.Point
+		})
+		for k := range rows {
+			if rows[k] != want[k] {
+				t.Fatalf("subscriber %d row %d differs from the final table\nstream: %s\ntable:  %s",
+					i, k, rows[k], want[k])
+			}
+		}
+	}
+
+	// The slow subscriber was dropped mid-run; its channel holds at most
+	// its one buffered event and is already closed.
+	for range slow.ch {
+	}
+	if !slow.lagged {
+		t.Fatal("slow subscriber was never dropped as lagged")
+	}
+
+	m := svc.Metrics()
+	if m.Streams.SweepStreams != 4 {
+		t.Errorf("sweep_streams_total = %d, want 4", m.Streams.SweepStreams)
+	}
+	if m.Streams.Active != 0 {
+		t.Errorf("streams active = %d after all closed, want 0", m.Streams.Active)
+	}
+	if m.Streams.EventsSent == 0 {
+		t.Error("events_sent_total = 0 after four delivered streams")
+	}
+	if m.Streams.LongPolls != 1 {
+		t.Errorf("long_polls_total = %d, want 1", m.Streams.LongPolls)
+	}
+}
+
+// A sub-tick completion burst must report "+Inf" points/sec rather than
+// omitting the field: all the window samples carry one coarse-clock stamp.
+func TestStatusDocSubTickRateSentinel(t *testing.T) {
+	j := &sweepJob{
+		id: "swp-000001", status: "running", points: 4,
+		created: time.Now(), done: make(chan struct{}),
+		subs: make(map[*sweepSub]struct{}),
+	}
+	stamp := time.Now()
+	for i := 0; i < 3; i++ {
+		j.rows = append(j.rows, sweep.Row{Point: i})
+		j.comp[j.compN%progressWindow] = stamp
+		j.compN++
+	}
+	doc := j.statusDoc(false)
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		Rate any `json:"points_per_second"`
+		ETA  any `json:"eta_seconds"`
+	}
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Rate != "+Inf" {
+		t.Fatalf("points_per_second = %v (%T), want the \"+Inf\" sentinel", wire.Rate, wire.Rate)
+	}
+	if wire.ETA != nil {
+		t.Fatalf("eta_seconds = %v, want omitted at infinite measured rate", wire.ETA)
+	}
+
+	// Two samples a real tick apart still report a finite rate and an ETA.
+	j2 := &sweepJob{
+		id: "swp-000002", status: "running", points: 4,
+		created: time.Now(), done: make(chan struct{}),
+		subs: make(map[*sweepSub]struct{}),
+	}
+	j2.rows = []sweep.Row{{Point: 0}, {Point: 1}}
+	j2.comp[0] = stamp
+	j2.comp[1] = stamp.Add(100 * time.Millisecond)
+	j2.compN = 2
+	doc2 := j2.statusDoc(false)
+	if rate := float64(doc2.PointsPerSecond); math.IsInf(rate, 1) || rate <= 0 {
+		t.Fatalf("finite window produced rate %v, want ~10/s", rate)
+	}
+	if eta := float64(doc2.ETASeconds); eta <= 0 {
+		t.Fatalf("finite window produced eta %v, want > 0", eta)
+	}
+}

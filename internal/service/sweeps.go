@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"logitdyn/internal/obs"
+	"logitdyn/internal/serialize"
 	"logitdyn/internal/sweep"
 )
 
@@ -41,6 +43,9 @@ type sweepJob struct {
 	// trace is the job's trace (nil with observability off); its ID links
 	// a status document to the job's stage spans at /v1/traces/{id}.
 	trace *obs.Trace
+	// done closes exactly once, on the terminal transition — the wakeup
+	// for ?wait= long-polls and stream writers.
+	done chan struct{}
 
 	// mu guards everything below; rows arrive from runner workers while
 	// GET handlers snapshot.
@@ -51,12 +56,71 @@ type sweepJob struct {
 	stats  sweep.RunStats
 	result *sweep.Result
 	errMsg string
+	// subs are the live SSE subscribers. Registration shares mu with the
+	// OnRow append+broadcast, so a subscriber sees each row exactly once:
+	// either in its registration snapshot or as a live event, never both.
+	subs map[*sweepSub]struct{}
 	// finished is when the job reached a terminal state (zero while
 	// running); comp is a ring of the last progressWindow point-completion
 	// times and compN the total completions recorded into it.
 	finished time.Time
 	comp     [progressWindow]time.Time
 	compN    int
+}
+
+// sweepSub is one SSE subscriber's bounded mailbox. The broadcaster never
+// blocks on it: a full channel marks the subscriber lagged, removes it and
+// closes the channel, so one stalled client can never slow the runner or
+// its faster siblings. lagged is written under j.mu before the close and
+// read by the writer only after the channel closes, which orders the two.
+type sweepSub struct {
+	ch     chan streamEvent
+	lagged bool
+}
+
+// broadcastLocked fans one event out to every subscriber, dropping any
+// whose buffer is full. Caller holds j.mu.
+func (j *sweepJob) broadcastLocked(ev streamEvent) {
+	for sub := range j.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.lagged = true
+			delete(j.subs, sub)
+			close(sub.ch)
+		}
+	}
+}
+
+// subscribe atomically snapshots the completed rows and registers a live
+// subscriber. On a terminal job sub is nil: the caller replays the rows
+// and emits the terminal status with nothing to subscribe to. Holding mu
+// across both halves is what makes replay+live exactly-once.
+func (j *sweepJob) subscribe(buf int) (sub *sweepSub, rows []sweep.Row, status string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result != nil {
+		rows = j.result.Rows
+	} else {
+		rows = append([]sweep.Row(nil), j.rows...)
+	}
+	status = j.status
+	if j.status == "running" {
+		sub = &sweepSub{ch: make(chan streamEvent, buf)}
+		j.subs[sub] = struct{}{}
+	}
+	return sub, rows, status
+}
+
+// unsubscribe detaches a subscriber (client went away). Idempotent with
+// the broadcast-side removal: whoever deletes the sub closes its channel.
+func (j *sweepJob) unsubscribe(sub *sweepSub) {
+	j.mu.Lock()
+	if _, ok := j.subs[sub]; ok {
+		delete(j.subs, sub)
+		close(sub.ch)
+	}
+	j.mu.Unlock()
 }
 
 // finishLocked attempts the one-way transition to a terminal status and
@@ -72,6 +136,15 @@ func (j *sweepJob) finishLocked(status, errMsg string) bool {
 	j.status = status
 	j.errMsg = errMsg
 	j.finished = time.Now()
+	// Wake the waiters: long-polls select on done; stream writers see
+	// their channel close (without the lagged mark) and emit the terminal
+	// status event. Both happen on cancellation too — a DELETE mid-run
+	// releases every held connection immediately.
+	close(j.done)
+	for sub := range j.subs {
+		delete(j.subs, sub)
+		close(sub.ch)
+	}
 	return true
 }
 
@@ -93,8 +166,11 @@ type SweepStatusDoc struct {
 	// PointsPerSecond and ETASeconds are the rolling completion rate over
 	// the last few points and the remaining-work projection from it; both
 	// only appear on a running job that has completed at least two points.
-	PointsPerSecond float64 `json:"points_per_second,omitempty"`
-	ETASeconds      float64 `json:"eta_seconds,omitempty"`
+	// A job completing points faster than the clock ticks reports the
+	// string "+Inf" (serialize.Float's non-finite form) rather than
+	// silently omitting the field like a job with no data at all.
+	PointsPerSecond serialize.Float `json:"points_per_second,omitempty"`
+	ETASeconds      serialize.Float `json:"eta_seconds,omitempty"`
 	// Rows are the completed rows so far (point order); on a finished job
 	// this is the full deterministic aggregate table.
 	Rows []sweep.Row `json:"rows,omitempty"`
@@ -245,6 +321,8 @@ func (s *Service) startSweep(grid *sweep.Grid, id string, created time.Time, poi
 		cancel:  cancel,
 		status:  "running",
 		points:  points,
+		done:    make(chan struct{}),
+		subs:    make(map[*sweepSub]struct{}),
 	}
 	// The job gets its own trace (kind "sweep"), detached from the HTTP
 	// request that created it: the POST returns immediately, the job's
@@ -269,10 +347,15 @@ func (s *Service) startSweep(grid *sweep.Grid, id string, created time.Time, poi
 		Workers:   s.sweepWorkers(),
 		MaxPoints: s.cfg.MaxSweepPoints,
 		OnRow: func(row sweep.Row) {
+			// Marshal outside the lock; broadcast inside the same critical
+			// section as the append, so a subscriber registering between the
+			// two can't see the row twice (snapshot + live event).
+			data := marshalEvent(row)
 			job.mu.Lock()
 			job.rows = append(job.rows, row)
 			job.comp[job.compN%progressWindow] = time.Now()
 			job.compN++
+			job.broadcastLocked(streamEvent{name: "row", data: data})
 			job.mu.Unlock()
 		},
 		// Live stats for GET while the run is in flight; the final
@@ -280,6 +363,12 @@ func (s *Service) startSweep(grid *sweep.Grid, id string, created time.Time, poi
 		OnProgress: func(st sweep.RunStats) {
 			job.mu.Lock()
 			job.stats = st
+			// Marshaling under the lock keeps Done consistent with the
+			// broadcast position; progress payloads are a few dozen bytes.
+			data := marshalEvent(SweepProgressDoc{
+				ID: job.id, Done: len(job.rows), Points: job.points, Stats: st,
+			})
+			job.broadcastLocked(streamEvent{name: "progress", data: data})
 			job.mu.Unlock()
 		},
 	}
@@ -450,8 +539,11 @@ func (j *sweepJob) statusDoc(withRows bool) SweepStatusDoc {
 	if j.finished.IsZero() {
 		doc.ElapsedSeconds = time.Since(j.created).Seconds()
 		// Rolling rate over the last ≤progressWindow completions, and the
-		// projection for what's left. Only meaningful with two samples and
-		// a nonzero window (coarse clocks can stamp both identically).
+		// projection for what's left. With two samples the rate always
+		// appears: a window coarse clocks stamp identically (every sample
+		// inside one tick) reports "+Inf" instead of vanishing — the old
+		// omission made a sub-tick sweep indistinguishable from one that
+		// hadn't completed a second point yet.
 		if n := min(j.compN, progressWindow); n >= 2 {
 			newest := j.comp[(j.compN-1)%progressWindow]
 			oldest := j.comp[j.compN%progressWindow]
@@ -459,8 +551,13 @@ func (j *sweepJob) statusDoc(withRows bool) SweepStatusDoc {
 				oldest = j.comp[0]
 			}
 			if window := newest.Sub(oldest).Seconds(); window > 0 {
-				doc.PointsPerSecond = float64(n-1) / window
-				doc.ETASeconds = float64(j.points-len(j.rows)) / doc.PointsPerSecond
+				doc.PointsPerSecond = serialize.Float(float64(n-1) / window)
+				doc.ETASeconds = serialize.Float(float64(j.points-len(j.rows)) / float64(doc.PointsPerSecond))
+			} else {
+				doc.PointsPerSecond = serialize.Float(math.Inf(1))
+				// Remaining work at infinite measured rate projects to zero
+				// wait, which omitempty elides — ETA stays absent, the rate
+				// explains why.
 			}
 		}
 	} else {
@@ -482,12 +579,41 @@ func (j *sweepJob) statusDoc(withRows bool) SweepStatusDoc {
 	return doc
 }
 
+// maxLongPoll caps ?wait=: a held GET is cheap (one parked goroutine, no
+// worker token) but not free, and load balancers time idle connections out
+// anyway.
+const maxLongPoll = 5 * time.Minute
+
 func (s *Service) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 	s.reqSweeps.Add(1)
 	job := s.lookupSweep(r.PathValue("id"))
 	if job == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no sweep %q", r.PathValue("id")))
 		return
+	}
+	// ?wait=30s long-polls: hold the request until the job reaches a
+	// terminal state (done closes — including on DELETE-cancel), the wait
+	// elapses, or the client goes away, then answer with the status either
+	// way. No worker token is held while parked.
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q: want a duration like 30s", waitStr))
+			return
+		}
+		if d > maxLongPoll {
+			d = maxLongPoll
+		}
+		s.sweepLongPolls.Add(1)
+		endWait := obs.StartSpan(r.Context(), "sweep_wait")
+		timer := time.NewTimer(d)
+		select {
+		case <-job.done:
+		case <-timer.C:
+		case <-r.Context().Done():
+		}
+		timer.Stop()
+		endWait()
 	}
 	writeJSON(w, http.StatusOK, job.statusDoc(true))
 }

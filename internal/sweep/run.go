@@ -512,8 +512,10 @@ func DirectEvalScratch(st cluster.ReportStore, pool TokenPool, sp *scratch.Pool)
 	st = cluster.Normalize(st)
 	return func(ctx context.Context, j *Job) (Outcome, error) {
 		if st != nil {
+			// The run ctx rides into peer-backed stores: cancelling the sweep
+			// aborts an in-flight peer fetch instead of riding out its timeout.
 			endGet := obs.StartSpan(ctx, obs.StageStoreGet)
-			doc, ok := st.Get(j.Key)
+			doc, ok := cluster.GetCtx(ctx, st, j.Key)
 			endGet()
 			if ok {
 				return Outcome{Doc: doc, Source: SourceStore}, nil
